@@ -1,0 +1,70 @@
+//! Criterion benchmark of the DDR4 controller simulation rate (simulated
+//! requests per wall-clock second) plus the FR-FCFS vs FCFS ablation
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim_dram::{ControllerConfig, MemController, MemRequest, TimingParams};
+use pim_mapping::{MapFn, MlpCentric, Organization, PhysAddr};
+
+fn drive(cfg: ControllerConfig, n: u64) -> u64 {
+    let org = Organization::ddr4_dimm(1, 2);
+    let m = MlpCentric::new(org);
+    let mut ctrl = MemController::with_config(org, TimingParams::ddr4_2400(), cfg);
+    let mut issued = 0u64;
+    let mut done = 0u64;
+    let mut addr = 0u64;
+    while done < n {
+        while issued < n {
+            let phys = PhysAddr(addr % org.total_bytes());
+            let a = m.map(phys);
+            if a.channel == 0 {
+                if ctrl
+                    .enqueue(MemRequest::read(issued, phys, a, Default::default()))
+                    .is_err()
+                {
+                    break;
+                }
+                issued += 1;
+            }
+            addr += 64;
+        }
+        ctrl.tick();
+        done += ctrl.drain_completions().len() as u64;
+    }
+    ctrl.clock()
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let n = 4096u64;
+    let mut g = c.benchmark_group("dram_controller");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("fr_fcfs_stream", |b| {
+        b.iter(|| drive(ControllerConfig::default(), n))
+    });
+    g.bench_function("fcfs_stream", |b| {
+        b.iter(|| {
+            drive(
+                ControllerConfig {
+                    fr_fcfs: false,
+                    ..ControllerConfig::default()
+                },
+                n,
+            )
+        })
+    });
+    g.finish();
+
+    // Ablation: report simulated DRAM cycles (lower = better schedule).
+    let fr = drive(ControllerConfig::default(), n);
+    let fcfs = drive(
+        ControllerConfig {
+            fr_fcfs: false,
+            ..ControllerConfig::default()
+        },
+        n,
+    );
+    println!("[ablation] {n} reads: FR-FCFS {fr} DRAM cycles, FCFS {fcfs} cycles");
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

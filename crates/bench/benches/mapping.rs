@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the mapping functions — the HetMap sits
+//! on the critical path of every memory request, so translation must be
+//! a few nanoseconds. Includes the XOR-hash on/off ablation (DESIGN.md
+//! §5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_mapping::{HetMap, LocalityCentric, MapFn, MlpCentric, Organization, PhysAddr};
+
+fn bench_mapping(c: &mut Criterion) {
+    let dram = Organization::ddr4_dimm(4, 2);
+    let pim = Organization::upmem_dimm(4, 2);
+    let loc = LocalityCentric::new(dram);
+    let mlp = MlpCentric::new(dram);
+    let mlp_nohash = MlpCentric::without_hash(dram);
+    let het = HetMap::pim_mmu(dram, pim);
+
+    let mut g = c.benchmark_group("map_translate");
+    g.bench_function("locality", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x10040).wrapping_mul(0x9E3779B9) % dram.total_bytes();
+            black_box(loc.map(PhysAddr(a)))
+        })
+    });
+    g.bench_function("mlp_xor_hash", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x10040).wrapping_mul(0x9E3779B9) % dram.total_bytes();
+            black_box(mlp.map(PhysAddr(a)))
+        })
+    });
+    g.bench_function("mlp_no_hash", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x10040).wrapping_mul(0x9E3779B9) % dram.total_bytes();
+            black_box(mlp_nohash.map(PhysAddr(a)))
+        })
+    });
+    g.bench_function("hetmap_dispatch", |b| {
+        let mut a = 0u64;
+        let span = dram.total_bytes() + pim.total_bytes();
+        b.iter(|| {
+            a = a.wrapping_add(0x10040).wrapping_mul(0x9E3779B9) % span;
+            black_box(het.map(PhysAddr(a)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

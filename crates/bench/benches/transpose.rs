@@ -1,0 +1,30 @@
+//! Criterion microbenchmark for the 8x8 byte transpose — in the baseline
+//! the CPU performs this per 64 B line; in PIM-MMU the DCE's preprocessing
+//! unit does (1 line per 3.2 GHz cycle in the model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pim_device::transpose::{transpose_8x8, transpose_buffer};
+use pim_device::BLOCK_BYTES;
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose");
+    g.throughput(Throughput::Bytes(BLOCK_BYTES as u64));
+    g.bench_function("single_block", |b| {
+        let mut block = [0x5Au8; BLOCK_BYTES];
+        b.iter(|| {
+            transpose_8x8(black_box(&mut block));
+        })
+    });
+    let size = 1 << 20;
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_function("one_mib_buffer", |b| {
+        let mut buf = vec![0xA5u8; size];
+        b.iter(|| {
+            transpose_buffer(black_box(&mut buf));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transpose);
+criterion_main!(benches);

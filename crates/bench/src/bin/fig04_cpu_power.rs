@@ -1,0 +1,65 @@
+//! Fig. 4: active CPU cores and system power during DRAM↔PIM transfers.
+//!
+//! Paper shape: the baseline software path drives the fraction of active
+//! cores to ~100 % and system power to ≈70 W for the duration of the
+//! transfer, in both directions. (With PIM-MMU the same transfer leaves
+//! the cores idle — shown as the contrast series.)
+
+use pim_bench::{cfg, HarnessArgs};
+use pim_mmu::XferKind;
+use pim_sim::{run_transfer, DesignPoint, TransferSpec};
+
+fn series(design: DesignPoint, kind: XferKind, bytes: u64) {
+    let mut c = cfg(design);
+    c.sample_ns = 200_000.0; // 0.2 ms windows
+    let r = run_transfer(&c, &TransferSpec::simple(kind, bytes));
+    println!(
+        "\n{} {kind:?} ({} MiB, {:.2} ms, {:.2} GB/s)",
+        design.label(),
+        bytes >> 20,
+        r.elapsed_ns * 1e-6,
+        r.throughput_gbps()
+    );
+    println!("{:>10} {:>14} {:>10}", "t (ms)", "active cores", "power (W)");
+    for s in r
+        .power_samples
+        .iter()
+        .filter(|s| s.t_ns <= r.elapsed_ns * 1.05)
+    {
+        println!(
+            "{:>10.2} {:>10} /{:>2} {:>10.1}",
+            s.t_ns * 1e-6,
+            s.active_cores,
+            8,
+            s.watts
+        );
+    }
+    let active_frac = r
+        .power_samples
+        .iter()
+        .filter(|s| s.t_ns <= r.elapsed_ns)
+        .map(|s| s.active_cores as f64 / 8.0)
+        .sum::<f64>()
+        / r.power_samples
+            .iter()
+            .filter(|s| s.t_ns <= r.elapsed_ns)
+            .count()
+            .max(1) as f64;
+    let avg_w = r.energy.total_mj() / (r.elapsed_ns * 1e-6);
+    println!(
+        "-> average during transfer: {:.0}% cores active, {:.1} W",
+        active_frac * 100.0,
+        avg_w
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let bytes: u64 = if args.full { 64 << 20 } else { 16 << 20 };
+    println!("Fig. 4: CPU utilization and system power during DRAM<->PIM transfers");
+    for kind in [XferKind::DramToPim, XferKind::PimToDram] {
+        series(DesignPoint::Baseline, kind, bytes);
+    }
+    // Contrast: the same transfer offloaded to the DCE.
+    series(DesignPoint::BaseDHP, XferKind::DramToPim, bytes);
+}

@@ -1,0 +1,70 @@
+//! Fig. 6: per-channel write-throughput breakdown over time.
+//!
+//! Paper shape: (a) the software-scheduled DRAM→PIM transfer congests a
+//! subset of PIM channels at a time (the stacked shares swing as the OS
+//! rotates threads), while (b) the hardware-scheduled DRAM→DRAM copy
+//! (and, equivalently, the PIM-MMU transfer) spreads traffic evenly.
+
+use pim_bench::{cfg, HarnessArgs};
+use pim_mmu::XferKind;
+use pim_sim::{run_transfer, DesignPoint, TransferSpec};
+
+fn print_windows(title: &str, windows: &[Vec<u64>], max_rows: usize) {
+    println!("\n{title}");
+    let n_ch = windows.len();
+    let n_w = windows.iter().map(|c| c.len()).max().unwrap_or(0);
+    print!("{:>8}", "window");
+    for ch in 0..n_ch {
+        print!("  ch{ch} share");
+    }
+    println!("  (imbalance = max/avg)");
+    let mut imbalances = Vec::new();
+    for w in 0..n_w.min(max_rows) {
+        let vals: Vec<u64> = (0..n_ch).map(|c| *windows[c].get(w).unwrap_or(&0)).collect();
+        let total: u64 = vals.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        print!("{w:>8}");
+        for v in &vals {
+            print!("  {:>8.1}%", 100.0 * *v as f64 / total as f64);
+        }
+        let avg = total as f64 / n_ch as f64;
+        let imb = vals.iter().copied().max().unwrap_or(0) as f64 / avg;
+        imbalances.push(imb);
+        println!("  {imb:>5.2}");
+    }
+    if !imbalances.is_empty() {
+        let mean = imbalances.iter().sum::<f64>() / imbalances.len() as f64;
+        println!("-> mean imbalance {mean:.2} (1.0 = perfectly even)");
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let bytes: u64 = if args.full { 64 << 20 } else { 16 << 20 };
+
+    // (a) software-based, coarse-grained DRAM->PIM transfer. Oversubscribe
+    // the cores (16 runtime threads on 8 cores, as UPMEM deployments with
+    // co-resident services see) so the OS quantum rotation is visible.
+    let mut sw = cfg(DesignPoint::Baseline);
+    sw.sw_threads = 16;
+    sw.cpu.quantum_cycles = 1_600_000; // 0.5 ms: a few rotations per run
+    sw.sample_ns = 500_000.0;
+    let r = run_transfer(&sw, &TransferSpec::simple(XferKind::DramToPim, bytes));
+    print_windows(
+        "(a) software DRAM->PIM: PIM-channel write share per 0.5 ms window",
+        &r.pim_channel_windows,
+        24,
+    );
+
+    // (b) hardware-scheduled transfer: PIM-MMU moving the same data.
+    let mut hw = cfg(DesignPoint::BaseDHP);
+    hw.sample_ns = 100_000.0;
+    let r = run_transfer(&hw, &TransferSpec::simple(XferKind::DramToPim, bytes));
+    print_windows(
+        "(b) hardware fine-grained (PIM-MMU): PIM-channel write share per 0.1 ms window",
+        &r.pim_channel_windows,
+        24,
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 14: DRAM throughput during DRAM→DRAM `memcpy` under the baseline
+//! BIOS mapping vs PIM-MMU's HetMap, across memory-system configurations.
+//!
+//! Paper shape: PIM-MMU improves memcpy throughput 4.9x on average (max
+//! 6.0x); throughput scales with the number of *channels*, not ranks.
+
+use pim_bench::{cfg, geomean, HarnessArgs};
+use pim_mapping::Organization;
+use pim_sim::{run_memcpy, DesignPoint};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let bytes: u64 = if args.full { 64 << 20 } else { 16 << 20 };
+    // 'xC-yR': x channels, y total ranks (y/x per channel), as in Fig. 14.
+    let configs = [(2u32, 4u32), (4, 8), (4, 16)];
+    println!("Fig. 14: normalized DRAM throughput during DRAM->DRAM memcpy");
+    println!(
+        "{:<8} {:>16} {:>16} {:>10}",
+        "config", "Baseline (GB/s)", "PIM-MMU (GB/s)", "speedup"
+    );
+    let mut speedups = Vec::new();
+    let mut mmu_abs = Vec::new();
+    for (ch, ranks) in configs {
+        let org = Organization::ddr4_dimm(ch, ranks / ch);
+        let mut base = cfg(DesignPoint::Baseline);
+        base.dram_org = org;
+        let mut mmu = cfg(DesignPoint::BaseDHP);
+        mmu.dram_org = org;
+        let b = run_memcpy(&base, bytes, 1e10).throughput_gbps();
+        let m = run_memcpy(&mmu, bytes, 1e10).throughput_gbps();
+        println!("{:<8} {b:>16.2} {m:>16.2} {:>9.2}x", format!("{ch}C-{ranks}R"), m / b);
+        speedups.push(m / b);
+        mmu_abs.push(m);
+    }
+    println!(
+        "-> geomean speedup {:.2}x (paper: avg 4.9x, max 6.0x)",
+        geomean(&speedups)
+    );
+    println!(
+        "-> channel scaling: 2C {:.1} GB/s vs 4C {:.1} GB/s; rank scaling 8R {:.1} vs 16R {:.1} GB/s",
+        mmu_abs[0], mmu_abs[1], mmu_abs[1], mmu_abs[2]
+    );
+}

@@ -1,0 +1,54 @@
+//! Table I: baseline system and PIM-MMU configuration.
+
+use pim_energy::AreaReport;
+use pim_sim::{DesignPoint, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+    println!("TABLE I: Baseline system and PIM-MMU configuration");
+    println!("===================================================");
+    println!("Host Processor");
+    println!(
+        "  CPU                  {} cores, {:.1} GHz, {}-wide OoO, {}-entry window, {} MSHRs/core",
+        cfg.cpu.cores,
+        cfg.cpu.freq_mhz as f64 / 1000.0,
+        cfg.cpu.width,
+        cfg.cpu.window,
+        cfg.cpu.mshrs
+    );
+    println!(
+        "  LLC                  {} MB shared, 64 B lines, {}-way",
+        cfg.cpu.llc_bytes >> 20,
+        cfg.cpu.llc_ways
+    );
+    println!("  Memory controller    64-entry read & write queues, FR-FCFS");
+    println!("DRAM system");
+    println!("  Timing               DDR4-2400 (tCK {} ps)", cfg.dram_timing.t_ck_ps);
+    println!("  Organization         {}", cfg.dram_org);
+    println!("PIM system");
+    println!(
+        "  Timing               DDR4-2400, UPMEM-relaxed (tCCD_S {}, tCCD_L {})",
+        cfg.pim_timing.ccd_s, cfg.pim_timing.ccd_l
+    );
+    println!(
+        "  Organization         {} ({} PIM cores)",
+        cfg.pim_org,
+        cfg.pim_org.total_banks()
+    );
+    println!("PIM-MMU");
+    println!(
+        "  DCE                  {:.1} GHz, {} KB data buffer, {} KB address buffer",
+        cfg.dce.freq_mhz as f64 / 1000.0,
+        cfg.dce.data_buffer_bytes >> 10,
+        cfg.dce.addr_buffer_bytes >> 10
+    );
+    println!("  PIM-MS               Algorithm 1 (bank-group-innermost channel-parallel sweeps)");
+    println!("  HetMap               DRAM: MLP-centric + XOR hash; PIM: ChRaBgBkRoCo");
+    let area = AreaReport::table1();
+    println!(
+        "  Area                 {:.2} mm^2 @32nm = {:.2}% of a {:.0} mm^2 die",
+        area.pimmmu_mm2(),
+        area.die_fraction() * 100.0,
+        area.cpu_die_mm2
+    );
+}

@@ -1,0 +1,80 @@
+//! Shared plumbing for the per-figure benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! PIM-MMU paper (see `DESIGN.md` §2 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results). Run with
+//! `cargo run --release -p pim-bench --bin <experiment>`; pass `--full`
+//! for the paper-scale transfer sizes (slower).
+
+use pim_sim::{DesignPoint, SystemConfig};
+
+/// Parse harness CLI flags (`--full` for paper-scale sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Run the full paper-scale sweep.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Read from `std::env::args`.
+    pub fn parse() -> Self {
+        let full = std::env::args().any(|a| a == "--full");
+        HarnessArgs { full }
+    }
+}
+
+/// Table-I config with a given design point and a sampling interval that
+/// yields useful time series at microbenchmark scale.
+pub fn cfg(design: DesignPoint) -> SystemConfig {
+    let mut c = SystemConfig::table1(design);
+    c.sample_ns = 50_000.0;
+    c
+}
+
+/// Pretty-print a ratio table row.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<24}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn cfg_wires_design() {
+        assert_eq!(cfg(DesignPoint::BaseDHP).design, DesignPoint::BaseDHP);
+    }
+}

@@ -1,0 +1,94 @@
+//! DCE configuration (Table I) and ablation modes.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling mode of the engine — the paper's ablation knob (Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DceMode {
+    /// "Base+D": a conventional DMA engine. Per-core chunks are processed
+    /// *sequentially* (descriptor at a time) with a shallow request
+    /// pipeline — the proxy for Intel I/OAT / DSA in §VI-A.
+    Coarse,
+    /// "+P": PIM-MS fine-grained scheduling per Algorithm 1 — channel-
+    /// parallel sweeps interleaving bank groups, ranks and banks.
+    PimMs,
+}
+
+/// Hardware parameters of the Data Copy Engine (Table I: 3.2 GHz,
+/// 16 KB data buffer, 64 KB address buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DceConfig {
+    /// Engine clock in MHz.
+    pub freq_mhz: u64,
+    /// Data buffer capacity in bytes (in-flight 64 B lines).
+    pub data_buffer_bytes: u64,
+    /// Address buffer capacity in bytes (16 B per per-core entry).
+    pub addr_buffer_bytes: u64,
+    /// Lines the preprocessing (transpose) unit retires per cycle.
+    pub preproc_lines_per_cycle: u32,
+    /// Read/write requests the engine can issue per cycle.
+    pub issue_width: u32,
+    /// Maximum in-flight reads in [`DceMode::Coarse`] (conventional DMA
+    /// engines pipeline a handful of descriptors; the OoO cores of the
+    /// baseline actually sustain *more* outstanding AVX accesses, which is
+    /// why "Base+D" can lose to "Base" — §VI-A).
+    pub coarse_inflight_lines: u32,
+}
+
+impl DceConfig {
+    /// Bytes per address-buffer entry (base address + core id + offset
+    /// counter, Fig. 11).
+    pub const ADDR_ENTRY_BYTES: u64 = 16;
+
+    /// The paper's Table I configuration.
+    pub fn table1() -> Self {
+        DceConfig {
+            freq_mhz: 3200,
+            data_buffer_bytes: 16 << 10,
+            addr_buffer_bytes: 64 << 10,
+            preproc_lines_per_cycle: 1,
+            issue_width: 2,
+            coarse_inflight_lines: 2,
+        }
+    }
+
+    /// In-flight 64 B lines the data buffer can hold.
+    pub fn data_buffer_lines(&self) -> u32 {
+        (self.data_buffer_bytes / 64) as u32
+    }
+
+    /// Per-core entries the address buffer can hold.
+    pub fn addr_buffer_entries(&self) -> usize {
+        (self.addr_buffer_bytes / Self::ADDR_ENTRY_BYTES) as usize
+    }
+
+    /// Engine clock period in picoseconds.
+    pub fn period_ps(&self) -> u64 {
+        1_000_000 / self.freq_mhz
+    }
+}
+
+impl Default for DceConfig {
+    fn default() -> Self {
+        DceConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capacities() {
+        let c = DceConfig::table1();
+        assert_eq!(c.data_buffer_lines(), 256);
+        assert_eq!(c.addr_buffer_entries(), 4096);
+        assert_eq!(c.period_ps(), 312);
+    }
+
+    #[test]
+    fn address_buffer_covers_a_full_upmem_server() {
+        // UPMEM: up to 1,280 DPUs per host (§II-C); 4096 entries suffice.
+        assert!(DceConfig::table1().addr_buffer_entries() >= 1280);
+    }
+}

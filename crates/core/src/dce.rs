@@ -1,0 +1,415 @@
+//! The Data Copy Engine: cycle-level model of Fig. 11's dataflow.
+//!
+//! Per engine cycle the DCE (1) retires lines through the preprocessing
+//! (transpose) unit, (2) issues pending writes, and (3) issues new reads
+//! as long as the 16 KB data buffer has room — reads reserve a buffer
+//! line at issue, and the line is freed when the corresponding write
+//! burst completes, giving end-to-end back-pressure exactly along the
+//! ❶→❼ path of Fig. 11.
+
+use crate::config::{DceConfig, DceMode};
+use crate::op::{OpError, PimMmuOp, XferKind};
+use crate::scheduler::{LinePair, PairScheduler};
+use pim_dram::{Completion, MemRequest, SourceId};
+use pim_mapping::{HetMap, MemSpace, PimAddrSpace};
+use std::collections::{HashMap, VecDeque};
+
+/// Source id tag for DCE-originated memory traffic.
+pub const DCE_SOURCE: u32 = 0x0DCE;
+
+/// A memory request leaving the DCE, tagged with the target space.
+#[derive(Debug, Clone, Copy)]
+pub struct DceRequest {
+    /// DRAM or PIM controllers.
+    pub space: MemSpace,
+    /// The translated request.
+    pub req: MemRequest,
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DceStats {
+    /// 64 B reads issued.
+    pub reads_issued: u64,
+    /// 64 B writes issued.
+    pub writes_issued: u64,
+    /// Lines fully transferred (write burst completed).
+    pub lines_done: u64,
+    /// Engine cycles with an active job.
+    pub busy_cycles: u64,
+    /// Cycles where read issue stalled on a full data buffer.
+    pub buffer_stall_cycles: u64,
+    /// Jobs completed.
+    pub jobs_done: u64,
+}
+
+#[derive(Debug)]
+struct Job {
+    kind: XferKind,
+    sched: PairScheduler,
+    transpose_q: VecDeque<LinePair>,
+    write_ready: VecDeque<LinePair>,
+    inflight_reads: HashMap<u64, LinePair>,
+    inflight_writes: u64,
+    buffer_used: u32,
+    lines_written: u64,
+    total: u64,
+    completed_at: Option<u64>,
+}
+
+/// The Data Copy Engine (Fig. 9/11).
+///
+/// Drive with [`tick`](Self::tick) at the engine clock, drain
+/// [`outbox_mut`](Self::outbox_mut) into the memory controllers, and feed
+/// completions back via [`on_completion`](Self::on_completion).
+#[derive(Debug)]
+pub struct Dce {
+    cfg: DceConfig,
+    mapper: HetMap,
+    space: PimAddrSpace,
+    clock: u64,
+    job: Option<Job>,
+    outbox: VecDeque<DceRequest>,
+    outbox_cap: usize,
+    next_id: u64,
+    stats: DceStats,
+}
+
+impl Dce {
+    /// Create an idle engine.
+    pub fn new(cfg: DceConfig, mapper: HetMap, space: PimAddrSpace) -> Self {
+        Dce {
+            cfg,
+            mapper,
+            space,
+            clock: 0,
+            job: None,
+            outbox: VecDeque::new(),
+            outbox_cap: 64,
+            next_id: 0,
+            stats: DceStats::default(),
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &DceConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DceStats {
+        &self.stats
+    }
+
+    /// Whether a job is in flight.
+    pub fn busy(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Engine cycle of the last job's completion, if it finished.
+    pub fn completed_at(&self) -> Option<u64> {
+        self.job.as_ref().and_then(|j| j.completed_at)
+    }
+
+    /// Requests awaiting entry into the memory subsystem.
+    pub fn outbox_mut(&mut self) -> &mut VecDeque<DceRequest> {
+        &mut self.outbox
+    }
+
+    /// Offload a transfer (the MMIO write of `pim_mmu_transfer`); the
+    /// address buffer is loaded and PIM-MS starts scheduling on the next
+    /// engine cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor validation failures and rejects submission
+    /// while a job is active ([`OpError::EngineBusy`]).
+    pub fn submit(&mut self, op: PimMmuOp, mode: DceMode) -> Result<(), OpError> {
+        if self.busy() {
+            return Err(OpError::EngineBusy);
+        }
+        op.validate(self.cfg.addr_buffer_entries())?;
+        let sched = PairScheduler::new(&op, &self.space, mode);
+        let total = sched.total_lines();
+        self.job = Some(Job {
+            kind: op.kind,
+            sched,
+            transpose_q: VecDeque::new(),
+            write_ready: VecDeque::new(),
+            inflight_reads: HashMap::new(),
+            inflight_writes: 0,
+            buffer_used: 0,
+            lines_written: 0,
+            total,
+            completed_at: None,
+        });
+        Ok(())
+    }
+
+    /// Clear a finished job (after the driver has taken the interrupt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job has not completed.
+    pub fn retire_job(&mut self) {
+        let job = self.job.take().expect("no job to retire");
+        assert!(
+            job.completed_at.is_some(),
+            "retire_job called on an unfinished transfer"
+        );
+        self.stats.jobs_done += 1;
+    }
+
+    /// Advance one engine cycle.
+    pub fn tick(&mut self) {
+        let now = self.clock;
+        self.clock += 1;
+        let Some(job) = &mut self.job else { return };
+        if job.completed_at.is_some() {
+            return;
+        }
+        self.stats.busy_cycles += 1;
+
+        // (5) Preprocessing unit: transpose completed reads.
+        for _ in 0..self.cfg.preproc_lines_per_cycle {
+            match job.transpose_q.pop_front() {
+                Some(p) => job.write_ready.push_back(p),
+                None => break,
+            }
+        }
+
+        // (6)-(7) Issue writes toward the destination space.
+        for _ in 0..self.cfg.issue_width {
+            if self.outbox.len() >= self.outbox_cap {
+                break;
+            }
+            let Some(p) = job.write_ready.pop_front() else { break };
+            let spaced = self.mapper.map(p.dst);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.outbox.push_back(DceRequest {
+                space: spaced.space,
+                req: MemRequest::write(id, p.dst, spaced.addr, SourceId(DCE_SOURCE)),
+            });
+            job.inflight_writes += 1;
+            self.stats.writes_issued += 1;
+        }
+
+        // (1)-(3) Issue reads while the data buffer has room.
+        let max_inflight = match job.sched.mode() {
+            DceMode::Coarse => self.cfg.coarse_inflight_lines as usize,
+            DceMode::PimMs => self.cfg.data_buffer_lines() as usize,
+        };
+        let mut stalled_on_buffer = false;
+        for _ in 0..self.cfg.issue_width {
+            if self.outbox.len() >= self.outbox_cap {
+                break;
+            }
+            if job.buffer_used >= self.cfg.data_buffer_lines() {
+                stalled_on_buffer = true;
+                break;
+            }
+            if job.inflight_reads.len() >= max_inflight {
+                break;
+            }
+            let Some(p) = job.sched.next_pair() else { break };
+            let spaced = self.mapper.map(p.src);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.outbox.push_back(DceRequest {
+                space: spaced.space,
+                req: MemRequest::read(id, p.src, spaced.addr, SourceId(DCE_SOURCE)),
+            });
+            job.inflight_reads.insert(id, p);
+            job.buffer_used += 1;
+            self.stats.reads_issued += 1;
+        }
+        if stalled_on_buffer {
+            self.stats.buffer_stall_cycles += 1;
+        }
+
+        // Completion check: every line written and nothing in flight.
+        if job.lines_written == job.total
+            && job.inflight_reads.is_empty()
+            && job.inflight_writes == 0
+            && job.transpose_q.is_empty()
+            && job.write_ready.is_empty()
+        {
+            job.completed_at = Some(now);
+        }
+    }
+
+    /// Feed a memory completion back into the engine.
+    pub fn on_completion(&mut self, c: Completion) {
+        let Some(job) = &mut self.job else { return };
+        if let Some(pair) = job.inflight_reads.remove(&c.id) {
+            // ❹ data buffered; queue for the preprocessing unit.
+            job.transpose_q.push_back(pair);
+        } else if job.inflight_writes > 0 {
+            // ❼ write burst done: free the buffer line.
+            job.inflight_writes -= 1;
+            job.buffer_used = job.buffer_used.saturating_sub(1);
+            job.lines_written += 1;
+            self.stats.lines_done += 1;
+        }
+    }
+
+    /// The transfer direction of the active job, if any.
+    pub fn active_kind(&self) -> Option<XferKind> {
+        self.job.as_ref().map(|j| j.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::AccessKind;
+    use pim_mapping::{Organization, PhysAddr};
+
+    fn setup() -> Dce {
+        let dram = Organization::ddr4_dimm(4, 2);
+        let pim = Organization::upmem_dimm(4, 2);
+        let het = HetMap::pim_mmu(dram, pim);
+        let space = PimAddrSpace::new(het.pim_base(), pim);
+        Dce::new(DceConfig::table1(), het, space)
+    }
+
+    /// A perfect memory: completes everything `latency` cycles later.
+    fn run_to_completion(dce: &mut Dce, latency: u64, max_cycles: u64) -> u64 {
+        let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+        for now in 0..max_cycles {
+            dce.tick();
+            while let Some(r) = dce.outbox_mut().pop_front() {
+                pending.push_back((
+                    now + latency,
+                    Completion {
+                        id: r.req.id,
+                        kind: r.req.kind,
+                        source: r.req.source,
+                        cycle: now + latency,
+                    },
+                ));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, c) = pending.pop_front().unwrap();
+                dce.on_completion(c);
+            }
+            if dce.completed_at().is_some() {
+                return now;
+            }
+        }
+        panic!("transfer did not complete in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn transfers_every_line_exactly_once() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim((0..32).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        let total = op.total_bytes() / 64;
+        dce.submit(op, DceMode::PimMs).unwrap();
+        run_to_completion(&mut dce, 20, 1_000_000);
+        assert_eq!(dce.stats().reads_issued, total);
+        assert_eq!(dce.stats().writes_issued, total);
+        assert_eq!(dce.stats().lines_done, total);
+        dce.retire_job();
+        assert!(!dce.busy());
+        assert_eq!(dce.stats().jobs_done, 1);
+    }
+
+    #[test]
+    fn rejects_double_submit() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 64, 0);
+        dce.submit(op.clone(), DceMode::PimMs).unwrap();
+        assert_eq!(dce.submit(op, DceMode::PimMs), Err(OpError::EngineBusy));
+    }
+
+    #[test]
+    fn buffer_capacity_bounds_inflight_lines() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim((0..64).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        dce.submit(op, DceMode::PimMs).unwrap();
+        // Never complete anything: reads pile up until the buffer is full.
+        for _ in 0..10_000 {
+            dce.tick();
+            dce.outbox_mut().clear();
+        }
+        let lines = dce.config().data_buffer_lines() as u64;
+        assert_eq!(dce.stats().reads_issued, lines);
+        assert!(dce.stats().buffer_stall_cycles > 0);
+    }
+
+    #[test]
+    fn coarse_mode_pipelines_shallowly() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim((0..64).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        dce.submit(op, DceMode::Coarse).unwrap();
+        for _ in 0..10_000 {
+            dce.tick();
+            dce.outbox_mut().clear();
+        }
+        assert_eq!(
+            dce.stats().reads_issued,
+            dce.config().coarse_inflight_lines as u64
+        );
+    }
+
+    #[test]
+    fn dram_to_pim_reads_dram_writes_pim() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 5)], 128, 0);
+        dce.submit(op, DceMode::PimMs).unwrap();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut pending = VecDeque::new();
+        for now in 0..10_000u64 {
+            dce.tick();
+            while let Some(r) = dce.outbox_mut().pop_front() {
+                match r.req.kind {
+                    AccessKind::Read => reads.push(r),
+                    AccessKind::Write => writes.push(r),
+                }
+                pending.push_back((
+                    now + 10,
+                    Completion {
+                        id: r.req.id,
+                        kind: r.req.kind,
+                        source: r.req.source,
+                        cycle: now + 10,
+                    },
+                ));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, c) = pending.pop_front().unwrap();
+                dce.on_completion(c);
+            }
+            if dce.completed_at().is_some() {
+                break;
+            }
+        }
+        assert!(dce.completed_at().is_some());
+        assert!(reads.iter().all(|r| r.space == MemSpace::Dram));
+        assert!(writes.iter().all(|w| w.space == MemSpace::Pim));
+        assert_eq!(writes.len(), 2);
+    }
+
+    #[test]
+    fn pim_to_dram_reverses_spaces() {
+        let mut dce = setup();
+        let op = PimMmuOp::from_pim([(PhysAddr(0), 5)], 128, 0);
+        dce.submit(op, DceMode::PimMs).unwrap();
+        dce.tick();
+        let first = dce.outbox_mut().pop_front().unwrap();
+        assert_eq!(first.req.kind, AccessKind::Read);
+        assert_eq!(first.space, MemSpace::Pim);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished")]
+    fn cannot_retire_running_job() {
+        let mut dce = setup();
+        dce.submit(PimMmuOp::to_pim([(PhysAddr(0), 0)], 64, 0), DceMode::PimMs)
+            .unwrap();
+        dce.retire_job();
+    }
+}

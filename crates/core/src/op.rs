@@ -1,0 +1,177 @@
+//! The `pim_mmu_op` descriptor and `pim_mmu_transfer` argument validation
+//! (paper Fig. 10(b)).
+
+use pim_mapping::{PhysAddr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction (`ops.type` in Fig. 10(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum XferKind {
+    /// `DRAM_to_PIM`.
+    DramToPim,
+    /// `PIM_to_DRAM`.
+    PimToDram,
+}
+
+/// Errors rejected by `pim_mmu_transfer` before anything is offloaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// `size_per_pim` is zero or not 64 B-aligned.
+    BadSize(u64),
+    /// The source/destination arrays are empty.
+    Empty,
+    /// A PIM core id appears twice (per-core chunks must be mutually
+    /// exclusive — the property PIM-MS relies on, §IV-D).
+    DuplicateCore(u32),
+    /// More per-core entries than the 64 KB address buffer can hold.
+    AddressBufferOverflow {
+        /// Entries requested.
+        requested: usize,
+        /// Entries available.
+        capacity: usize,
+    },
+    /// The engine is already executing a transfer (the driver serializes
+    /// ops; a second `pim_mmu_transfer` must wait for the interrupt).
+    EngineBusy,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::BadSize(s) => write!(f, "size_per_pim {s} must be a nonzero multiple of 64"),
+            OpError::Empty => f.write_str("transfer has no per-core entries"),
+            OpError::DuplicateCore(c) => write!(f, "PIM core {c} designated twice"),
+            OpError::AddressBufferOverflow {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "{requested} entries exceed the address buffer capacity of {capacity}"
+            ),
+            OpError::EngineBusy => f.write_str("the DCE is already executing a transfer"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// The descriptor handed to `pim_mmu_transfer` (Fig. 10(b) lines 18-23):
+/// direction, per-core transfer size, the DRAM-side base address of each
+/// per-core chunk, the destination (or source) PIM core ids, and the MRAM
+/// heap offset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimMmuOp {
+    /// Transfer direction.
+    pub kind: XferKind,
+    /// Bytes moved per PIM core (`ops.size_per_pim`).
+    pub size_per_pim: u64,
+    /// `(dram_addr, pim_core)` pairs: `ops.dram_addr_arr` zipped with
+    /// `ops.pim_id_arr`.
+    pub entries: Vec<(PhysAddr, u32)>,
+    /// Offset from `DPU_MRAM_HEAP_POINTER_NAME` (`ops.pim_base_heap_ptr`).
+    pub heap_offset: u64,
+}
+
+impl PimMmuOp {
+    /// Build a DRAM→PIM descriptor.
+    pub fn to_pim(
+        entries: impl IntoIterator<Item = (PhysAddr, u32)>,
+        size_per_pim: u64,
+        heap_offset: u64,
+    ) -> Self {
+        PimMmuOp {
+            kind: XferKind::DramToPim,
+            size_per_pim,
+            entries: entries.into_iter().collect(),
+            heap_offset,
+        }
+    }
+
+    /// Build a PIM→DRAM descriptor.
+    pub fn from_pim(
+        entries: impl IntoIterator<Item = (PhysAddr, u32)>,
+        size_per_pim: u64,
+        heap_offset: u64,
+    ) -> Self {
+        PimMmuOp {
+            kind: XferKind::PimToDram,
+            size_per_pim,
+            entries: entries.into_iter().collect(),
+            heap_offset,
+        }
+    }
+
+    /// Total bytes this op moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.size_per_pim * self.entries.len() as u64
+    }
+
+    /// Validate against the address-buffer capacity.
+    ///
+    /// # Errors
+    ///
+    /// See [`OpError`].
+    pub fn validate(&self, addr_buffer_entries: usize) -> Result<(), OpError> {
+        if self.size_per_pim == 0 || self.size_per_pim % LINE_BYTES != 0 {
+            return Err(OpError::BadSize(self.size_per_pim));
+        }
+        if self.entries.is_empty() {
+            return Err(OpError::Empty);
+        }
+        if self.entries.len() > addr_buffer_entries {
+            return Err(OpError::AddressBufferOverflow {
+                requested: self.entries.len(),
+                capacity: addr_buffer_entries,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(_, core) in &self.entries {
+            if !seen.insert(core) {
+                return Err(OpError::DuplicateCore(core));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_op_passes() {
+        let op = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        assert_eq!(op.total_bytes(), 8 * 4096);
+        assert!(op.validate(4096).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 100, 0);
+        assert_eq!(op.validate(10), Err(OpError::BadSize(100)));
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 0, 0);
+        assert_eq!(op.validate(10), Err(OpError::BadSize(0)));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 3), (PhysAddr(64), 3)], 64, 0);
+        assert_eq!(op.validate(10), Err(OpError::DuplicateCore(3)));
+        let op = PimMmuOp::from_pim(std::iter::empty(), 64, 0);
+        assert_eq!(op.validate(10), Err(OpError::Empty));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let op = PimMmuOp::to_pim((0..100).map(|i| (PhysAddr(i * 64), i as u32)), 64, 0);
+        assert!(matches!(
+            op.validate(64),
+            Err(OpError::AddressBufferOverflow {
+                requested: 100,
+                capacity: 64
+            })
+        ));
+        // Error messages are human-readable.
+        assert!(op.validate(64).unwrap_err().to_string().contains("64"));
+    }
+}

@@ -1,0 +1,86 @@
+//! CPU cluster configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the host processor model.
+///
+/// Defaults follow Table I: 8 cores at 3.2 GHz, 4-wide out-of-order with a
+/// 224-entry instruction window and 64 MSHRs per core; 8 MB shared 16-way
+/// LLC with 64 B lines; round-robin OS scheduling with a 1.5 ms quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores.
+    pub cores: u32,
+    /// Core clock in MHz (3200 = 3.2 GHz).
+    pub freq_mhz: u64,
+    /// Dispatch/retire width.
+    pub width: u32,
+    /// Instruction window entries.
+    pub window: u32,
+    /// Miss-status holding registers (outstanding cacheable misses) per core.
+    pub mshrs: u32,
+    /// Maximum outstanding non-cacheable (PIM-space) loads per core.
+    /// Uncacheable reads are strongly ordered on x86, which is one of the
+    /// reasons baseline PIM→DRAM transfers read PIM so slowly.
+    pub uc_loads: u32,
+    /// Maximum outstanding stores per core (write-combining buffers).
+    pub store_buffer: u32,
+    /// LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: u32,
+    /// LLC hit latency in core cycles.
+    pub llc_latency: u32,
+    /// OS scheduling quantum in core cycles (1.5 ms at 3.2 GHz).
+    pub quantum_cycles: u64,
+    /// Context-switch penalty in core cycles.
+    pub ctx_switch_cycles: u64,
+}
+
+impl CpuConfig {
+    /// The paper's Table I configuration.
+    pub fn table1() -> Self {
+        CpuConfig {
+            cores: 8,
+            freq_mhz: 3200,
+            width: 4,
+            window: 224,
+            mshrs: 64,
+            uc_loads: 4,
+            store_buffer: 20,
+            llc_bytes: 8 << 20,
+            llc_ways: 16,
+            llc_latency: 30,
+            quantum_cycles: 4_800_000, // 1.5 ms * 3.2 GHz
+            ctx_switch_cycles: 6_400,  // ~2 us
+        }
+    }
+
+    /// Core clock period in picoseconds.
+    pub fn period_ps(&self) -> u64 {
+        1_000_000 / self.freq_mhz
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = CpuConfig::table1();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.window, 224);
+        assert_eq!(c.mshrs, 64);
+        assert_eq!(c.period_ps(), 312); // 3.2 GHz, integer ps
+        // 1.5 ms quantum.
+        let quantum_ms = c.quantum_cycles as f64 / (c.freq_mhz as f64 * 1e3);
+        assert!((quantum_ms - 1.5).abs() < 1e-9);
+    }
+}

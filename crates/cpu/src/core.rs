@@ -1,0 +1,477 @@
+//! The out-of-order core model (4-wide, 224-entry window, 64 MSHRs).
+//!
+//! Following Ramulator's trace-driven CPU: non-memory instructions occupy
+//! a window slot and complete immediately; loads occupy a slot until their
+//! data returns (from the LLC or memory); stores are posted. The window
+//! retires in order, up to `width` per cycle, so a long-latency load at
+//! the head eventually stalls the core — which is exactly how limited MLP
+//! throttles the software DRAM↔PIM copy loop.
+
+use crate::config::CpuConfig;
+use crate::trace::TraceOp;
+use pim_mapping::PhysAddr;
+use std::collections::{HashMap, VecDeque};
+
+/// What the core asks the memory side (cluster) to do for one op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOutcome {
+    /// LLC hit: data after the hit latency, no memory traffic.
+    LlcHit,
+    /// Sent to memory with this request id.
+    Sent(u64),
+    /// Resources exhausted (outbox full); retry next cycle.
+    Rejected,
+}
+
+/// The memory-side services a [`Core`] needs each cycle; implemented by
+/// the cluster, which owns the LLC, the HetMap and the outbox.
+pub trait MemPort {
+    /// Attempt a 64 B load. `cacheable` loads probe the LLC first.
+    fn load(&mut self, core: u32, addr: PhysAddr, cacheable: bool) -> MemOutcome;
+    /// Attempt a 64 B store (posted). Returns the request id or `Rejected`
+    /// (an LLC store hit returns `LlcHit` and produces no traffic).
+    fn store(&mut self, core: u32, addr: PhysAddr, cacheable: bool) -> MemOutcome;
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Outstanding {
+    CacheableLoad { seq: u64 },
+    UcLoad { seq: u64 },
+    Store,
+}
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Instructions retired (bubbles + memory ops).
+    pub retired: u64,
+    /// Memory loads issued past the LLC.
+    pub loads_to_mem: u64,
+    /// Stores issued past the LLC.
+    pub stores_to_mem: u64,
+    /// Cycles where at least one instruction dispatched or the window was
+    /// non-empty (used for "active core" accounting, Fig. 4).
+    pub busy_cycles: u64,
+}
+
+/// A single out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    id: u32,
+    cfg: CpuConfig,
+    /// In-order window: `true` once the slot's instruction completed.
+    window: VecDeque<bool>,
+    head_seq: u64,
+    next_seq: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    mshr_used: u32,
+    uc_used: u32,
+    stores_used: u32,
+    bubbles_left: u32,
+    stalled_op: Option<TraceOp>,
+    /// (ready_cycle, seq) of pending LLC hits, FIFO (fixed latency).
+    llc_returns: VecDeque<(u64, u64)>,
+    /// Dispatch blocked until this cycle (context switches).
+    pub stall_until: u64,
+    /// Statistics.
+    pub stats: CoreStats,
+}
+
+impl Core {
+    /// Create core `id` with the given configuration.
+    pub fn new(id: u32, cfg: CpuConfig) -> Self {
+        Core {
+            id,
+            cfg,
+            window: VecDeque::with_capacity(cfg.window as usize),
+            head_seq: 0,
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            mshr_used: 0,
+            uc_used: 0,
+            stores_used: 0,
+            bubbles_left: 0,
+            stalled_op: None,
+            llc_returns: VecDeque::new(),
+            stall_until: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Whether the window and all outstanding state are empty.
+    pub fn drained(&self) -> bool {
+        self.window.is_empty() && self.outstanding.is_empty() && self.stalled_op.is_none()
+    }
+
+    /// Hand back any op held back by a resource stall (plus unexecuted
+    /// bubbles) when the OS migrates a different thread onto this core:
+    /// the op belongs to the *thread* and must not be lost. The in-flight
+    /// window is allowed to drain naturally.
+    pub fn take_stalled_op(&mut self) -> Option<TraceOp> {
+        if self.bubbles_left > 0 {
+            let n = self.bubbles_left;
+            self.bubbles_left = 0;
+            debug_assert!(self.stalled_op.is_none(), "bubbles and stalled op never coexist");
+            return Some(TraceOp::Bubbles(n));
+        }
+        self.stalled_op.take()
+    }
+
+    fn mark_done(&mut self, seq: u64) {
+        let idx = (seq - self.head_seq) as usize;
+        if let Some(slot) = self.window.get_mut(idx) {
+            *slot = true;
+        }
+    }
+
+    /// Route a memory completion (read data or posted-store retirement)
+    /// back into the window. Unknown ids are ignored (they belong to
+    /// another core or to LLC writebacks).
+    pub fn on_completion(&mut self, id: u64) {
+        match self.outstanding.remove(&id) {
+            Some(Outstanding::CacheableLoad { seq }) => {
+                self.mshr_used -= 1;
+                self.mark_done(seq);
+            }
+            Some(Outstanding::UcLoad { seq }) => {
+                self.uc_used -= 1;
+                self.mark_done(seq);
+            }
+            Some(Outstanding::Store) => {
+                self.stores_used -= 1;
+            }
+            None => {}
+        }
+    }
+
+    /// Execute one core cycle: retire, then dispatch from `stream_op`
+    /// (a pull-based source for the current thread's ops; `None` = no
+    /// thread or thread exhausted). Returns the number of instructions
+    /// retired this cycle.
+    pub fn tick<F>(&mut self, now: u64, mem: &mut dyn MemPort, mut stream_op: F) -> u32
+    where
+        F: FnMut() -> Option<TraceOp>,
+    {
+        // LLC hit data returns.
+        while let Some(&(t, seq)) = self.llc_returns.front() {
+            if t > now {
+                break;
+            }
+            self.llc_returns.pop_front();
+            self.mark_done(seq);
+        }
+
+        // Retire in order.
+        let mut retired = 0;
+        while retired < self.cfg.width {
+            match self.window.front() {
+                Some(true) => {
+                    self.window.pop_front();
+                    self.head_seq += 1;
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+        self.stats.retired += retired as u64;
+
+        // Dispatch.
+        let mut dispatched = 0;
+        if now >= self.stall_until {
+            while dispatched < self.cfg.width && (self.window.len() as u32) < self.cfg.window {
+                if self.bubbles_left > 0 {
+                    self.bubbles_left -= 1;
+                    self.window.push_back(true);
+                    self.next_seq += 1;
+                    dispatched += 1;
+                    continue;
+                }
+                let op = match self.stalled_op.take().or_else(&mut stream_op) {
+                    Some(op) => op,
+                    None => break,
+                };
+                match op {
+                    TraceOp::Bubbles(n) => {
+                        self.bubbles_left = n;
+                        // Consumed on the next loop iteration(s).
+                        if n == 0 {
+                            continue;
+                        }
+                    }
+                    TraceOp::Load { addr, cacheable } => {
+                        let room = if cacheable {
+                            self.mshr_used < self.cfg.mshrs
+                        } else {
+                            self.uc_used < self.cfg.uc_loads
+                        };
+                        if !room {
+                            self.stalled_op = Some(op);
+                            break;
+                        }
+                        match mem.load(self.id, addr, cacheable) {
+                            MemOutcome::LlcHit => {
+                                let seq = self.next_seq;
+                                self.window.push_back(false);
+                                self.next_seq += 1;
+                                self.llc_returns
+                                    .push_back((now + self.cfg.llc_latency as u64, seq));
+                                dispatched += 1;
+                            }
+                            MemOutcome::Sent(id) => {
+                                let seq = self.next_seq;
+                                self.window.push_back(false);
+                                self.next_seq += 1;
+                                let o = if cacheable {
+                                    self.mshr_used += 1;
+                                    Outstanding::CacheableLoad { seq }
+                                } else {
+                                    self.uc_used += 1;
+                                    Outstanding::UcLoad { seq }
+                                };
+                                self.outstanding.insert(id, o);
+                                self.stats.loads_to_mem += 1;
+                                dispatched += 1;
+                            }
+                            MemOutcome::Rejected => {
+                                self.stalled_op = Some(op);
+                                break;
+                            }
+                        }
+                    }
+                    TraceOp::Store { addr, cacheable } => {
+                        if self.stores_used >= self.cfg.store_buffer {
+                            self.stalled_op = Some(op);
+                            break;
+                        }
+                        match mem.store(self.id, addr, cacheable) {
+                            MemOutcome::LlcHit => {
+                                self.window.push_back(true);
+                                self.next_seq += 1;
+                                dispatched += 1;
+                            }
+                            MemOutcome::Sent(id) => {
+                                self.stores_used += 1;
+                                self.outstanding.insert(id, Outstanding::Store);
+                                self.stats.stores_to_mem += 1;
+                                // Posted: the slot completes immediately.
+                                self.window.push_back(true);
+                                self.next_seq += 1;
+                                dispatched += 1;
+                            }
+                            MemOutcome::Rejected => {
+                                self.stalled_op = Some(op);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if dispatched > 0 || !self.window.is_empty() {
+            self.stats.busy_cycles += 1;
+        }
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A MemPort with scriptable behavior.
+    struct FakeMem {
+        next_id: u64,
+        reject: bool,
+        llc_hit: bool,
+        sent: Vec<(PhysAddr, bool)>,
+    }
+
+    impl FakeMem {
+        fn new() -> Self {
+            FakeMem {
+                next_id: 0,
+                reject: false,
+                llc_hit: false,
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl MemPort for FakeMem {
+        fn load(&mut self, _c: u32, addr: PhysAddr, cacheable: bool) -> MemOutcome {
+            if self.reject {
+                return MemOutcome::Rejected;
+            }
+            if self.llc_hit && cacheable {
+                return MemOutcome::LlcHit;
+            }
+            self.sent.push((addr, cacheable));
+            self.next_id += 1;
+            MemOutcome::Sent(self.next_id - 1)
+        }
+        fn store(&mut self, _c: u32, addr: PhysAddr, cacheable: bool) -> MemOutcome {
+            if self.reject {
+                return MemOutcome::Rejected;
+            }
+            self.sent.push((addr, cacheable));
+            self.next_id += 1;
+            MemOutcome::Sent(self.next_id - 1)
+        }
+    }
+
+    fn cfg() -> CpuConfig {
+        CpuConfig::table1()
+    }
+
+    #[test]
+    fn bubbles_retire_at_width() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        let mut ops = vec![TraceOp::Bubbles(40)].into_iter();
+        let mut retired = 0;
+        for now in 0..30 {
+            retired += core.tick(now, &mut mem, || ops.next());
+        }
+        // 40 bubbles at width 4: all retired within 30 cycles.
+        assert_eq!(retired, 40);
+    }
+
+    #[test]
+    fn load_blocks_retirement_until_completion() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        let mut ops = vec![
+            TraceOp::Load {
+                addr: PhysAddr(0),
+                cacheable: true,
+            },
+            TraceOp::Bubbles(8),
+        ]
+        .into_iter();
+        let mut retired = 0;
+        for now in 0..20 {
+            retired += core.tick(now, &mut mem, || ops.next());
+        }
+        // The load heads the window: nothing retires.
+        assert_eq!(retired, 0);
+        assert_eq!(mem.sent.len(), 1);
+        core.on_completion(0);
+        let mut total = 0;
+        for now in 20..30 {
+            total += core.tick(now, &mut mem, || None);
+        }
+        assert_eq!(total, 9); // load + 8 bubbles
+        assert!(core.drained());
+    }
+
+    #[test]
+    fn uc_load_limit_throttles_pim_reads() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        let mk = |i: u64| TraceOp::Load {
+            addr: PhysAddr(i * 64),
+            cacheable: false,
+        };
+        let mut i = 0u64;
+        for now in 0..50 {
+            core.tick(now, &mut mem, || {
+                i += 1;
+                Some(mk(i))
+            });
+        }
+        // Only uc_loads (4) may be outstanding.
+        assert_eq!(mem.sent.len() as u32, cfg().uc_loads);
+    }
+
+    #[test]
+    fn cacheable_loads_overlap_up_to_mshrs() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        let mut i = 0u64;
+        for now in 0..200 {
+            core.tick(now, &mut mem, || {
+                i += 1;
+                Some(TraceOp::Load {
+                    addr: PhysAddr(i * 64),
+                    cacheable: true,
+                })
+            });
+        }
+        // Bounded by MSHRs (64) and window (224): with loads only, MSHRs
+        // bind first.
+        assert_eq!(mem.sent.len() as u32, cfg().mshrs);
+    }
+
+    #[test]
+    fn stores_are_posted_and_bounded() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        let mut i = 0u64;
+        let mut retired = 0;
+        for now in 0..100 {
+            retired += core.tick(now, &mut mem, || {
+                i += 1;
+                Some(TraceOp::Store {
+                    addr: PhysAddr(i * 64),
+                    cacheable: false,
+                })
+            });
+        }
+        // Store buffer caps outstanding stores...
+        assert_eq!(mem.sent.len() as u32, cfg().store_buffer);
+        // ...but those issued retired immediately.
+        assert_eq!(retired as u32, cfg().store_buffer);
+        core.on_completion(0);
+        core.tick(1000, &mut mem, || None);
+        assert_eq!(mem.sent.len() as u32, cfg().store_buffer + 1);
+    }
+
+    #[test]
+    fn rejection_stalls_without_losing_ops() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        mem.reject = true;
+        let mut served = 0;
+        core.tick(0, &mut mem, || {
+            served += 1;
+            Some(TraceOp::Load {
+                addr: PhysAddr(64),
+                cacheable: true,
+            })
+        });
+        assert_eq!(served, 1);
+        assert!(mem.sent.is_empty());
+        mem.reject = false;
+        core.tick(1, &mut mem, || None);
+        assert_eq!(mem.sent.len(), 1, "stalled op must replay");
+    }
+
+    #[test]
+    fn llc_hits_complete_after_hit_latency() {
+        let mut core = Core::new(0, cfg());
+        let mut mem = FakeMem::new();
+        mem.llc_hit = true;
+        let mut ops = vec![TraceOp::Load {
+            addr: PhysAddr(0),
+            cacheable: true,
+        }]
+        .into_iter();
+        let mut retired_at = None;
+        for now in 0..100 {
+            let r = core.tick(now, &mut mem, || ops.next());
+            if r > 0 && retired_at.is_none() {
+                retired_at = Some(now);
+            }
+        }
+        // Dispatched at cycle 0, data at `lat`, retired the same cycle
+        // (returns are processed before retirement).
+        let lat = cfg().llc_latency as u64;
+        assert_eq!(retired_at, Some(lat));
+        assert!(mem.sent.is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! Trace generators: the software transfer loop, `memcpy`, and the
+//! contender workloads of Fig. 13.
+
+use crate::trace::{InstrStream, TraceOp};
+use pim_mapping::{PhysAddr, LINE_BYTES};
+
+/// Direction of a software DRAM↔PIM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XferDir {
+    /// Read DRAM, preprocess, write PIM.
+    DramToPim,
+    /// Read PIM, postprocess, write DRAM.
+    PimToDram,
+}
+
+/// A contiguous per-PIM-core copy chunk handled by one software thread.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyChunk {
+    /// Source base physical address.
+    pub src: PhysAddr,
+    /// Destination base physical address.
+    pub dst: PhysAddr,
+    /// Bytes to copy (multiple of 64).
+    pub bytes: u64,
+}
+
+/// The software `dpu_push_xfer` copy loop of one runtime thread
+/// (paper Fig. 5(b)/(c), §II-C): for every 64 B line of every assigned
+/// chunk, an AVX-512 load from the source, a handful of ALU instructions
+/// for the byte-transpose (Fig. 3), and an AVX-512 store to the
+/// destination. PIM-side accesses bypass the cache.
+#[derive(Debug)]
+pub struct XferStream {
+    dir: XferDir,
+    chunks: Vec<CopyChunk>,
+    chunk: usize,
+    offset: u64,
+    /// Pipeline stage within the current line: 0 = load, 1 = bubbles,
+    /// 2 = store.
+    stage: u8,
+    transpose_bubbles: u32,
+    label: String,
+}
+
+impl XferStream {
+    /// Default ALU work per 64 B line for the 8x8 byte transpose.
+    pub const DEFAULT_TRANSPOSE_BUBBLES: u32 = 12;
+
+    /// Build the copy loop over `chunks` (processed in order).
+    pub fn new(dir: XferDir, chunks: Vec<CopyChunk>, transpose_bubbles: u32) -> Self {
+        for c in &chunks {
+            assert!(
+                c.bytes % LINE_BYTES == 0,
+                "chunk size {} not a multiple of 64",
+                c.bytes
+            );
+        }
+        XferStream {
+            dir,
+            chunks,
+            chunk: 0,
+            offset: 0,
+            stage: 0,
+            transpose_bubbles,
+            label: format!("xfer-{dir:?}"),
+        }
+    }
+
+    /// Total bytes this stream will move.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+}
+
+impl InstrStream for XferStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        loop {
+            let c = *self.chunks.get(self.chunk)?;
+            if self.offset >= c.bytes {
+                self.chunk += 1;
+                self.offset = 0;
+                self.stage = 0;
+                continue;
+            }
+            let (src_cacheable, dst_cacheable) = match self.dir {
+                // DRAM reads go through the cache; PIM writes bypass it.
+                XferDir::DramToPim => (true, false),
+                // PIM reads bypass the cache; DRAM writes are non-temporal
+                // streaming stores (also bypassing), as in the runtime.
+                XferDir::PimToDram => (false, false),
+            };
+            let op = match self.stage {
+                0 => {
+                    self.stage = 1;
+                    TraceOp::Load {
+                        addr: c.src.offset(self.offset),
+                        cacheable: src_cacheable,
+                    }
+                }
+                1 => {
+                    self.stage = 2;
+                    TraceOp::Bubbles(self.transpose_bubbles)
+                }
+                _ => {
+                    let addr = c.dst.offset(self.offset);
+                    self.stage = 0;
+                    self.offset += LINE_BYTES;
+                    TraceOp::Store {
+                        addr,
+                        cacheable: dst_cacheable,
+                    }
+                }
+            };
+            return Some(op);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The multi-threaded AVX `memcpy` microbenchmark (§V): cacheable loads
+/// from the source region, non-temporal stores to the destination.
+#[derive(Debug)]
+pub struct MemcpyStream {
+    inner: XferStream,
+}
+
+impl MemcpyStream {
+    /// Copy `bytes` from `src` to `dst` (both in the DRAM space).
+    pub fn new(src: PhysAddr, dst: PhysAddr, bytes: u64) -> Self {
+        let mut inner = XferStream::new(
+            XferDir::DramToPim,
+            vec![CopyChunk { src, dst, bytes }],
+            // Plain memcpy has no transpose work: just loop overhead.
+            2,
+        );
+        inner.label = "memcpy".to_string();
+        MemcpyStream { inner }
+    }
+}
+
+impl InstrStream for MemcpyStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        self.inner.next_op()
+    }
+
+    fn label(&self) -> &str {
+        "memcpy"
+    }
+}
+
+/// A spin-lock-like, compute-bound contender (Fig. 13(a)): its memory
+/// accesses are "primarily captured at its on-chip caches", modeled as an
+/// unbounded bubble stream.
+#[derive(Debug, Default)]
+pub struct SpinStream;
+
+impl InstrStream for SpinStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        Some(TraceOp::Bubbles(4))
+    }
+
+    fn label(&self) -> &str {
+        "spinlock"
+    }
+}
+
+/// Memory-access intensity of a [`ContenderStream`] (Fig. 13(b) x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intensity {
+    /// ~1 memory instruction per 200 instructions.
+    Low,
+    /// ~1 per 50.
+    Medium,
+    /// ~1 per 10.
+    High,
+    /// ~1 per 2.
+    VeryHigh,
+}
+
+impl Intensity {
+    /// Bubbles inserted between consecutive memory accesses.
+    pub fn bubbles(self) -> u32 {
+        match self {
+            Intensity::Low => 200,
+            Intensity::Medium => 50,
+            Intensity::High => 10,
+            Intensity::VeryHigh => 2,
+        }
+    }
+
+    /// All levels, in the order of the paper's x-axis.
+    pub fn all() -> [Intensity; 4] {
+        [
+            Intensity::Low,
+            Intensity::Medium,
+            Intensity::High,
+            Intensity::VeryHigh,
+        ]
+    }
+}
+
+/// A memory-intensive contender thread: an unbounded stream of cacheable
+/// loads over a working set far larger than the LLC (so essentially every
+/// access reaches DRAM), with a tunable ratio of memory to non-memory
+/// instructions (paper: "which we tune by gradually increasing the ratio
+/// of memory instructions vs. non-memory instructions").
+#[derive(Debug)]
+pub struct ContenderStream {
+    base: PhysAddr,
+    span: u64,
+    intensity: Intensity,
+    // xorshift state for a cheap deterministic address sequence.
+    rng: u64,
+    emit_load: bool,
+}
+
+impl ContenderStream {
+    /// Roam over `[base, base + span)` with the given intensity. `seed`
+    /// decorrelates multiple contenders.
+    pub fn new(base: PhysAddr, span: u64, intensity: Intensity, seed: u64) -> Self {
+        ContenderStream {
+            base,
+            span: span.max(LINE_BYTES),
+            intensity,
+            rng: seed | 1,
+            emit_load: false,
+        }
+    }
+
+    fn next_addr(&mut self) -> PhysAddr {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let r = x.wrapping_mul(0x2545F4914F6CDD1D);
+        let lines = self.span / LINE_BYTES;
+        PhysAddr(self.base.0 + (r % lines) * LINE_BYTES)
+    }
+}
+
+impl InstrStream for ContenderStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.emit_load {
+            self.emit_load = false;
+            Some(TraceOp::Load {
+                addr: self.next_addr(),
+                cacheable: true,
+            })
+        } else {
+            self.emit_load = true;
+            Some(TraceOp::Bubbles(self.intensity.bubbles()))
+        }
+    }
+
+    fn label(&self) -> &str {
+        "mem-contender"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xfer_emits_load_bubble_store_per_line() {
+        let mut s = XferStream::new(
+            XferDir::DramToPim,
+            vec![CopyChunk {
+                src: PhysAddr(0),
+                dst: PhysAddr(1 << 20),
+                bytes: 128,
+            }],
+            7,
+        );
+        let ops: Vec<TraceOp> = std::iter::from_fn(|| s.next_op()).collect();
+        assert_eq!(ops.len(), 6); // 2 lines x (load, bubbles, store)
+        assert_eq!(
+            ops[0],
+            TraceOp::Load {
+                addr: PhysAddr(0),
+                cacheable: true
+            }
+        );
+        assert_eq!(ops[1], TraceOp::Bubbles(7));
+        assert_eq!(
+            ops[2],
+            TraceOp::Store {
+                addr: PhysAddr(1 << 20),
+                cacheable: false
+            }
+        );
+        assert_eq!(
+            ops[3],
+            TraceOp::Load {
+                addr: PhysAddr(64),
+                cacheable: true
+            }
+        );
+    }
+
+    #[test]
+    fn pim_to_dram_reads_are_uncacheable() {
+        let mut s = XferStream::new(
+            XferDir::PimToDram,
+            vec![CopyChunk {
+                src: PhysAddr(32 << 30),
+                dst: PhysAddr(0),
+                bytes: 64,
+            }],
+            1,
+        );
+        match s.next_op().unwrap() {
+            TraceOp::Load { cacheable, .. } => assert!(!cacheable),
+            other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xfer_walks_all_chunks() {
+        let chunks: Vec<CopyChunk> = (0..4)
+            .map(|i| CopyChunk {
+                src: PhysAddr(i * 4096),
+                dst: PhysAddr((32 << 30) + i * 4096),
+                bytes: 256,
+            })
+            .collect();
+        let mut s = XferStream::new(XferDir::DramToPim, chunks, 3);
+        assert_eq!(s.total_bytes(), 1024);
+        let stores = std::iter::from_fn(|| s.next_op())
+            .filter(|op| matches!(op, TraceOp::Store { .. }))
+            .count();
+        assert_eq!(stores as u64, 1024 / 64);
+    }
+
+    #[test]
+    fn spin_never_ends() {
+        let mut s = SpinStream;
+        for _ in 0..1000 {
+            assert!(matches!(s.next_op(), Some(TraceOp::Bubbles(_))));
+        }
+    }
+
+    #[test]
+    fn contender_respects_intensity_and_bounds() {
+        let mut s = ContenderStream::new(PhysAddr(0), 1 << 30, Intensity::VeryHigh, 42);
+        let mut loads = 0;
+        let mut bubbles = 0u64;
+        for _ in 0..2000 {
+            match s.next_op().unwrap() {
+                TraceOp::Load { addr, cacheable } => {
+                    assert!(cacheable);
+                    assert!(addr.0 < 1 << 30);
+                    assert_eq!(addr.line_offset(), 0);
+                    loads += 1;
+                }
+                TraceOp::Bubbles(n) => bubbles += n as u64,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(loads, 1000);
+        assert_eq!(bubbles, 1000 * Intensity::VeryHigh.bubbles() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn rejects_ragged_chunks() {
+        XferStream::new(
+            XferDir::DramToPim,
+            vec![CopyChunk {
+                src: PhysAddr(0),
+                dst: PhysAddr(0),
+                bytes: 100,
+            }],
+            1,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Instruction traces as lazy streams.
+
+use pim_mapping::PhysAddr;
+use std::fmt;
+
+/// One element of an instruction trace.
+///
+/// Memory operations move 64 B (one AVX-512 register's worth, one cache
+/// line, one DRAM burst); `cacheable: false` models accesses to the PIM
+/// address space (and non-temporal stores), which bypass the cache
+/// hierarchy (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` non-memory instructions.
+    Bubbles(u32),
+    /// A 64 B load.
+    Load {
+        /// Physical address (line-aligned by the generator).
+        addr: PhysAddr,
+        /// Whether it may be served by the LLC.
+        cacheable: bool,
+    },
+    /// A 64 B store.
+    Store {
+        /// Physical address (line-aligned by the generator).
+        addr: PhysAddr,
+        /// Whether it allocates in the LLC (`false` = non-temporal).
+        cacheable: bool,
+    },
+}
+
+/// A lazily generated instruction stream executed by a core.
+///
+/// Streams may be unbounded (e.g. spin-lock contenders); the OS scheduler
+/// keeps running them until the simulation ends.
+pub trait InstrStream: Send {
+    /// Produce the next trace element, or `None` when the thread exits.
+    fn next_op(&mut self) -> Option<TraceOp>;
+
+    /// Optional label for debugging/statistics.
+    fn label(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Classifies a thread for power accounting and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadKind {
+    /// A software DRAM↔PIM transfer thread (AVX-heavy: carries the AVX-512
+    /// power premium in the energy model).
+    Transfer,
+    /// A compute-bound (spin-lock-like) contender.
+    Compute,
+    /// A memory-intensive contender.
+    Memory,
+}
+
+/// A schedulable software thread: an instruction stream plus bookkeeping.
+pub struct Thread {
+    /// The instruction source.
+    pub stream: Box<dyn InstrStream>,
+    /// Classification for statistics/energy.
+    pub kind: ThreadKind,
+    /// Whether the stream has ended.
+    pub finished: bool,
+    /// Core cycle at which the thread finished (if it did).
+    pub finished_at: Option<u64>,
+    /// Instructions retired on behalf of this thread.
+    pub retired: u64,
+    /// An op pulled from the stream but handed back by a core at a
+    /// context switch (must execute before the stream continues).
+    pub pending: Option<TraceOp>,
+}
+
+impl Thread {
+    /// Wrap a stream as a runnable thread.
+    pub fn new(stream: Box<dyn InstrStream>, kind: ThreadKind) -> Self {
+        Thread {
+            stream,
+            kind,
+            finished: false,
+            finished_at: None,
+            retired: 0,
+            pending: None,
+        }
+    }
+
+    /// Pull the next op: the handed-back pending op first, then the
+    /// stream.
+    pub fn pull(&mut self) -> Option<TraceOp> {
+        self.pending.take().or_else(|| self.stream.next_op())
+    }
+}
+
+impl fmt::Debug for Thread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Thread")
+            .field("label", &self.stream.label())
+            .field("kind", &self.kind)
+            .field("finished", &self.finished)
+            .field("retired", &self.retired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Three(u32);
+    impl InstrStream for Three {
+        fn next_op(&mut self) -> Option<TraceOp> {
+            if self.0 == 0 {
+                None
+            } else {
+                self.0 -= 1;
+                Some(TraceOp::Bubbles(1))
+            }
+        }
+    }
+
+    #[test]
+    fn thread_wraps_stream() {
+        let mut t = Thread::new(Box::new(Three(3)), ThreadKind::Compute);
+        let mut n = 0;
+        while t.stream.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(!t.finished);
+        assert_eq!(t.stream.label(), "anonymous");
+        assert!(format!("{t:?}").contains("Compute"));
+    }
+}

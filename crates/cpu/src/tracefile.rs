@@ -1,0 +1,258 @@
+//! Ramulator-compatible instruction-trace file I/O.
+//!
+//! The paper feeds gcc-compiled `dpu_push_xfer` instruction traces into
+//! Ramulator's CPU-trace mode (§V). This module reads and writes the same
+//! family of text formats so externally captured traces can drive our
+//! cores, and our generated streams can drive Ramulator:
+//!
+//! * CPU trace: `<num-bubbles> <read-addr> [<writeback-addr>]` per line;
+//! * extended form used here: a leading `L`/`S`/`U`/`V` selects
+//!   cacheable load/store vs uncacheable (PIM-space) load/store for the
+//!   address, since DRAM↔PIM traces must distinguish the two.
+//!
+//! Lines starting with `#` are comments.
+
+use crate::trace::{InstrStream, TraceOp};
+use pim_mapping::PhysAddr;
+use std::io::{BufRead, Write};
+
+/// A parse error with its line number.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parse a trace from a reader into a flat op list.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed lines.
+pub fn parse_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ParseTraceError {
+            line: i + 1,
+            msg: e.to_string(),
+        })?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split_whitespace().peekable();
+        let err = |msg: &str| ParseTraceError {
+            line: i + 1,
+            msg: msg.to_string(),
+        };
+        // Optional op-kind tag.
+        let (kind, rest_first) = match *fields.peek().ok_or_else(|| err("empty line"))? {
+            k @ ("L" | "S" | "U" | "V") => {
+                fields.next();
+                (Some(k), None)
+            }
+            other => (None, Some(other)),
+        };
+        let _ = rest_first;
+        let bubbles: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing bubble count"))?
+            .parse()
+            .map_err(|_| err("bad bubble count"))?;
+        if bubbles > 0 {
+            ops.push(TraceOp::Bubbles(bubbles));
+        }
+        if let Some(addr_s) = fields.next() {
+            let addr = parse_addr(addr_s).ok_or_else(|| err("bad address"))?;
+            let op = match kind {
+                Some("S") => TraceOp::Store {
+                    addr,
+                    cacheable: true,
+                },
+                Some("U") => TraceOp::Load {
+                    addr,
+                    cacheable: false,
+                },
+                Some("V") => TraceOp::Store {
+                    addr,
+                    cacheable: false,
+                },
+                // Plain Ramulator lines are loads.
+                _ => TraceOp::Load {
+                    addr,
+                    cacheable: true,
+                },
+            };
+            ops.push(op);
+            // Optional writeback address (Ramulator's third column).
+            if let Some(wb) = fields.next() {
+                let addr = parse_addr(wb).ok_or_else(|| err("bad writeback address"))?;
+                ops.push(TraceOp::Store {
+                    addr,
+                    cacheable: true,
+                });
+            }
+        }
+    }
+    Ok(ops)
+}
+
+fn parse_addr(s: &str) -> Option<PhysAddr> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse().ok()?
+    };
+    Some(PhysAddr(v))
+}
+
+/// Serialize a stream to the extended text format.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn write_trace<W: Write>(mut w: W, stream: &mut dyn InstrStream) -> std::io::Result<u64> {
+    let mut pending_bubbles: u32 = 0;
+    let mut lines = 0u64;
+    while let Some(op) = stream.next_op() {
+        match op {
+            TraceOp::Bubbles(n) => pending_bubbles += n,
+            TraceOp::Load { addr, cacheable } => {
+                let tag = if cacheable { "L" } else { "U" };
+                writeln!(w, "{tag} {pending_bubbles} 0x{:x}", addr.0)?;
+                pending_bubbles = 0;
+                lines += 1;
+            }
+            TraceOp::Store { addr, cacheable } => {
+                let tag = if cacheable { "S" } else { "V" };
+                writeln!(w, "{tag} {pending_bubbles} 0x{:x}", addr.0)?;
+                pending_bubbles = 0;
+                lines += 1;
+            }
+        }
+    }
+    if pending_bubbles > 0 {
+        writeln!(w, "L {pending_bubbles}")?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Replay a parsed op list as an [`InstrStream`].
+#[derive(Debug)]
+pub struct ReplayStream {
+    ops: std::vec::IntoIter<TraceOp>,
+    label: String,
+}
+
+impl ReplayStream {
+    /// Wrap a parsed op list.
+    pub fn new(ops: Vec<TraceOp>, label: impl Into<String>) -> Self {
+        ReplayStream {
+            ops: ops.into_iter(),
+            label: label.into(),
+        }
+    }
+}
+
+impl InstrStream for ReplayStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        self.ops.next()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::{CopyChunk, XferDir, XferStream};
+
+    #[test]
+    fn parses_plain_ramulator_lines() {
+        let txt = "# comment\n12 0x1000\n3 0x2000 0x3000\n";
+        let ops = parse_trace(txt.as_bytes()).expect("parse");
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Bubbles(12),
+                TraceOp::Load {
+                    addr: PhysAddr(0x1000),
+                    cacheable: true
+                },
+                TraceOp::Bubbles(3),
+                TraceOp::Load {
+                    addr: PhysAddr(0x2000),
+                    cacheable: true
+                },
+                TraceOp::Store {
+                    addr: PhysAddr(0x3000),
+                    cacheable: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_extended_tags() {
+        let txt = "U 0 0x800000000\nV 5 4096\n";
+        let ops = parse_trace(txt.as_bytes()).expect("parse");
+        assert_eq!(
+            ops[0],
+            TraceOp::Load {
+                addr: PhysAddr(0x800000000),
+                cacheable: false
+            }
+        );
+        assert_eq!(ops[1], TraceOp::Bubbles(5));
+        assert_eq!(
+            ops[2],
+            TraceOp::Store {
+                addr: PhysAddr(4096),
+                cacheable: false
+            }
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let txt = "1 0x10\nnot-a-line\n";
+        let err = parse_trace(txt.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn roundtrips_the_copy_loop() {
+        let mut stream = XferStream::new(
+            XferDir::DramToPim,
+            vec![CopyChunk {
+                src: PhysAddr(0),
+                dst: PhysAddr(32 << 30),
+                bytes: 512,
+            }],
+            7,
+        );
+        let mut buf = Vec::new();
+        let lines = write_trace(&mut buf, &mut stream).expect("write");
+        assert_eq!(lines, 16); // 8 lines x (load + store)
+        let ops = parse_trace(&buf[..]).expect("reparse");
+        // Re-serialize: must be identical (canonical form).
+        let mut replay = ReplayStream::new(ops, "replay");
+        let mut buf2 = Vec::new();
+        write_trace(&mut buf2, &mut replay).expect("rewrite");
+        assert_eq!(buf, buf2);
+        assert_eq!(ReplayStream::new(vec![], "x").label(), "x");
+    }
+}

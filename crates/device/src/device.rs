@@ -1,0 +1,86 @@
+//! The assembled PIM device: topology + per-DPU MRAM banks.
+
+use crate::mram::Mram;
+use crate::topology::PimTopology;
+use std::fmt;
+
+/// A functional UPMEM-like PIM device.
+///
+/// Host-side copies land in per-DPU [`Mram`] banks. The byte-transpose of
+/// the chip interleave (Fig. 3) is applied by the *runtime*
+/// ([`crate::DpuSet`]) before data reaches the device, mirroring where the
+/// work happens in the real stack; MRAM therefore holds each DPU's logical
+/// bytes in order, which is exactly what the DPU program observes.
+pub struct PimDevice {
+    topology: PimTopology,
+    banks: Vec<Mram>,
+}
+
+impl PimDevice {
+    /// Allocate a device with the given topology.
+    pub fn new(topology: PimTopology) -> Self {
+        PimDevice {
+            banks: (0..topology.total_dpus())
+                .map(|_| Mram::new(topology.mram_bytes))
+                .collect(),
+            topology,
+        }
+    }
+
+    /// The device topology.
+    pub fn topology(&self) -> &PimTopology {
+        &self.topology
+    }
+
+    /// Number of DPUs.
+    pub fn num_dpus(&self) -> u32 {
+        self.topology.total_dpus()
+    }
+
+    /// Immutable access to DPU `id`'s MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mram(&self, id: u32) -> &Mram {
+        &self.banks[id as usize]
+    }
+
+    /// Mutable access to DPU `id`'s MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mram_mut(&mut self, id: u32) -> &mut Mram {
+        &mut self.banks[id as usize]
+    }
+}
+
+impl fmt::Debug for PimDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PimDevice")
+            .field("topology", &self.topology)
+            .field("dpus", &self.banks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_all_banks() {
+        let dev = PimDevice::new(PimTopology::table1());
+        assert_eq!(dev.num_dpus(), 512);
+        assert_eq!(dev.mram(511).capacity(), 64 << 20);
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut dev = PimDevice::new(PimTopology::table1());
+        dev.mram_mut(3).write(0, b"hello");
+        assert_eq!(dev.mram(3).read_vec(0, 5), b"hello");
+        assert_eq!(dev.mram(4).read_vec(0, 5), vec![0; 5]);
+    }
+}

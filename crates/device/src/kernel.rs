@@ -1,0 +1,96 @@
+//! DPU kernel execution-time models.
+//!
+//! The paper measures PIM *kernel* time on a real UPMEM server and only
+//! simulates the DRAM↔PIM transfers (§V) — PIM-MMU does not change kernel
+//! time. Lacking hardware, we substitute analytic per-workload models
+//! calibrated to published PrIM measurements (see DESIGN.md §4). The
+//! workload crate instantiates one [`KernelModel`] per PrIM workload.
+
+/// An analytic model of one PIM kernel's execution time.
+pub trait KernelModel: Send + Sync {
+    /// Kernel wall-clock time in nanoseconds for the given per-DPU input
+    /// and output footprints, running on `n_dpus` DPUs in parallel
+    /// (SPMD: the slowest DPU bounds the launch).
+    fn kernel_ns(&self, per_dpu_in_bytes: u64, per_dpu_out_bytes: u64, n_dpus: u32) -> f64;
+}
+
+/// Throughput-style model: a fixed launch overhead plus time linear in the
+/// per-DPU bytes touched, at an effective MRAM-streaming rate.
+///
+/// UPMEM DPUs stream MRAM at ~600-700 MB/s when compute-light and are
+/// compute-bound otherwise; `ns_per_byte` captures the workload's
+/// effective rate, `readback_factor` scales output bytes (some kernels
+/// write far more slowly than they read).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearKernelModel {
+    /// Launch + sync overhead per kernel call, ns.
+    pub fixed_ns: f64,
+    /// Effective time per *input* byte per DPU, ns.
+    pub ns_per_byte: f64,
+    /// Multiplier on output bytes relative to input-byte cost.
+    pub readback_factor: f64,
+}
+
+impl LinearKernelModel {
+    /// A memory-bound kernel streaming at `gbps` per DPU.
+    pub fn streaming(gbps: f64) -> Self {
+        LinearKernelModel {
+            fixed_ns: 20_000.0,
+            ns_per_byte: 1.0 / gbps,
+            readback_factor: 1.0,
+        }
+    }
+}
+
+impl KernelModel for LinearKernelModel {
+    fn kernel_ns(&self, per_dpu_in: u64, per_dpu_out: u64, _n_dpus: u32) -> f64 {
+        self.fixed_ns
+            + self.ns_per_byte * (per_dpu_in as f64 + self.readback_factor * per_dpu_out as f64)
+    }
+}
+
+/// A fixed-duration kernel (used by microbenchmarks and tests).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedKernelModel {
+    /// The constant kernel time, ns.
+    pub ns: f64,
+}
+
+impl KernelModel for FixedKernelModel {
+    fn kernel_ns(&self, _in: u64, _out: u64, _n: u32) -> f64 {
+        self.ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_scales_with_bytes() {
+        let m = LinearKernelModel::streaming(0.5); // 0.5 GB/s per DPU
+        let t1 = m.kernel_ns(1 << 20, 0, 64);
+        let t2 = m.kernel_ns(2 << 20, 0, 64);
+        assert!(t2 > t1);
+        // 1 MiB at 0.5 B/ns ~ 2.1 ms plus overhead.
+        assert!((t1 - (20_000.0 + (1 << 20) as f64 * 2.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn fixed_model_is_fixed() {
+        let m = FixedKernelModel { ns: 123.0 };
+        assert_eq!(m.kernel_ns(0, 0, 1), 123.0);
+        assert_eq!(m.kernel_ns(1 << 30, 1 << 30, 512), 123.0);
+    }
+
+    #[test]
+    fn trait_objects() {
+        let models: Vec<Box<dyn KernelModel>> = vec![
+            Box::new(FixedKernelModel { ns: 1.0 }),
+            Box::new(LinearKernelModel::streaming(1.0)),
+        ];
+        for m in &models {
+            assert!(m.kernel_ns(64, 64, 8) > 0.0);
+        }
+    }
+}

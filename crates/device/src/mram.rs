@@ -1,0 +1,142 @@
+//! Per-DPU MRAM functional storage.
+
+use std::fmt;
+
+/// One DPU's MRAM bank: a flat byte array with bounds-checked access.
+///
+/// Backing memory is allocated lazily in 1 MiB segments so that a
+/// 512-DPU × 64 MiB device does not reserve 32 GiB up front.
+pub struct Mram {
+    capacity: u64,
+    segments: Vec<Option<Box<[u8]>>>,
+}
+
+const SEGMENT: u64 = 1 << 20;
+
+impl Mram {
+    /// Create an MRAM bank of `capacity` bytes (zero-initialized).
+    pub fn new(capacity: u64) -> Self {
+        let n = capacity.div_ceil(SEGMENT) as usize;
+        Mram {
+            capacity,
+            segments: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn check(&self, offset: u64, len: usize) {
+        assert!(
+            offset + len as u64 <= self.capacity,
+            "MRAM access [{offset}, {offset}+{len}) exceeds capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Write `data` at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        self.check(offset, data.len());
+        let mut off = offset;
+        let mut src = data;
+        while !src.is_empty() {
+            let seg = (off / SEGMENT) as usize;
+            let within = (off % SEGMENT) as usize;
+            let n = src.len().min(SEGMENT as usize - within);
+            let segment = self.segments[seg]
+                .get_or_insert_with(|| vec![0u8; SEGMENT as usize].into_boxed_slice());
+            segment[within..within + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            off += n as u64;
+        }
+    }
+
+    /// Read `buf.len()` bytes at `offset` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        self.check(offset, buf.len());
+        let mut off = offset;
+        let mut dst = &mut buf[..];
+        while !dst.is_empty() {
+            let seg = (off / SEGMENT) as usize;
+            let within = (off % SEGMENT) as usize;
+            let n = dst.len().min(SEGMENT as usize - within);
+            match &self.segments[seg] {
+                Some(segment) => dst[..n].copy_from_slice(&segment[within..within + n]),
+                None => dst[..n].fill(0),
+            }
+            let rest = std::mem::take(&mut dst);
+            dst = &mut rest[n..];
+            off += n as u64;
+        }
+    }
+
+    /// Convenience: read `len` bytes at `offset` into a new vector.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read(offset, &mut v);
+        v
+    }
+}
+
+impl fmt::Debug for Mram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let resident = self.segments.iter().filter(|s| s.is_some()).count();
+        f.debug_struct("Mram")
+            .field("capacity", &self.capacity)
+            .field("resident_segments", &resident)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Mram::new(4 << 20);
+        assert_eq!(m.read_vec(123, 16), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_segments() {
+        let mut m = Mram::new(4 << 20);
+        let data: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        // Straddle the 1 MiB segment boundary.
+        let off = SEGMENT - 100;
+        m.write(off, &data);
+        assert_eq!(m.read_vec(off, 200), data);
+        // Neighbouring bytes untouched.
+        assert_eq!(m.read_vec(off - 4, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn lazy_allocation() {
+        let mut m = Mram::new(64 << 20);
+        m.write(0, &[1, 2, 3]);
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("resident_segments: 1"), "{dbg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oob_write_panics() {
+        Mram::new(1024).write(1020, &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oob_read_panics() {
+        Mram::new(1024).read_vec(1024, 1);
+    }
+}

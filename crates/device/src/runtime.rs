@@ -1,0 +1,286 @@
+//! `dpu_prepare_xfer` / `dpu_push_xfer`-style host runtime (Fig. 10(a)).
+//!
+//! The functional counterpart of the software transfer path: it performs
+//! the per-block byte transpose (Fig. 3) and moves real bytes between host
+//! buffers and per-DPU MRAM. Timing is simulated elsewhere; integration
+//! tests use this layer to prove the simulated transfers preserve data.
+
+use crate::device::PimDevice;
+use crate::transpose::{transpose_buffer, BLOCK_BYTES};
+
+/// Direction of a bulk transfer, mirroring `DPU_XFER_TO_DPU` /
+/// `DPU_XFER_FROM_DPU` in the UPMEM SDK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XferDirection {
+    /// Host (DRAM) to PIM MRAM.
+    ToDpu,
+    /// PIM MRAM to host (DRAM).
+    FromDpu,
+}
+
+/// A selection of DPUs plus staged per-DPU host buffers — the moral
+/// equivalent of `struct dpu_set_t` (paper Fig. 10(a), lines 11–17).
+///
+/// # Example
+///
+/// ```
+/// use pim_device::{DpuSet, PimDevice, PimTopology, XferDirection};
+///
+/// let mut device = PimDevice::new(PimTopology::table1());
+/// let mut set = DpuSet::all(&mut device);
+/// // DPU_FOREACH { dpu_prepare_xfer } ...
+/// let data: Vec<Vec<u8>> = (0..512).map(|i| vec![i as u8; 256]).collect();
+/// for (i, buf) in data.iter().enumerate() {
+///     set.prepare_xfer(i as u32, buf.clone());
+/// }
+/// // dpu_push_xfer(DPU_XFER_TO_DPU, heap, ...)
+/// set.push_xfer(XferDirection::ToDpu, 0).unwrap();
+/// assert_eq!(set.device().mram(7).read_vec(0, 4), vec![7u8; 4]);
+/// ```
+pub struct DpuSet<'d> {
+    device: &'d mut PimDevice,
+    selected: Vec<u32>,
+    staged: Vec<Option<Vec<u8>>>,
+}
+
+/// Errors returned by [`DpuSet::push_xfer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XferError {
+    /// A staged buffer's length is not a multiple of the 64 B transpose
+    /// block (the runtime pads in reality; we require explicit sizing).
+    RaggedBuffer {
+        /// Offending DPU.
+        dpu: u32,
+        /// Its buffer length.
+        len: usize,
+    },
+    /// Staged buffers have differing lengths (the SDK requires one size).
+    MismatchedLengths,
+    /// No buffers were staged.
+    NothingStaged,
+}
+
+impl std::fmt::Display for XferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XferError::RaggedBuffer { dpu, len } => {
+                write!(f, "dpu {dpu}: buffer length {len} is not a multiple of 64")
+            }
+            XferError::MismatchedLengths => f.write_str("staged buffers differ in length"),
+            XferError::NothingStaged => f.write_str("no buffers staged for transfer"),
+        }
+    }
+}
+
+impl std::error::Error for XferError {}
+
+impl<'d> DpuSet<'d> {
+    /// Select every DPU of the device.
+    pub fn all(device: &'d mut PimDevice) -> Self {
+        let n = device.num_dpus();
+        DpuSet {
+            device,
+            selected: (0..n).collect(),
+            staged: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Select an explicit subset of DPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn subset(device: &'d mut PimDevice, dpus: Vec<u32>) -> Self {
+        let n = device.num_dpus();
+        for &d in &dpus {
+            assert!(d < n, "DPU {d} out of range");
+        }
+        let len = dpus.len();
+        DpuSet {
+            device,
+            selected: dpus,
+            staged: (0..len).map(|_| None).collect(),
+        }
+    }
+
+    /// The selected DPU ids.
+    pub fn dpus(&self) -> &[u32] {
+        &self.selected
+    }
+
+    /// Borrow the underlying device.
+    pub fn device(&self) -> &PimDevice {
+        self.device
+    }
+
+    /// Mutably borrow the underlying device (e.g. to run a functional
+    /// "DPU kernel" that writes results into MRAM between transfers).
+    pub fn device_mut(&mut self) -> &mut PimDevice {
+        self.device
+    }
+
+    /// Stage a host buffer for `dpu` (`dpu_prepare_xfer`). For
+    /// [`XferDirection::FromDpu`] the buffer length determines how many
+    /// bytes are pulled; contents are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dpu` is not in the selection.
+    pub fn prepare_xfer(&mut self, dpu: u32, buf: Vec<u8>) {
+        let idx = self
+            .selected
+            .iter()
+            .position(|&d| d == dpu)
+            .unwrap_or_else(|| panic!("DPU {dpu} not in this set"));
+        self.staged[idx] = Some(buf);
+    }
+
+    /// Execute the staged transfer at MRAM `offset` (`dpu_push_xfer` with
+    /// `DPU_MRAM_HEAP_POINTER_NAME + offset`). Returns the per-DPU buffers
+    /// for `FromDpu` pulls (in selection order).
+    ///
+    /// The 8×8 byte transpose is applied on the way in and inverted on the
+    /// way out, exactly like the UPMEM runtime (§II-C).
+    ///
+    /// # Errors
+    ///
+    /// See [`XferError`].
+    pub fn push_xfer(
+        &mut self,
+        dir: XferDirection,
+        offset: u64,
+    ) -> Result<Vec<(u32, Vec<u8>)>, XferError> {
+        let mut expected: Option<usize> = None;
+        let mut any = false;
+        for (idx, staged) in self.staged.iter().enumerate() {
+            if let Some(buf) = staged {
+                any = true;
+                if buf.len() % BLOCK_BYTES != 0 {
+                    return Err(XferError::RaggedBuffer {
+                        dpu: self.selected[idx],
+                        len: buf.len(),
+                    });
+                }
+                match expected {
+                    None => expected = Some(buf.len()),
+                    Some(e) if e != buf.len() => return Err(XferError::MismatchedLengths),
+                    _ => {}
+                }
+            }
+        }
+        if !any {
+            return Err(XferError::NothingStaged);
+        }
+
+        let mut out = Vec::new();
+        for (idx, staged) in self.staged.iter_mut().enumerate() {
+            let Some(buf) = staged.take() else { continue };
+            let dpu = self.selected[idx];
+            match dir {
+                XferDirection::ToDpu => {
+                    // Transpose (CPU-side preprocessing), interleave into
+                    // the chips (cancels the transpose), land in MRAM.
+                    let mut staged = buf;
+                    transpose_buffer(&mut staged);
+                    transpose_buffer(&mut staged); // hardware interleave
+                    self.device.mram_mut(dpu).write(offset, &staged);
+                    out.push((dpu, Vec::new()));
+                }
+                XferDirection::FromDpu => {
+                    let mut data = self.device.mram(dpu).read_vec(offset, buf.len());
+                    // Interleave out of the chips, then the runtime's
+                    // inverse transpose.
+                    transpose_buffer(&mut data);
+                    transpose_buffer(&mut data);
+                    out.push((dpu, data));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PimTopology;
+
+    fn small_device() -> PimDevice {
+        PimDevice::new(PimTopology {
+            channels: 1,
+            ranks: 1,
+            chips_per_rank: 8,
+            dpus_per_chip: 8,
+            mram_bytes: 1 << 20,
+        })
+    }
+
+    #[test]
+    fn roundtrip_to_and_from_dpu() {
+        let mut dev = small_device();
+        let mut set = DpuSet::all(&mut dev);
+        let bufs: Vec<Vec<u8>> = (0..64u32)
+            .map(|d| (0..128u32).map(|i| (d * 7 + i) as u8).collect())
+            .collect();
+        for (d, b) in bufs.iter().enumerate() {
+            set.prepare_xfer(d as u32, b.clone());
+        }
+        set.push_xfer(XferDirection::ToDpu, 4096).unwrap();
+        for (d, b) in bufs.iter().enumerate() {
+            set.prepare_xfer(d as u32, vec![0u8; 128]);
+            let _ = b;
+            let _ = d;
+        }
+        let pulled = set.push_xfer(XferDirection::FromDpu, 4096).unwrap();
+        for (d, data) in pulled {
+            assert_eq!(data, bufs[d as usize], "DPU {d}");
+        }
+    }
+
+    #[test]
+    fn subset_transfers_do_not_touch_others() {
+        let mut dev = small_device();
+        let mut set = DpuSet::subset(&mut dev, vec![3, 5]);
+        set.prepare_xfer(3, vec![0xAA; 64]);
+        set.prepare_xfer(5, vec![0xBB; 64]);
+        set.push_xfer(XferDirection::ToDpu, 0).unwrap();
+        assert_eq!(set.device().mram(3).read_vec(0, 1)[0], 0xAA);
+        assert_eq!(set.device().mram(5).read_vec(0, 1)[0], 0xBB);
+        assert_eq!(set.device().mram(4).read_vec(0, 1)[0], 0);
+    }
+
+    #[test]
+    fn ragged_buffers_are_rejected() {
+        let mut dev = small_device();
+        let mut set = DpuSet::subset(&mut dev, vec![0]);
+        set.prepare_xfer(0, vec![0u8; 100]);
+        assert_eq!(
+            set.push_xfer(XferDirection::ToDpu, 0),
+            Err(XferError::RaggedBuffer { dpu: 0, len: 100 })
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let mut dev = small_device();
+        let mut set = DpuSet::subset(&mut dev, vec![0, 1]);
+        set.prepare_xfer(0, vec![0u8; 64]);
+        set.prepare_xfer(1, vec![0u8; 128]);
+        assert_eq!(
+            set.push_xfer(XferDirection::ToDpu, 0),
+            Err(XferError::MismatchedLengths)
+        );
+    }
+
+    #[test]
+    fn empty_push_is_an_error() {
+        let mut dev = small_device();
+        let mut set = DpuSet::all(&mut dev);
+        assert_eq!(
+            set.push_xfer(XferDirection::ToDpu, 0),
+            Err(XferError::NothingStaged)
+        );
+        let err = XferError::NothingStaged.to_string();
+        assert!(err.contains("no buffers"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The 8×8 byte transpose required by UPMEM's chip interleaving (Fig. 3).
+//!
+//! A 64 B burst over a ×8 DIMM is striped one byte per chip: byte lane `i`
+//! of every 8 B data word lands in chip `i`. Without preprocessing, each
+//! (bank-level) PIM core therefore receives only one byte of every word
+//! (Fig. 3(a)). The runtime fixes this by viewing each 64 B block as an
+//! 8×8 byte matrix (eight 8-byte words) and transposing it before the
+//! copy: after interleaving, chip `i` then holds the complete original
+//! word `i` (Fig. 3(b)).
+
+/// Bytes per data word (one chip's share of a burst).
+pub const WORD_BYTES: usize = 8;
+
+/// Words per 64 B block (= number of chips in a ×8 rank).
+pub const WORDS_PER_BLOCK: usize = 8;
+
+/// Bytes per transposed block.
+pub const BLOCK_BYTES: usize = WORD_BYTES * WORDS_PER_BLOCK;
+
+/// Transpose a 64 B block in place, viewing it as an 8×8 byte matrix.
+/// The operation is an involution: applying it twice restores the input.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::{transpose_8x8, BLOCK_BYTES};
+/// let mut block = [0u8; BLOCK_BYTES];
+/// for (i, b) in block.iter_mut().enumerate() { *b = i as u8; }
+/// let original = block;
+/// transpose_8x8(&mut block);
+/// assert_ne!(block, original);
+/// transpose_8x8(&mut block);
+/// assert_eq!(block, original);
+/// ```
+pub fn transpose_8x8(block: &mut [u8; BLOCK_BYTES]) {
+    for row in 0..WORDS_PER_BLOCK {
+        for col in (row + 1)..WORD_BYTES {
+            block.swap(row * WORD_BYTES + col, col * WORD_BYTES + row);
+        }
+    }
+}
+
+/// The bytes chip `chip` receives when `block` is written to a ×8 rank:
+/// byte lane `chip` of each of the eight words (the hardware interleaving
+/// of Fig. 3, which the software transpose is designed to cancel).
+///
+/// # Panics
+///
+/// Panics if `chip >= 8`.
+pub fn chip_shard(block: &[u8; BLOCK_BYTES], chip: usize) -> [u8; WORD_BYTES] {
+    assert!(chip < WORDS_PER_BLOCK, "x8 rank has 8 chips, got {chip}");
+    let mut shard = [0u8; WORD_BYTES];
+    for (word, s) in shard.iter_mut().enumerate() {
+        *s = block[word * WORD_BYTES + chip];
+    }
+    shard
+}
+
+/// Transpose a whole buffer of 64 B blocks in place.
+///
+/// # Panics
+///
+/// Panics if the buffer length is not a multiple of 64.
+pub fn transpose_buffer(buf: &mut [u8]) {
+    assert!(
+        buf.len() % BLOCK_BYTES == 0,
+        "buffer length {} not a multiple of {BLOCK_BYTES}",
+        buf.len()
+    );
+    for chunk in buf.chunks_exact_mut(BLOCK_BYTES) {
+        transpose_8x8(chunk.try_into().expect("exact chunk"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn words(block: &[u8; BLOCK_BYTES]) -> Vec<[u8; WORD_BYTES]> {
+        block
+            .chunks_exact(WORD_BYTES)
+            .map(|w| w.try_into().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fig3a_without_transpose_chips_get_fragments() {
+        // "DATAWORD" repeated: every chip receives one letter of each word
+        // — useless fragments (paper Fig. 3(a)).
+        let mut block = [0u8; BLOCK_BYTES];
+        for w in 0..WORDS_PER_BLOCK {
+            block[w * 8..(w + 1) * 8].copy_from_slice(b"DATAWORD");
+        }
+        let shard = chip_shard(&block, 0);
+        assert_eq!(&shard, b"DDDDDDDD");
+        let shard = chip_shard(&block, 3);
+        assert_eq!(&shard, b"AAAAAAAA");
+    }
+
+    #[test]
+    fn fig3b_with_transpose_chips_get_full_words() {
+        // After the software transpose, chip i receives original word i in
+        // full (paper Fig. 3(b)).
+        let mut block = [0u8; BLOCK_BYTES];
+        for (w, text) in [b"DATAWORD", b"SECONDWD", b"THIRDWRD", b"FOURTHWD",
+                          b"FIFTHWRD", b"SIXTHWRD", b"SEVENTHW", b"EIGHTHWD"]
+            .iter()
+            .enumerate()
+        {
+            block[w * 8..(w + 1) * 8].copy_from_slice(*text);
+        }
+        let original = words(&block);
+        transpose_8x8(&mut block);
+        for chip in 0..8 {
+            assert_eq!(chip_shard(&block, chip), original[chip], "chip {chip}");
+        }
+    }
+
+    #[test]
+    fn buffer_transpose_covers_every_block() {
+        let mut buf: Vec<u8> = (0..=255).collect();
+        let orig = buf.clone();
+        transpose_buffer(&mut buf);
+        assert_ne!(buf, orig);
+        transpose_buffer(&mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn buffer_transpose_rejects_ragged() {
+        transpose_buffer(&mut [0u8; 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 chips")]
+    fn shard_rejects_bad_chip() {
+        chip_shard(&[0u8; BLOCK_BYTES], 8);
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let mut block: [u8; BLOCK_BYTES] = data.clone().try_into().unwrap();
+            transpose_8x8(&mut block);
+            transpose_8x8(&mut block);
+            prop_assert_eq!(block.to_vec(), data);
+        }
+
+        #[test]
+        fn transpose_then_interleave_reconstructs_words(
+            data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)
+        ) {
+            let block: [u8; BLOCK_BYTES] = data.try_into().unwrap();
+            let mut t = block;
+            transpose_8x8(&mut t);
+            for chip in 0..WORDS_PER_BLOCK {
+                let expected: [u8; 8] = block[chip * 8..(chip + 1) * 8].try_into().unwrap();
+                prop_assert_eq!(chip_shard(&t, chip), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! An independent DDR4 timing validator.
+//!
+//! [`TimingValidator`] records every `(command, address, cycle)` triple and
+//! re-checks the pairwise JEDEC constraints *after the fact*, without
+//! sharing any code with the `next`-table machinery in
+//! [`ChannelState`](crate::ChannelState). The property tests drive random
+//! traffic through a controller and assert the validator finds no
+//! violation — a cross-check that the fast incremental model and the
+//! straightforward quadratic model agree.
+
+use crate::timing::{Command, TimingParams};
+use pim_mapping::DramAddr;
+
+/// A recorded command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedCmd {
+    /// The DRAM command.
+    pub cmd: Command,
+    /// Its target.
+    pub addr: DramAddr,
+    /// Issue cycle.
+    pub cycle: u64,
+}
+
+/// A detected violation, described for debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The earlier command.
+    pub first: IssuedCmd,
+    /// The later, offending command.
+    pub second: IssuedCmd,
+    /// Name of the violated constraint.
+    pub rule: &'static str,
+    /// Minimum required separation in cycles.
+    pub required: u64,
+}
+
+/// Post-hoc DDR4 timing checker.
+#[derive(Debug, Clone)]
+pub struct TimingValidator {
+    timing: TimingParams,
+    log: Vec<IssuedCmd>,
+}
+
+impl TimingValidator {
+    /// Create a validator for the given timing parameters.
+    pub fn new(timing: TimingParams) -> Self {
+        TimingValidator {
+            timing,
+            log: Vec::new(),
+        }
+    }
+
+    /// Record a command issue.
+    pub fn record(&mut self, cmd: Command, addr: DramAddr, cycle: u64) {
+        self.log.push(IssuedCmd { cmd, addr, cycle });
+    }
+
+    /// Number of commands recorded.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether no commands were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Check every ordered pair against the constraint set; returns all
+    /// violations (empty = legal trace). O(n^2): intended for tests.
+    pub fn check(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let t = &self.timing;
+        for i in 0..self.log.len() {
+            for j in (i + 1)..self.log.len() {
+                let a = self.log[i];
+                let b = self.log[j];
+                let gap = b.cycle - a.cycle;
+                let same_rank = a.addr.rank == b.addr.rank;
+                let same_bg = same_rank && a.addr.bank_group == b.addr.bank_group;
+                let same_bank = same_bg && a.addr.bank == b.addr.bank;
+                let mut need = |rule: &'static str, req: u64| {
+                    if gap < req {
+                        v.push(Violation {
+                            first: a,
+                            second: b,
+                            rule,
+                            required: req,
+                        });
+                    }
+                };
+                match (a.cmd, b.cmd) {
+                    (Command::Act, Command::Act) => {
+                        if same_bank {
+                            need("tRC", t.rc);
+                        } else if same_bg {
+                            need("tRRD_L", t.rrd_l);
+                        } else if same_rank {
+                            need("tRRD_S", t.rrd_s);
+                        }
+                    }
+                    (Command::Act, Command::Rd) | (Command::Act, Command::Wr) => {
+                        if same_bank {
+                            need("tRCD", t.rcd);
+                        }
+                    }
+                    (Command::Act, Command::Pre) => {
+                        if same_bank {
+                            need("tRAS", t.ras);
+                        }
+                    }
+                    (Command::Pre, Command::Act) => {
+                        if same_bank {
+                            need("tRP", t.rp);
+                        }
+                    }
+                    (Command::Rd, Command::Rd) => {
+                        if same_bg {
+                            need("tCCD_L", t.ccd_l);
+                        } else if same_rank {
+                            need("tCCD_S", t.ccd_s);
+                        } else {
+                            need("read rank switch", t.bl + t.rtrs);
+                        }
+                    }
+                    (Command::Wr, Command::Wr) => {
+                        if same_bg {
+                            need("tCCD_L(W)", t.ccd_l);
+                        } else if same_rank {
+                            need("tCCD_S(W)", t.ccd_s);
+                        } else {
+                            need("write rank switch", t.bl + t.rtrs);
+                        }
+                    }
+                    (Command::Rd, Command::Wr) => {
+                        if same_rank {
+                            need("tRTW", t.rtw());
+                        } else {
+                            need(
+                                "rd->wr rank switch",
+                                (t.cl + t.bl + t.rtrs).saturating_sub(t.cwl),
+                            );
+                        }
+                    }
+                    (Command::Wr, Command::Rd) => {
+                        if same_bg {
+                            need("tWTR_L", t.cwl + t.bl + t.wtr_l);
+                        } else if same_rank {
+                            need("tWTR_S", t.cwl + t.bl + t.wtr_s);
+                        } else {
+                            need(
+                                "wr->rd rank switch",
+                                (t.cwl + t.bl + t.rtrs).saturating_sub(t.cl),
+                            );
+                        }
+                    }
+                    (Command::Rd, Command::Pre) => {
+                        if same_bank {
+                            need("tRTP", t.rtp);
+                        }
+                    }
+                    (Command::Wr, Command::Pre) => {
+                        if same_bank {
+                            need("tWR", t.cwl + t.bl + t.wr);
+                        }
+                    }
+                    (Command::Ref, _) if same_rank => match b.cmd {
+                        Command::Act | Command::Ref => need("tRFC", t.rfc),
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+        }
+        // FAW: any 5 ACTs to the same rank within tFAW.
+        for r in self.ranks() {
+            let acts: Vec<u64> = self
+                .log
+                .iter()
+                .filter(|c| c.cmd == Command::Act && c.addr.rank == r)
+                .map(|c| c.cycle)
+                .collect();
+            for w in acts.windows(5) {
+                if w[4] - w[0] < t.faw {
+                    v.push(Violation {
+                        first: IssuedCmd {
+                            cmd: Command::Act,
+                            addr: DramAddr {
+                                rank: r,
+                                ..DramAddr::default()
+                            },
+                            cycle: w[0],
+                        },
+                        second: IssuedCmd {
+                            cmd: Command::Act,
+                            addr: DramAddr {
+                                rank: r,
+                                ..DramAddr::default()
+                            },
+                            cycle: w[4],
+                        },
+                        rule: "tFAW",
+                        required: t.faw,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    fn ranks(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.log.iter().map(|c| c.addr.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_trcd_violation() {
+        let t = TimingParams::ddr4_2400();
+        let mut v = TimingValidator::new(t);
+        let a = DramAddr::default();
+        v.record(Command::Act, a, 0);
+        v.record(Command::Rd, a, t.rcd - 1);
+        let violations = v.check();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "tRCD");
+    }
+
+    #[test]
+    fn detects_faw_violation() {
+        let t = TimingParams::ddr4_2400();
+        let mut v = TimingValidator::new(t);
+        for i in 0..5u32 {
+            let a = DramAddr {
+                bank_group: i % 4,
+                bank: i / 4,
+                ..DramAddr::default()
+            };
+            v.record(Command::Act, a, i as u64 * t.rrd_s);
+        }
+        // 5 ACTs within 4*tRRD_S = 16 < tFAW = 26.
+        assert!(v.check().iter().any(|x| x.rule == "tFAW"));
+    }
+
+    #[test]
+    fn accepts_legal_trace() {
+        let t = TimingParams::ddr4_2400();
+        let mut v = TimingValidator::new(t);
+        let a = DramAddr::default();
+        v.record(Command::Act, a, 0);
+        v.record(Command::Rd, a, t.rcd);
+        v.record(Command::Rd, a, t.rcd + t.ccd_l);
+        // The precharge must satisfy both tRTP (after the read) and tRAS
+        // (after the activate); tRAS dominates here.
+        v.record(Command::Pre, a, t.ras.max(t.rcd + t.ccd_l + t.rtp));
+        assert!(v.check().is_empty(), "{:?}", v.check());
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+}

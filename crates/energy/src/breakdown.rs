@@ -1,0 +1,128 @@
+//! Per-component energy breakdown (the stacks of Fig. 15(b)).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// Energy split by component and static/dynamic, in millijoules, matching
+/// the eight stack segments of the paper's Fig. 15(b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core dynamic energy.
+    pub core_dynamic_mj: f64,
+    /// Core static (leakage) energy.
+    pub core_static_mj: f64,
+    /// LLC dynamic energy.
+    pub cache_dynamic_mj: f64,
+    /// LLC static energy.
+    pub cache_static_mj: f64,
+    /// DRAM + PIM DIMM dynamic energy.
+    pub dram_dynamic_mj: f64,
+    /// DRAM + PIM DIMM background energy.
+    pub dram_static_mj: f64,
+    /// PIM-MMU dynamic energy.
+    pub pimmmu_dynamic_mj: f64,
+    /// PIM-MMU static energy.
+    pub pimmmu_static_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.core_dynamic_mj
+            + self.core_static_mj
+            + self.cache_dynamic_mj
+            + self.cache_static_mj
+            + self.dram_dynamic_mj
+            + self.dram_static_mj
+            + self.pimmmu_dynamic_mj
+            + self.pimmmu_static_mj
+    }
+
+    /// `(label, mJ)` pairs in Fig. 15(b) legend order.
+    pub fn segments(&self) -> [(&'static str, f64); 8] {
+        [
+            ("core (dynamic)", self.core_dynamic_mj),
+            ("cache (dynamic)", self.cache_dynamic_mj),
+            ("dram (dynamic)", self.dram_dynamic_mj),
+            ("pim-mmu (dynamic)", self.pimmmu_dynamic_mj),
+            ("core (static)", self.core_static_mj),
+            ("cache (static)", self.cache_static_mj),
+            ("dram (static)", self.dram_static_mj),
+            ("pim-mmu (static)", self.pimmmu_static_mj),
+        ]
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, o: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_dynamic_mj: self.core_dynamic_mj + o.core_dynamic_mj,
+            core_static_mj: self.core_static_mj + o.core_static_mj,
+            cache_dynamic_mj: self.cache_dynamic_mj + o.cache_dynamic_mj,
+            cache_static_mj: self.cache_static_mj + o.cache_static_mj,
+            dram_dynamic_mj: self.dram_dynamic_mj + o.dram_dynamic_mj,
+            dram_static_mj: self.dram_static_mj + o.dram_static_mj,
+            pimmmu_dynamic_mj: self.pimmmu_dynamic_mj + o.pimmmu_dynamic_mj,
+            pimmmu_static_mj: self.pimmmu_static_mj + o.pimmmu_static_mj,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, mj) in self.segments() {
+            writeln!(f, "{label:>20}: {mj:10.3} mJ")?;
+        }
+        write!(f, "{:>20}: {:10.3} mJ", "total", self.total_mj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_segments() {
+        let e = EnergyBreakdown {
+            core_dynamic_mj: 1.0,
+            core_static_mj: 2.0,
+            cache_dynamic_mj: 3.0,
+            cache_static_mj: 4.0,
+            dram_dynamic_mj: 5.0,
+            dram_static_mj: 6.0,
+            pimmmu_dynamic_mj: 7.0,
+            pimmmu_static_mj: 8.0,
+        };
+        assert!((e.total_mj() - 36.0).abs() < 1e-12);
+        assert_eq!(e.segments().len(), 8);
+        let sum: f64 = e.segments().iter().map(|(_, v)| v).sum();
+        assert!((sum - e.total_mj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = EnergyBreakdown {
+            core_dynamic_mj: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            dram_static_mj: 2.0,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.core_dynamic_mj, 1.0);
+        assert_eq!(c.dram_static_mj, 2.0);
+        assert!((c.total_mj() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let s = EnergyBreakdown::default().to_string();
+        for label in ["core", "cache", "dram", "pim-mmu", "total"] {
+            assert!(s.contains(label), "missing {label} in {s}");
+        }
+    }
+}

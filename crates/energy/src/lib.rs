@@ -1,0 +1,23 @@
+//! Power, energy and area models for the PIM-MMU evaluation.
+//!
+//! The paper estimates energy with McPAT and area with CACTI at 32 nm
+//! (§V). This crate provides the equivalent component-level models:
+//! per-event dynamic energies plus per-component static (leakage +
+//! background) power for the CPU cores, the shared LLC, the DRAM/PIM
+//! subsystem and the PIM-MMU's SRAM buffers, and an analytical SRAM area
+//! fit reproducing the 0.85 mm² / 0.37 %-of-die overhead claim (§VI-C).
+//!
+//! Two observations from the paper anchor the constants:
+//!
+//! * Software DRAM↔PIM transfers drive system power to ≈70 W with all
+//!   cores running AVX-512 copy loops (Fig. 4).
+//! * Total energy is dominated by processor-side *static* components, so
+//!   energy-efficiency gains track transfer-time reductions (Fig. 15(b)).
+
+pub mod area;
+pub mod breakdown;
+pub mod model;
+
+pub use area::{sram_area_mm2, AreaReport};
+pub use breakdown::EnergyBreakdown;
+pub use model::{ActivityCounts, PowerParams};

@@ -1,0 +1,170 @@
+//! Physical and DRAM address types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of one memory transaction (a cache line / one BL8 burst across a
+/// x64 rank), in bytes. All mapping functions operate at this granularity:
+/// the low [`LINE_SHIFT`] bits of a physical address select a byte within
+/// the line and are never remapped.
+pub const LINE_BYTES: u64 = 64;
+
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A host physical address, in bytes.
+///
+/// Newtype over `u64` so that physical addresses cannot be confused with
+/// DRAM column/row indices or PIM core identifiers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The index of the 64 B line containing this address.
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 >> LINE_SHIFT
+    }
+
+    /// The byte offset of this address within its 64 B line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// The address rounded down to its line boundary.
+    #[inline]
+    pub fn line_base(self) -> PhysAddr {
+        PhysAddr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// Byte-offset addition.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Which side of the partitioned physical address space an address belongs
+/// to in a memory-bus-integrated PIM system (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Conventional DRAM DIMMs.
+    Dram,
+    /// PIM DIMMs (one PIM core per bank).
+    Pim,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Dram => f.write_str("DRAM"),
+            MemSpace::Pim => f.write_str("PIM"),
+        }
+    }
+}
+
+/// A fully decoded DRAM address: the output of a memory mapping function.
+///
+/// `col` is expressed in 64 B burst units (one BL8 burst over a x64 rank),
+/// i.e. `col` ranges over `0..org.cols` where `org.cols * 64` is the row
+/// size in bytes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DramAddr {
+    /// Memory channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank group within the rank.
+    pub bank_group: u32,
+    /// Bank within the bank group.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column in 64 B burst units.
+    pub col: u32,
+}
+
+impl DramAddr {
+    /// Flat bank index within a channel: `rank * (groups*banks) +
+    /// bank_group * banks + bank`. Matches `get_pim_core_id` of the paper's
+    /// Algorithm 1 when applied to the PIM organization.
+    pub fn flat_bank(&self, bank_groups: u32, banks_per_group: u32) -> u32 {
+        self.rank * bank_groups * banks_per_group + self.bank_group * banks_per_group + self.bank
+    }
+}
+
+impl fmt::Display for DramAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{} ra{} bg{} bk{} row 0x{:x} col {}",
+            self.channel, self.rank, self.bank_group, self.bank, self.row, self.col
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        let a = PhysAddr(0x1234);
+        assert_eq!(a.line(), 0x1234 >> 6);
+        assert_eq!(a.line_offset(), 0x34 & 0x3f);
+        assert_eq!(a.line_base(), PhysAddr(0x1200 + 0x34 - (0x34 & 0x3f)));
+        assert_eq!(a.line_base().line_offset(), 0);
+        assert_eq!(a.offset(64).line(), a.line() + 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysAddr(0xdead).to_string(), "0x00000000dead");
+        let d = DramAddr {
+            channel: 1,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+            row: 0x10,
+            col: 5,
+        };
+        assert_eq!(d.to_string(), "ch1 ra0 bg2 bk3 row 0x10 col 5");
+        assert_eq!(MemSpace::Dram.to_string(), "DRAM");
+        assert_eq!(MemSpace::Pim.to_string(), "PIM");
+    }
+
+    #[test]
+    fn flat_bank_matches_algorithm1_id() {
+        // get_pim_core_id(ra, bg, bk) = ra*banks*groups + bg*banks + bk
+        let d = DramAddr {
+            rank: 1,
+            bank_group: 2,
+            bank: 3,
+            ..DramAddr::default()
+        };
+        assert_eq!(d.flat_bank(4, 16), 64 + 32 + 3);
+    }
+}

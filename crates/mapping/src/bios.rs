@@ -1,0 +1,218 @@
+//! BIOS interleaving knobs (paper Fig. 1).
+//!
+//! Server-class x86 BIOSes expose per-level interleaving controls: N-way
+//! interleaving at some DRAM subsystem level moves that level's address
+//! bits toward the LSB (high MLP), 1-way interleaving moves them toward
+//! the MSB (low MLP). [`BiosConfig`] reproduces the three configurations of
+//! Fig. 1(b)-(d) and generates the corresponding [`FieldLayout`].
+
+use crate::layout::{Field, FieldLayout};
+use crate::org::Organization;
+use serde::{Deserialize, Serialize};
+
+/// An interleaving knob for one DRAM subsystem level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Interleave {
+    /// Address bits for this level are placed near the MSB: a contiguous
+    /// physical region stays within one unit of this level.
+    OneWay,
+    /// Address bits for this level are placed near the LSB: consecutive
+    /// lines rotate across the units of this level.
+    #[default]
+    NWay,
+}
+
+/// BIOS memory-interleaving configuration.
+///
+/// The channel hierarchy is modeled as `imcs` integrated memory controllers
+/// each owning `channels / imcs` channels (Fig. 1(a)); the IMC selection
+/// bit(s) and the channel-within-IMC bit(s) can be interleaved
+/// independently, which is exactly the distinction between Fig. 1(c) and
+/// Fig. 1(d).
+///
+/// # Example
+///
+/// ```
+/// use pim_mapping::{BiosConfig, Interleave, Organization, PhysAddr};
+/// let org = Organization::ddr4_dimm(4, 2);
+///
+/// // Fig. 1(d): N-way IMC + N-way channel => a short sequential stream
+/// // uses all 4 channels.
+/// let high = BiosConfig::high_mlp(2).layout(&org);
+/// let chans: std::collections::HashSet<u32> =
+///     (0..64u64).map(|i| high.map_line(i).channel).collect();
+/// assert_eq!(chans.len(), 4);
+///
+/// // Fig. 1(b): 1-way everywhere => the low half of memory never leaves
+/// // channel 0.
+/// let low = BiosConfig::low_mlp(2).layout(&org);
+/// assert_eq!(low.map_line(0).channel, 0);
+/// assert_eq!(low.map_line((1 << 20)).channel, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BiosConfig {
+    /// Number of integrated memory controllers sharing the channels.
+    pub imcs: u32,
+    /// IMC-level interleaving.
+    pub imc: Interleave,
+    /// Channel-level (within IMC) interleaving.
+    pub channel: Interleave,
+    /// Rank-level interleaving.
+    pub rank: Interleave,
+    /// Bank-group-level interleaving.
+    pub bank_group: Interleave,
+}
+
+impl BiosConfig {
+    /// Fig. 1(b): 1-way IMC, 1-way channel — "Low" MLP. This is the shape
+    /// of the PIM-specific BIOS mapping.
+    pub fn low_mlp(imcs: u32) -> Self {
+        BiosConfig {
+            imcs,
+            imc: Interleave::OneWay,
+            channel: Interleave::OneWay,
+            rank: Interleave::OneWay,
+            bank_group: Interleave::OneWay,
+        }
+    }
+
+    /// Fig. 1(c): 1-way IMC, N-way channel — "Medium" MLP.
+    pub fn medium_mlp(imcs: u32) -> Self {
+        BiosConfig {
+            imcs,
+            imc: Interleave::OneWay,
+            channel: Interleave::NWay,
+            rank: Interleave::NWay,
+            bank_group: Interleave::NWay,
+        }
+    }
+
+    /// Fig. 1(d): N-way everywhere — "High" MLP, the conventional server
+    /// default.
+    pub fn high_mlp(imcs: u32) -> Self {
+        BiosConfig {
+            imcs,
+            imc: Interleave::NWay,
+            channel: Interleave::NWay,
+            rank: Interleave::NWay,
+            bank_group: Interleave::NWay,
+        }
+    }
+
+    /// Generate the bit-field layout this configuration induces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imcs` does not divide the channel count or is not a
+    /// power of two.
+    pub fn layout(&self, org: &Organization) -> FieldLayout {
+        assert!(
+            self.imcs.is_power_of_two() && self.imcs <= org.channels,
+            "imcs must be a power of two <= channels"
+        );
+        let (cw, rw, gw, bw, row_w, co_w) = org.bit_widths();
+        let imc_bits = self.imcs.trailing_zeros().min(cw);
+        let within_bits = cw - imc_bits;
+
+        // Assemble LSB-side and MSB-side slices; the row bits and any
+        // remaining column bits fill the middle.
+        let mut low: Vec<(Field, u32)> = Vec::new();
+        let mut high: Vec<(Field, u32)> = Vec::new();
+
+        let co_low = co_w.min(2);
+        low.push((Field::Col, co_low));
+        match self.bank_group {
+            Interleave::NWay => low.push((Field::BankGroup, gw)),
+            Interleave::OneWay => high.push((Field::BankGroup, gw)),
+        }
+        // Channel-within-IMC bits are the *low* bits of the channel index;
+        // IMC-select bits are the high bits (IMC0 owns channels 0..k).
+        match self.channel {
+            Interleave::NWay => low.push((Field::Channel, within_bits)),
+            Interleave::OneWay => high.push((Field::Channel, within_bits)),
+        }
+        match self.imc {
+            Interleave::NWay => low.push((Field::Channel, imc_bits)),
+            Interleave::OneWay => high.push((Field::Channel, imc_bits)),
+        }
+        low.push((Field::Bank, bw));
+        low.push((Field::Col, co_w - co_low));
+        match self.rank {
+            Interleave::NWay => low.push((Field::Rank, rw)),
+            Interleave::OneWay => high.push((Field::Rank, rw)),
+        }
+        low.push((Field::Row, row_w));
+
+        // MSB side: slices pushed first end up *below* later ones, so the
+        // ordering here determines the final MSB layout. We want OneWay
+        // channel/IMC bits at the very top.
+        let mut slices = low;
+        slices.extend(high);
+        let slices = slices.into_iter().filter(|&(_, w)| w > 0).collect();
+        FieldLayout::new(*org, slices)
+    }
+}
+
+impl Default for BiosConfig {
+    fn default() -> Self {
+        BiosConfig::high_mlp(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn org() -> Organization {
+        Organization::ddr4_dimm(4, 2)
+    }
+
+    fn channel_fanout(layout: &FieldLayout, stride_lines: u64, n: u64) -> usize {
+        (0..n)
+            .map(|i| layout.map_line(i * stride_lines).channel)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    #[test]
+    fn fig1b_low_mlp_uses_one_channel() {
+        let l = BiosConfig::low_mlp(2).layout(&org());
+        assert_eq!(channel_fanout(&l, 1, 1024), 1);
+    }
+
+    #[test]
+    fn fig1c_medium_mlp_uses_half_the_channels() {
+        // 1-way IMC: the lower address space only reaches the channels of
+        // IMC0 (channels 0 and 1).
+        let l = BiosConfig::medium_mlp(2).layout(&org());
+        let chans: HashSet<u32> = (0..1024u64).map(|i| l.map_line(i).channel).collect();
+        assert_eq!(chans, HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn fig1d_high_mlp_uses_all_channels() {
+        let l = BiosConfig::high_mlp(2).layout(&org());
+        assert_eq!(channel_fanout(&l, 1, 1024), 4);
+    }
+
+    #[test]
+    fn roundtrips() {
+        for cfg in [
+            BiosConfig::low_mlp(2),
+            BiosConfig::medium_mlp(2),
+            BiosConfig::high_mlp(2),
+        ] {
+            let l = cfg.layout(&org());
+            for line in [0u64, 1, 17, 12345, (1 << 29) - 1] {
+                assert_eq!(l.demap_line(&l.map_line(line)), line, "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_high_mlp() {
+        assert_eq!(BiosConfig::default(), BiosConfig::high_mlp(2));
+        assert_eq!(Interleave::default(), Interleave::NWay);
+    }
+}

@@ -1,0 +1,321 @@
+//! Generic bit-field address layouts.
+//!
+//! A mapping function in this crate is (at its core) a permutation of the
+//! physical-address bits above the 64 B line offset into the six DRAM
+//! address fields. [`FieldLayout`] captures such a permutation as an ordered
+//! list of `(Field, width)` slices from LSB to MSB, mirroring the way BIOS
+//! vendors document their interleaving configurations (paper Fig. 1/7).
+
+use crate::addr::{DramAddr, PhysAddr, LINE_SHIFT};
+use crate::org::Organization;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six DRAM address fields a physical-address bit slice can be
+/// routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Field {
+    /// Memory channel.
+    Channel,
+    /// Rank within a channel.
+    Rank,
+    /// Bank group within a rank.
+    BankGroup,
+    /// Bank within a bank group.
+    Bank,
+    /// Row within a bank.
+    Row,
+    /// Column (64 B burst units) within a row.
+    Col,
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Field::Channel => "Ch",
+            Field::Rank => "Ra",
+            Field::BankGroup => "Bg",
+            Field::Bank => "Bk",
+            Field::Row => "Ro",
+            Field::Col => "Co",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An ordered assignment of physical-address bit slices (LSB to MSB, above
+/// the line offset) to DRAM address fields.
+///
+/// The same field may appear multiple times (e.g. the MLP-centric mapping
+/// splits the column bits around the channel/bank bits); slices assigned to
+/// the same field are concatenated LSB-first.
+///
+/// # Example
+///
+/// ```
+/// use pim_mapping::{Field, FieldLayout, Organization, PhysAddr};
+/// let org = Organization::ddr4_dimm(2, 2);
+/// // Plain ChRaBgBkRoCo (locality-centric) layout, LSB -> MSB:
+/// let layout = FieldLayout::locality(&org);
+/// let d = layout.map_line(PhysAddr(0).line());
+/// assert_eq!((d.channel, d.row, d.col), (0, 0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldLayout {
+    org: Organization,
+    /// (field, width-in-bits) from LSB upward.
+    slices: Vec<(Field, u32)>,
+}
+
+impl FieldLayout {
+    /// Build a layout from `(field, width)` slices ordered LSB to MSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width per field does not match the organization's
+    /// field widths, or the overall width does not cover the address space.
+    pub fn new(org: Organization, slices: Vec<(Field, u32)>) -> Self {
+        let mut widths = [0u32; 6];
+        for &(f, w) in &slices {
+            widths[Self::idx(f)] += w;
+        }
+        let (c, r, g, b, ro, co) = org.bit_widths();
+        let expect = [c, r, g, b, ro, co];
+        for (i, f) in [
+            Field::Channel,
+            Field::Rank,
+            Field::BankGroup,
+            Field::Bank,
+            Field::Row,
+            Field::Col,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(
+                widths[i], expect[i],
+                "layout width mismatch for field {f}: layout has {} bits, organization needs {}",
+                widths[i], expect[i]
+            );
+        }
+        FieldLayout { org, slices }
+    }
+
+    fn idx(f: Field) -> usize {
+        match f {
+            Field::Channel => 0,
+            Field::Rank => 1,
+            Field::BankGroup => 2,
+            Field::Bank => 3,
+            Field::Row => 4,
+            Field::Col => 5,
+        }
+    }
+
+    /// The locality-centric `ChRaBgBkRoCo` layout (paper Fig. 7(a)): from
+    /// the MSB downward channel, rank, bank group, bank, row, column — i.e.
+    /// from the LSB upward: column, row, bank, bank group, rank, channel.
+    pub fn locality(org: &Organization) -> Self {
+        let (c, r, g, b, ro, co) = org.bit_widths();
+        let slices = [
+            (Field::Col, co),
+            (Field::Row, ro),
+            (Field::Bank, b),
+            (Field::BankGroup, g),
+            (Field::Rank, r),
+            (Field::Channel, c),
+        ]
+        .into_iter()
+        .filter(|&(_, w)| w > 0)
+        .collect();
+        FieldLayout::new(*org, slices)
+    }
+
+    /// The MLP-centric base layout (paper Fig. 7(b), before XOR hashing):
+    /// channel bits directly above the 64 B line offset so consecutive
+    /// lines rotate across channels (paper Fig. 5(a)), then a couple of
+    /// column bits, bank group, bank, the remaining column bits, rank and
+    /// row — the frequently-changing bits drive channel/bank-group
+    /// selection to maximize memory-level parallelism, as in server-class
+    /// Xeon mappings.
+    pub fn mlp(org: &Organization) -> Self {
+        let (c, r, g, b, ro, co) = org.bit_widths();
+        // Two column bits below the bank-group bits so that a single open
+        // row still serves several consecutive bursts per bank group visit.
+        let co_low = co.min(2);
+        let co_high = co - co_low;
+        let slices = [
+            (Field::Channel, c),
+            (Field::Col, co_low),
+            (Field::BankGroup, g),
+            (Field::Bank, b),
+            (Field::Col, co_high),
+            (Field::Rank, r),
+            (Field::Row, ro),
+        ]
+        .into_iter()
+        .filter(|&(_, w)| w > 0)
+        .collect();
+        FieldLayout::new(*org, slices)
+    }
+
+    /// The organization this layout addresses.
+    pub fn organization(&self) -> &Organization {
+        &self.org
+    }
+
+    /// The `(field, width)` slices, LSB to MSB.
+    pub fn slices(&self) -> &[(Field, u32)] {
+        &self.slices
+    }
+
+    /// Map a 64 B line index to a DRAM address.
+    pub fn map_line(&self, mut line: u64) -> DramAddr {
+        let mut vals = [0u64; 6];
+        let mut consumed = [0u32; 6];
+        for &(f, w) in &self.slices {
+            let i = Self::idx(f);
+            let bits = line & ((1u64 << w) - 1);
+            vals[i] |= bits << consumed[i];
+            consumed[i] += w;
+            line >>= w;
+        }
+        DramAddr {
+            channel: vals[0] as u32,
+            rank: vals[1] as u32,
+            bank_group: vals[2] as u32,
+            bank: vals[3] as u32,
+            row: vals[4],
+            col: vals[5] as u32,
+        }
+    }
+
+    /// Inverse of [`map_line`](Self::map_line).
+    pub fn demap_line(&self, addr: &DramAddr) -> u64 {
+        let vals = [
+            addr.channel as u64,
+            addr.rank as u64,
+            addr.bank_group as u64,
+            addr.bank as u64,
+            addr.row,
+            addr.col as u64,
+        ];
+        let mut consumed = [0u32; 6];
+        let mut line = 0u64;
+        let mut shift = 0u32;
+        for &(f, w) in &self.slices {
+            let i = Self::idx(f);
+            let bits = (vals[i] >> consumed[i]) & ((1u64 << w) - 1);
+            line |= bits << shift;
+            consumed[i] += w;
+            shift += w;
+        }
+        line
+    }
+
+    /// Map a byte physical address (the 64 B line offset passes through).
+    pub fn map(&self, phys: PhysAddr) -> DramAddr {
+        self.map_line(phys.line())
+    }
+
+    /// Reconstruct the line-aligned physical address of a DRAM address.
+    pub fn demap(&self, addr: &DramAddr) -> PhysAddr {
+        PhysAddr(self.demap_line(addr) << LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for FieldLayout {
+    /// Prints the layout MSB-first, the way the paper writes `ChRaBgBkRoCo`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (field, w) in self.slices.iter().rev() {
+            write!(f, "{field}[{w}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn org() -> Organization {
+        Organization::ddr4_dimm(4, 2)
+    }
+
+    #[test]
+    fn locality_field_order_msb_first() {
+        let l = FieldLayout::locality(&org());
+        assert_eq!(l.to_string(), "Ch[2]Ra[1]Bg[2]Bk[2]Ro[15]Co[7]");
+    }
+
+    #[test]
+    fn locality_consecutive_lines_same_bank() {
+        let l = FieldLayout::locality(&org());
+        let a = l.map_line(0);
+        let b = l.map_line(1);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn mlp_consecutive_lines_rotate_channels_then_bankgroups() {
+        let l = FieldLayout::mlp(&org());
+        // Channel bits are lowest: lines 0..4 fan out over the 4 channels.
+        let a = l.map_line(0);
+        let b = l.map_line(1);
+        assert_ne!(a.channel, b.channel);
+        // Within a channel, col_low = 2 bits of row locality, then the bank
+        // group advances (line stride 4 channels * 4 bursts = 16).
+        let c = l.map_line(16);
+        assert_eq!(a.channel, c.channel);
+        assert_ne!(a.bank_group, c.bank_group);
+    }
+
+    #[test]
+    fn channel_balance_over_sequential_stream() {
+        let l = FieldLayout::mlp(&org());
+        let mut counts = [0u32; 4];
+        for line in 0..4096 {
+            counts[l.map_line(line).channel as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1024), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_widths() {
+        let o = org();
+        FieldLayout::new(o, vec![(Field::Col, 7), (Field::Row, 15)]);
+    }
+
+    proptest! {
+        #[test]
+        fn locality_roundtrip(line in 0u64..(1 << 29)) {
+            let l = FieldLayout::locality(&org());
+            prop_assert_eq!(l.demap_line(&l.map_line(line)), line);
+        }
+
+        #[test]
+        fn mlp_roundtrip(line in 0u64..(1 << 29)) {
+            let l = FieldLayout::mlp(&org());
+            prop_assert_eq!(l.demap_line(&l.map_line(line)), line);
+        }
+
+        #[test]
+        fn map_stays_in_bounds(line in 0u64..(1 << 29)) {
+            let o = org();
+            for l in [FieldLayout::locality(&o), FieldLayout::mlp(&o)] {
+                let d = l.map_line(line);
+                prop_assert!(d.channel < o.channels);
+                prop_assert!(d.rank < o.ranks);
+                prop_assert!(d.bank_group < o.bank_groups);
+                prop_assert!(d.bank < o.banks);
+                prop_assert!(d.row < o.rows);
+                prop_assert!(d.col < o.cols);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The locality-centric `ChRaBgBkRoCo` mapping (paper Fig. 7(a)).
+
+use crate::addr::{DramAddr, PhysAddr};
+use crate::layout::FieldLayout;
+use crate::mapfn::MapFn;
+use crate::org::Organization;
+use serde::{Deserialize, Serialize};
+
+/// The locality-centric memory mapping installed by PIM-specific BIOS
+/// updates (paper §II-B, Fig. 2(e)).
+///
+/// Starting from the MSB the fields are laid out channel, rank, bank group,
+/// bank, row, column (`ChRaBgBkRoCo`), so a contiguous physical region the
+/// size of one bank maps entirely into a single memory bank. This is what
+/// lets bank-level PIM systems give each PIM core a private, contiguous
+/// slice of the physical address space — and what destroys memory-level
+/// parallelism for ordinary DRAM traffic (paper Fig. 8).
+///
+/// # Example
+///
+/// ```
+/// use pim_mapping::{LocalityCentric, MapFn, Organization, PhysAddr};
+/// let org = Organization::upmem_dimm(4, 2);
+/// let m = LocalityCentric::new(org);
+/// // A whole bank's worth of consecutive addresses lands in one bank.
+/// let first = m.map(PhysAddr(0));
+/// let last = m.map(PhysAddr(org.bank_bytes() - 64));
+/// assert_eq!(first.bank, last.bank);
+/// assert_eq!(first.channel, last.channel);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityCentric {
+    layout: FieldLayout,
+}
+
+impl LocalityCentric {
+    /// Build the locality-centric mapping for `org`.
+    pub fn new(org: Organization) -> Self {
+        LocalityCentric {
+            layout: FieldLayout::locality(&org),
+        }
+    }
+
+    /// The underlying bit-field layout.
+    pub fn layout(&self) -> &FieldLayout {
+        &self.layout
+    }
+}
+
+impl MapFn for LocalityCentric {
+    fn organization(&self) -> &Organization {
+        self.layout.organization()
+    }
+
+    fn map(&self, phys: PhysAddr) -> DramAddr {
+        self.layout.map(phys)
+    }
+
+    fn demap(&self, addr: &DramAddr) -> PhysAddr {
+        self.layout.demap(addr)
+    }
+
+    fn name(&self) -> &str {
+        "ChRaBgBkRoCo (locality-centric)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bank_sized_region_is_bank_local() {
+        let org = Organization::upmem_dimm(4, 2);
+        let m = LocalityCentric::new(org);
+        let base = m.map(PhysAddr(0));
+        let step = org.bank_bytes() / 17; // sample within the first bank
+        for i in 0..17 {
+            let d = m.map(PhysAddr(i * step).line_base());
+            assert_eq!(
+                (d.channel, d.rank, d.bank_group, d.bank),
+                (base.channel, base.rank, base.bank_group, base.bank)
+            );
+        }
+    }
+
+    #[test]
+    fn next_bank_starts_after_bank_span() {
+        let org = Organization::upmem_dimm(4, 2);
+        let m = LocalityCentric::new(org);
+        let a = m.map(PhysAddr(org.bank_bytes() - 64));
+        let b = m.map(PhysAddr(org.bank_bytes()));
+        assert_ne!((a.bank_group, a.bank), (b.bank_group, b.bank));
+        assert_eq!(b.row, 0);
+        assert_eq!(b.col, 0);
+    }
+
+    #[test]
+    fn channel_is_msb() {
+        let org = Organization::ddr4_dimm(4, 2);
+        let m = LocalityCentric::new(org);
+        // The lower quarter of the address space is all channel 0.
+        assert_eq!(m.map(PhysAddr(0)).channel, 0);
+        assert_eq!(m.map(PhysAddr(org.channel_bytes() - 64)).channel, 0);
+        assert_eq!(m.map(PhysAddr(org.channel_bytes())).channel, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(addr in 0u64..(32u64 << 30)) {
+            let m = LocalityCentric::new(Organization::ddr4_dimm(4, 2));
+            let phys = PhysAddr(addr).line_base();
+            prop_assert_eq!(m.demap(&m.map(phys)), phys);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The [`MapFn`] trait implemented by every mapping function.
+
+use crate::addr::{DramAddr, PhysAddr};
+use crate::org::Organization;
+
+/// A memory mapping function: a bijection between line-aligned physical
+/// addresses and DRAM addresses for a fixed [`Organization`].
+///
+/// Implementors must guarantee bijectivity (`demap(map(a)) == a` for every
+/// in-range address); the crate's property tests check this for all
+/// provided mappings.
+pub trait MapFn: Send + Sync {
+    /// The organization this function maps onto.
+    fn organization(&self) -> &Organization;
+
+    /// Translate a physical address to a DRAM address. The 64 B line offset
+    /// is dropped (all transactions are line-sized).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `phys` is outside the organization's capacity.
+    fn map(&self, phys: PhysAddr) -> DramAddr;
+
+    /// Inverse translation; returns the line-aligned physical address.
+    fn demap(&self, addr: &DramAddr) -> PhysAddr;
+
+    /// A short human-readable description (e.g. `"ChRaBgBkRoCo"`).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::LocalityCentric;
+    use crate::mlp::MlpCentric;
+
+    #[test]
+    fn trait_objects_work() {
+        let org = Organization::ddr4_dimm(2, 2);
+        let fns: Vec<Box<dyn MapFn>> = vec![
+            Box::new(LocalityCentric::new(org)),
+            Box::new(MlpCentric::new(org)),
+        ];
+        for f in &fns {
+            let d = f.map(PhysAddr(4096));
+            assert_eq!(f.demap(&d), PhysAddr(4096));
+            assert!(!f.name().is_empty());
+        }
+    }
+}

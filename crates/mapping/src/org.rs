@@ -1,0 +1,231 @@
+//! DRAM subsystem organization (channels / ranks / bank groups / banks /
+//! rows / columns).
+
+use crate::addr::{LINE_BYTES, LINE_SHIFT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The geometry of a DRAM (or PIM) memory subsystem.
+///
+/// All dimensions must be powers of two so that mapping functions can be
+/// expressed as bit-field permutations. `cols` is the number of 64 B bursts
+/// per row, so the row size in bytes is `cols * 64`.
+///
+/// # Example
+///
+/// ```
+/// use pim_mapping::Organization;
+/// let org = Organization::ddr4_dimm(4, 2);
+/// assert_eq!(org.total_bytes(), 32 << 30); // 32 GiB
+/// assert_eq!(org.row_bytes(), 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Organization {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Columns per row, in 64 B burst units.
+    pub cols: u32,
+}
+
+impl Organization {
+    /// Create an organization, validating that every dimension is a nonzero
+    /// power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or not a power of two.
+    pub fn new(
+        channels: u32,
+        ranks: u32,
+        bank_groups: u32,
+        banks: u32,
+        rows: u64,
+        cols: u32,
+    ) -> Self {
+        let org = Organization {
+            channels,
+            ranks,
+            bank_groups,
+            banks,
+            rows,
+            cols,
+        };
+        org.validate();
+        org
+    }
+
+    fn validate(&self) {
+        fn check(name: &str, v: u64) {
+            assert!(
+                v > 0 && v.is_power_of_two(),
+                "organization dimension `{name}` must be a nonzero power of two, got {v}"
+            );
+        }
+        check("channels", self.channels as u64);
+        check("ranks", self.ranks as u64);
+        check("bank_groups", self.bank_groups as u64);
+        check("banks", self.banks as u64);
+        check("rows", self.rows);
+        check("cols", self.cols as u64);
+    }
+
+    /// Standard DDR4 DIMM geometry used for the conventional-DRAM side of
+    /// the evaluated system (Table I): 4 bank groups x 4 banks, 8 KiB rows,
+    /// 32 Ki rows per bank (2 GiB per rank).
+    pub fn ddr4_dimm(channels: u32, ranks: u32) -> Self {
+        Organization::new(channels, ranks, 4, 4, 32768, 128)
+    }
+
+    /// UPMEM-like PIM DIMM geometry (Table I): one PIM core per bank,
+    /// 64 banks per rank (4 groups x 16 banks), 64 MiB MRAM per bank.
+    /// With 4 channels and 2 ranks this yields the paper's 512 PIM cores.
+    pub fn upmem_dimm(channels: u32, ranks: u32) -> Self {
+        Organization::new(channels, ranks, 4, 16, 8192, 128)
+    }
+
+    /// Number of banks per rank.
+    #[inline]
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks
+    }
+
+    /// Number of banks per channel.
+    #[inline]
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.banks_per_rank()
+    }
+
+    /// Total number of banks in the subsystem. Equals the number of PIM
+    /// cores when this is a bank-level PIM organization.
+    #[inline]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel()
+    }
+
+    /// Bytes per row.
+    #[inline]
+    pub fn row_bytes(&self) -> u64 {
+        self.cols as u64 * LINE_BYTES
+    }
+
+    /// Bytes per bank.
+    #[inline]
+    pub fn bank_bytes(&self) -> u64 {
+        self.rows * self.row_bytes()
+    }
+
+    /// Bytes per rank.
+    #[inline]
+    pub fn rank_bytes(&self) -> u64 {
+        self.banks_per_rank() as u64 * self.bank_bytes()
+    }
+
+    /// Bytes per channel.
+    #[inline]
+    pub fn channel_bytes(&self) -> u64 {
+        self.ranks as u64 * self.rank_bytes()
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.channels as u64 * self.channel_bytes()
+    }
+
+    /// Total capacity in 64 B lines.
+    #[inline]
+    pub fn total_lines(&self) -> u64 {
+        self.total_bytes() >> LINE_SHIFT
+    }
+
+    /// Bit widths of each field: (channel, rank, bank group, bank, row, col).
+    pub fn bit_widths(&self) -> (u32, u32, u32, u32, u32, u32) {
+        (
+            self.channels.trailing_zeros(),
+            self.ranks.trailing_zeros(),
+            self.bank_groups.trailing_zeros(),
+            self.banks.trailing_zeros(),
+            self.rows.trailing_zeros(),
+            self.cols.trailing_zeros(),
+        )
+    }
+
+    /// Number of physical-address bits covered by this organization above
+    /// the 64 B line offset.
+    pub fn line_addr_bits(&self) -> u32 {
+        let (c, r, g, b, ro, co) = self.bit_widths();
+        c + r + g + b + ro + co
+    }
+}
+
+impl fmt::Display for Organization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}ch x {}ra x {}bg x {}bk x {}rows x {}cols ({} GiB)",
+            self.channels,
+            self.ranks,
+            self.bank_groups,
+            self.banks,
+            self.rows,
+            self.cols,
+            self.total_bytes() >> 30
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_dimm_capacity() {
+        let org = Organization::ddr4_dimm(4, 2);
+        assert_eq!(org.row_bytes(), 8 << 10);
+        assert_eq!(org.bank_bytes(), 256 << 20);
+        assert_eq!(org.rank_bytes(), 4 << 30);
+        assert_eq!(org.channel_bytes(), 8 << 30);
+        assert_eq!(org.total_bytes(), 32 << 30);
+        assert_eq!(org.total_banks(), 128);
+    }
+
+    #[test]
+    fn upmem_dimm_matches_paper_pim_core_count() {
+        // Table I: 4 channels, 2 ranks per channel => 512 PIM cores.
+        let org = Organization::upmem_dimm(4, 2);
+        assert_eq!(org.total_banks(), 512);
+        // Each UPMEM DPU owns a 64 MiB MRAM bank.
+        assert_eq!(org.bank_bytes(), 64 << 20);
+        assert_eq!(org.total_bytes(), 32 << 30);
+    }
+
+    #[test]
+    fn bit_widths_sum() {
+        let org = Organization::ddr4_dimm(4, 2);
+        let (c, r, g, b, ro, co) = org.bit_widths();
+        assert_eq!((c, r, g, b, ro, co), (2, 1, 2, 2, 15, 7));
+        assert_eq!(org.line_addr_bits(), 29); // 32 GiB / 64 B = 2^29 lines
+        assert_eq!(org.total_lines(), 1 << 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Organization::new(3, 2, 4, 4, 32768, 128);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Organization::ddr4_dimm(4, 2).to_string();
+        assert!(s.contains("4ch"));
+        assert!(s.contains("32 GiB"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-bank PIM physical address space.
+//!
+//! Under the locality-centric mapping each PIM core's MRAM bank occupies a
+//! contiguous slice of the physical address space, so "the PIM address can
+//! be derived precisely using the PIM core ID and the base heap pointer
+//! value" (paper Fig. 10 caption). [`PimAddrSpace`] provides those
+//! derivations, matching the paper's `get_pim_core_id` (Algorithm 1).
+
+use crate::addr::{DramAddr, PhysAddr};
+use crate::org::Organization;
+use serde::{Deserialize, Serialize};
+
+/// The PIM partition of the physical address space, addressed per core.
+///
+/// # Example
+///
+/// ```
+/// use pim_mapping::{Organization, PimAddrSpace, PhysAddr};
+/// let org = Organization::upmem_dimm(4, 2);
+/// let space = PimAddrSpace::new(PhysAddr(32 << 30), org);
+/// assert_eq!(space.num_cores(), 512);
+///
+/// // Core 0's heap starts at the partition base.
+/// assert_eq!(space.core_phys(0, 0), PhysAddr(32 << 30));
+/// // Core IDs and addresses roundtrip.
+/// let (core, off) = space.locate(space.core_phys(137, 4096));
+/// assert_eq!((core, off), (137, 4096));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimAddrSpace {
+    base: PhysAddr,
+    org: Organization,
+}
+
+impl PimAddrSpace {
+    /// Create the PIM address space starting at physical address `base`
+    /// (i.e. just above the DRAM partition).
+    pub fn new(base: PhysAddr, org: Organization) -> Self {
+        PimAddrSpace { base, org }
+    }
+
+    /// Base physical address of the PIM partition.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// PIM organization.
+    pub fn organization(&self) -> &Organization {
+        &self.org
+    }
+
+    /// Total number of PIM cores (= number of MRAM banks).
+    pub fn num_cores(&self) -> u32 {
+        self.org.total_banks()
+    }
+
+    /// MRAM capacity per core, in bytes.
+    pub fn core_bytes(&self) -> u64 {
+        self.org.bank_bytes()
+    }
+
+    /// The paper's `get_pim_core_id(ra, bg, bk)` extended with the channel:
+    /// global core ID in physical-address order under the locality mapping.
+    pub fn core_id(&self, channel: u32, rank: u32, bank_group: u32, bank: u32) -> u32 {
+        debug_assert!(channel < self.org.channels);
+        debug_assert!(rank < self.org.ranks);
+        debug_assert!(bank_group < self.org.bank_groups);
+        debug_assert!(bank < self.org.banks);
+        ((channel * self.org.ranks + rank) * self.org.bank_groups + bank_group) * self.org.banks
+            + bank
+    }
+
+    /// Decompose a core ID into `(channel, rank, bank_group, bank)`.
+    pub fn core_coords(&self, core_id: u32) -> (u32, u32, u32, u32) {
+        assert!(core_id < self.num_cores(), "core {core_id} out of range");
+        let bank = core_id % self.org.banks;
+        let rest = core_id / self.org.banks;
+        let bank_group = rest % self.org.bank_groups;
+        let rest = rest / self.org.bank_groups;
+        let rank = rest % self.org.ranks;
+        let channel = rest / self.org.ranks;
+        (channel, rank, bank_group, bank)
+    }
+
+    /// The core owning a DRAM address within the PIM space.
+    pub fn core_of(&self, addr: &DramAddr) -> u32 {
+        self.core_id(addr.channel, addr.rank, addr.bank_group, addr.bank)
+    }
+
+    /// Physical address of byte `offset` within `core_id`'s MRAM heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_id` is out of range or `offset` exceeds the MRAM
+    /// capacity.
+    pub fn core_phys(&self, core_id: u32, offset: u64) -> PhysAddr {
+        assert!(core_id < self.num_cores(), "core {core_id} out of range");
+        assert!(
+            offset < self.core_bytes(),
+            "offset {offset} exceeds the {} B MRAM bank",
+            self.core_bytes()
+        );
+        PhysAddr(self.base.0 + core_id as u64 * self.core_bytes() + offset)
+    }
+
+    /// Inverse of [`core_phys`](Self::core_phys): which core and offset a
+    /// PIM physical address refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is below the base or past the last core.
+    pub fn locate(&self, phys: PhysAddr) -> (u32, u64) {
+        assert!(phys.0 >= self.base.0, "address {phys} below the PIM base");
+        let rel = phys.0 - self.base.0;
+        let core = rel / self.core_bytes();
+        assert!(
+            core < self.num_cores() as u64,
+            "address {phys} beyond the last PIM core"
+        );
+        (core as u32, rel % self.core_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::LocalityCentric;
+    use crate::mapfn::MapFn;
+    use proptest::prelude::*;
+
+    fn space() -> PimAddrSpace {
+        PimAddrSpace::new(PhysAddr(32 << 30), Organization::upmem_dimm(4, 2))
+    }
+
+    #[test]
+    fn core_count_matches_table1() {
+        assert_eq!(space().num_cores(), 512);
+        assert_eq!(space().core_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn core_ids_are_locality_contiguous() {
+        // Under the locality-centric mapping, core i's MRAM occupies the
+        // contiguous physical range [base + i*64MiB, base + (i+1)*64MiB).
+        let s = space();
+        let loc = LocalityCentric::new(*s.organization());
+        for core in [0u32, 1, 63, 64, 200, 511] {
+            let phys = s.core_phys(core, 0);
+            let rel = PhysAddr(phys.0 - s.base().0);
+            let d = loc.map(rel);
+            assert_eq!(s.core_of(&d), core);
+            assert_eq!(d.row, 0);
+            assert_eq!(d.col, 0);
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let s = space();
+        for id in 0..s.num_cores() {
+            let (c, r, g, b) = s.core_coords(id);
+            assert_eq!(s.core_id(c, r, g, b), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_core() {
+        space().core_phys(512, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_bad_offset() {
+        space().core_phys(0, 64 << 20);
+    }
+
+    proptest! {
+        #[test]
+        fn locate_roundtrip(core in 0u32..512, off in 0u64..(64 << 20)) {
+            let s = space();
+            prop_assert_eq!(s.locate(s.core_phys(core, off)), (core, off));
+        }
+    }
+}

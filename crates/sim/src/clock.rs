@@ -1,0 +1,91 @@
+//! The common simulation tick.
+//!
+//! All clock domains are expressed in an integer tick of 1/96 ns, chosen
+//! so that every frequency of interest has an integer period:
+//! 3.2 GHz core/DCE clock = 30 ticks, DDR4-2400 memory clock (833.3 ps) =
+//! 80 ticks, DDR4-3200 (625 ps) = 60 ticks.
+
+/// Simulation ticks per nanosecond.
+pub const TICKS_PER_NS: u64 = 96;
+
+/// Convert ticks to nanoseconds.
+#[inline]
+pub fn ticks_to_ns(ticks: u64) -> f64 {
+    ticks as f64 / TICKS_PER_NS as f64
+}
+
+/// Convert nanoseconds to ticks (rounding up).
+#[inline]
+pub fn ns_to_ticks(ns: f64) -> u64 {
+    (ns * TICKS_PER_NS as f64).ceil() as u64
+}
+
+/// A periodic clock domain: fires at `period`-tick intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    /// Ticks between edges.
+    pub period: u64,
+    /// Tick of the next edge.
+    pub next: u64,
+}
+
+impl Clock {
+    /// A clock from a period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period does not divide into whole ticks
+    /// (1 tick = 125/12 ps), i.e. `ps * 96` must be a multiple of 1000.
+    pub fn from_period_ps(ps: u64) -> Self {
+        let scaled = ps * TICKS_PER_NS;
+        // Allow sub-1% rounding (312 ps for 3.2 GHz stores as 30 ticks).
+        let period = (scaled as f64 / 1000.0).round() as u64;
+        assert!(period > 0, "period {ps} ps too small for the tick base");
+        Clock { period, next: 0 }
+    }
+
+    /// Whether this clock has an edge at or before `t`; if so, advance.
+    #[inline]
+    pub fn due(&mut self, t: u64) -> bool {
+        if t >= self.next {
+            self.next += self.period;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_periods() {
+        assert_eq!(Clock::from_period_ps(312).period, 30); // 3.2 GHz
+        assert_eq!(Clock::from_period_ps(833).period, 80); // DDR4-2400
+        assert_eq!(Clock::from_period_ps(625).period, 60); // DDR4-3200
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(ns_to_ticks(ticks_to_ns(960)), 960);
+        assert_eq!(ns_to_ticks(1.0), 96);
+        assert!((ticks_to_ns(48) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn due_fires_every_period() {
+        let mut c = Clock {
+            period: 30,
+            next: 0,
+        };
+        let mut edges = 0;
+        for t in 0..300 {
+            if c.due(t) {
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! System-level simulator for the PIM-MMU evaluation.
+//!
+//! Combines the substrate crates into the evaluated machine (Table I):
+//! an 8-core CPU cluster ([`pim_cpu`]), per-channel DDR4 memory
+//! controllers for the DRAM and PIM DIMMs ([`pim_dram`]), the Data Copy
+//! Engine ([`pim_mmu`]) and the energy model ([`pim_energy`]) — advanced
+//! on two clock domains (3.2 GHz core/engine clock, 1.2 GHz DDR4-2400
+//! memory clock) over a common integer tick of 1/96 ns.
+//!
+//! The four design points of the paper's ablation (Fig. 15) are selected
+//! with [`DesignPoint`]:
+//!
+//! | design | copy path | DRAM mapping | PIM scheduling |
+//! |---|---|---|---|
+//! | `Baseline` | multi-threaded AVX software | locality (homogeneous) | OS threads |
+//! | `BaseD` | DCE, coarse | locality (homogeneous) | descriptor order |
+//! | `BaseDH` | DCE, coarse | HetMap (MLP-centric DRAM) | descriptor order |
+//! | `BaseDHP` | DCE + PIM-MS | HetMap | Algorithm 1 |
+
+pub mod clock;
+pub mod config;
+pub mod result;
+pub mod system;
+pub mod transfer;
+
+pub use clock::{ns_to_ticks, ticks_to_ns, Clock, TICKS_PER_NS};
+pub use config::{DesignPoint, SystemConfig, ThreadAssignment};
+pub use result::{PowerSample, TransferResult};
+pub use system::System;
+pub use transfer::{run_memcpy, run_transfer, ContenderSpec, TransferSpec, HOST_BUFFER_BASE};

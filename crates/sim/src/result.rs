@@ -1,0 +1,82 @@
+//! Experiment result records.
+
+use pim_energy::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// One sampling window of system activity (Fig. 4's time series).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Window end, ns since simulation start.
+    pub t_ns: f64,
+    /// CPU cores active during the window.
+    pub active_cores: u32,
+    /// Average system power over the window, W.
+    pub watts: f64,
+}
+
+/// Result of one simulated DRAM↔PIM (or DRAM↔DRAM) transfer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferResult {
+    /// Design-point label ("Base", "Base+D+H+P", ...).
+    pub design: String,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// End-to-end latency in nanoseconds (including driver/interrupt
+    /// overheads for DCE designs).
+    pub elapsed_ns: f64,
+    /// Energy consumed over the transfer.
+    pub energy: EnergyBreakdown,
+    /// Power/activity time series.
+    pub power_samples: Vec<PowerSample>,
+    /// Per-PIM-channel written bytes per sampling window
+    /// (`pim_channel_windows[ch][w]`, Fig. 6's stacked series).
+    pub pim_channel_windows: Vec<Vec<u64>>,
+    /// Per-DRAM-channel read+written bytes per sampling window.
+    pub dram_channel_windows: Vec<Vec<u64>>,
+    /// PIM-side data-bus utilization in `[0, 1]`.
+    pub pim_bus_utilization: f64,
+    /// DRAM-side data-bus utilization in `[0, 1]`.
+    pub dram_bus_utilization: f64,
+}
+
+impl TransferResult {
+    /// Achieved throughput in (decimal) GB/s.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed_ns
+    }
+
+    /// Energy efficiency in bytes per microjoule.
+    pub fn bytes_per_uj(&self) -> f64 {
+        let uj = self.energy.total_mj() * 1e3;
+        if uj <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / uj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let r = TransferResult {
+            design: "Base".into(),
+            bytes: 64 << 20,
+            elapsed_ns: 1e6, // 1 ms
+            energy: EnergyBreakdown::default(),
+            power_samples: vec![],
+            pim_channel_windows: vec![],
+            dram_channel_windows: vec![],
+            pim_bus_utilization: 0.0,
+            dram_bus_utilization: 0.0,
+        };
+        // 64 MiB in 1 ms = 67.1 GB/s.
+        assert!((r.throughput_gbps() - 67.108864).abs() < 1e-6);
+        assert_eq!(r.bytes_per_uj(), 0.0);
+    }
+}

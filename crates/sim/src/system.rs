@@ -1,0 +1,390 @@
+//! The assembled system: CPU cluster + DCE + DRAM/PIM memory controllers
+//! on their clock domains.
+
+use crate::clock::{ticks_to_ns, Clock, TICKS_PER_NS};
+use crate::config::SystemConfig;
+use crate::result::PowerSample;
+use pim_cpu::{CpuCluster, Thread};
+use pim_dram::MemController;
+use pim_energy::ActivityCounts;
+use pim_mapping::{HetMap, MemSpace, PimAddrSpace};
+use pim_mmu::dce::DCE_SOURCE;
+use pim_mmu::Dce;
+
+/// The evaluated machine.
+pub struct System {
+    /// Configuration in force.
+    pub cfg: SystemConfig,
+    mapper: HetMap,
+    cluster: CpuCluster,
+    dce: Option<Dce>,
+    dram: Vec<MemController>,
+    pim: Vec<MemController>,
+    t: u64,
+    cpu_clk: Clock,
+    dram_clk: Clock,
+    pim_clk: Clock,
+    dce_clk: Clock,
+    sample_clk: Clock,
+    snap: Snapshot,
+    power_samples: Vec<PowerSample>,
+}
+
+/// Raw counter snapshot for windowed power computation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    t_ns: f64,
+    core_active: u64,
+    avx_instr: u64,
+    llc: u64,
+    acts: u64,
+    reads: u64,
+    writes: u64,
+    refreshes: u64,
+    dce_lines: u64,
+}
+
+impl System {
+    /// Build a system running `threads` on the CPU; a DCE is instantiated
+    /// iff the design point uses one.
+    pub fn new(cfg: SystemConfig, threads: Vec<Thread>) -> Self {
+        let mapper = cfg.mapper();
+        let cluster = CpuCluster::new(cfg.cpu, mapper.clone(), threads);
+        let dce = cfg.design.uses_dce().then(|| {
+            let space = PimAddrSpace::new(mapper.pim_base(), cfg.pim_org);
+            Dce::new(cfg.dce, mapper.clone(), space)
+        });
+        let ctrl_cfg = cfg.controller_config();
+        let dram = (0..cfg.dram_org.channels)
+            .map(|_| MemController::with_config(cfg.dram_org, cfg.dram_timing, ctrl_cfg))
+            .collect();
+        let pim = (0..cfg.pim_org.channels)
+            .map(|_| MemController::with_config(cfg.pim_org, cfg.pim_timing, ctrl_cfg))
+            .collect();
+        let sample_ticks = (cfg.sample_ns * TICKS_PER_NS as f64) as u64;
+        System {
+            mapper,
+            cluster,
+            dce,
+            dram,
+            pim,
+            t: 0,
+            cpu_clk: Clock::from_period_ps(cfg.cpu.period_ps()),
+            dram_clk: Clock::from_period_ps(cfg.dram_timing.t_ck_ps),
+            pim_clk: Clock::from_period_ps(cfg.pim_timing.t_ck_ps),
+            dce_clk: Clock::from_period_ps(cfg.dce.period_ps()),
+            sample_clk: Clock {
+                period: sample_ticks.max(1),
+                next: sample_ticks.max(1),
+            },
+            snap: Snapshot::default(),
+            power_samples: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The memory mapping installed by this design.
+    pub fn mapper(&self) -> &HetMap {
+        &self.mapper
+    }
+
+    /// The CPU cluster.
+    pub fn cluster(&self) -> &CpuCluster {
+        &self.cluster
+    }
+
+    /// The DCE, when present.
+    pub fn dce(&self) -> Option<&Dce> {
+        self.dce.as_ref()
+    }
+
+    /// Mutable DCE access (for job submission).
+    pub fn dce_mut(&mut self) -> Option<&mut Dce> {
+        self.dce.as_mut()
+    }
+
+    /// DRAM-side controllers.
+    pub fn dram_controllers(&self) -> &[MemController] {
+        &self.dram
+    }
+
+    /// PIM-side controllers.
+    pub fn pim_controllers(&self) -> &[MemController] {
+        &self.pim
+    }
+
+    /// Power/activity samples collected so far.
+    pub fn power_samples(&self) -> &[PowerSample] {
+        &self.power_samples
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        ticks_to_ns(self.t)
+    }
+
+    fn route(&mut self, space: MemSpace, channel: u32) -> &mut MemController {
+        match space {
+            MemSpace::Dram => &mut self.dram[channel as usize],
+            MemSpace::Pim => &mut self.pim[channel as usize],
+        }
+    }
+
+    fn drain_cluster_outbox(&mut self) {
+        loop {
+            let Some(front) = self.cluster.outbox_mut().front().copied() else {
+                return;
+            };
+            let ctrl = self.route(front.space, front.req.addr.channel);
+            if ctrl.can_accept(front.req.kind) {
+                ctrl.enqueue(front.req).expect("capacity checked");
+                self.cluster.outbox_mut().pop_front();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn drain_dce_outbox(&mut self) {
+        let Some(dce) = &mut self.dce else { return };
+        loop {
+            let Some(front) = dce.outbox_mut().front().copied() else {
+                return;
+            };
+            let ctrl = match front.space {
+                MemSpace::Dram => &mut self.dram[front.req.addr.channel as usize],
+                MemSpace::Pim => &mut self.pim[front.req.addr.channel as usize],
+            };
+            if ctrl.can_accept(front.req.kind) {
+                ctrl.enqueue(front.req).expect("capacity checked");
+                dce.outbox_mut().pop_front();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn tick_controllers(&mut self, space: MemSpace) {
+        let ctrls = match space {
+            MemSpace::Dram => &mut self.dram,
+            MemSpace::Pim => &mut self.pim,
+        };
+        let mut completions = Vec::new();
+        for c in ctrls.iter_mut() {
+            c.tick();
+            completions.extend(c.drain_completions());
+        }
+        for c in completions {
+            if c.source.0 == DCE_SOURCE {
+                if let Some(dce) = &mut self.dce {
+                    dce.on_completion(c);
+                }
+            } else {
+                self.cluster.on_completion(c);
+            }
+        }
+    }
+
+    /// Advance the simulation by one event (the earliest due clock edge).
+    pub fn step(&mut self) {
+        let mut next = self.cpu_clk.next.min(self.dram_clk.next).min(self.pim_clk.next);
+        if self.dce.is_some() {
+            next = next.min(self.dce_clk.next);
+        }
+        next = next.min(self.sample_clk.next);
+        self.t = next;
+
+        if self.cpu_clk.due(next) {
+            self.cluster.tick();
+            self.drain_cluster_outbox();
+        }
+        if self.dce.is_some() && self.dce_clk.due(next) {
+            self.dce.as_mut().expect("checked").tick();
+            self.drain_dce_outbox();
+        }
+        if self.dram_clk.due(next) {
+            self.tick_controllers(MemSpace::Dram);
+            // Controllers freed queue slots: top the queues back up.
+            self.drain_cluster_outbox();
+            self.drain_dce_outbox();
+        }
+        if self.pim_clk.due(next) {
+            self.tick_controllers(MemSpace::Pim);
+            self.drain_cluster_outbox();
+            self.drain_dce_outbox();
+        }
+        if self.sample_clk.due(next) {
+            self.sample();
+        }
+    }
+
+    /// Run until `pred` returns true or `max_ns` elapses. Returns whether
+    /// the predicate fired.
+    pub fn run_until(&mut self, max_ns: f64, mut pred: impl FnMut(&System) -> bool) -> bool {
+        let max_ticks = (max_ns * TICKS_PER_NS as f64) as u64;
+        while self.t < max_ticks {
+            if pred(self) {
+                return true;
+            }
+            self.step();
+        }
+        pred(self)
+    }
+
+    fn totals(&self) -> Snapshot {
+        let cs = self.cluster.core_stats();
+        let mut s = Snapshot {
+            t_ns: self.now_ns(),
+            core_active: cs.iter().map(|c| c.busy_cycles).sum(),
+            avx_instr: self.cluster.stats().retired_transfer,
+            llc: self.cluster.llc().hits + self.cluster.llc().misses,
+            ..Snapshot::default()
+        };
+        for c in self.dram.iter().chain(self.pim.iter()) {
+            let st = c.stats();
+            s.acts += st.activates;
+            s.reads += st.reads;
+            s.writes += st.writes;
+            s.refreshes += st.refreshes;
+        }
+        if let Some(dce) = &self.dce {
+            s.dce_lines = dce.stats().lines_done;
+        }
+        s
+    }
+
+    /// Activity since `snap`, as energy-model input.
+    fn delta_counts(&self, snap: &Snapshot, now: &Snapshot) -> ActivityCounts {
+        ActivityCounts {
+            duration_ns: now.t_ns - snap.t_ns,
+            cores: self.cfg.cpu.cores,
+            core_active_cycles: now.core_active - snap.core_active,
+            // AVX premium applied per transfer-loop instruction.
+            avx_cycles: now.avx_instr - snap.avx_instr,
+            llc_accesses: now.llc - snap.llc,
+            ranks: self.cfg.dram_org.channels * self.cfg.dram_org.ranks
+                + self.cfg.pim_org.channels * self.cfg.pim_org.ranks,
+            dram_acts: now.acts - snap.acts,
+            dram_reads: now.reads - snap.reads,
+            dram_writes: now.writes - snap.writes,
+            dram_refreshes: now.refreshes - snap.refreshes,
+            dce_lines: now.dce_lines - snap.dce_lines,
+            pimmmu_present: self.dce.is_some(),
+        }
+    }
+
+    fn sample(&mut self) {
+        self.cluster.sample_active_cores();
+        for c in self.dram.iter_mut().chain(self.pim.iter_mut()) {
+            let clock = c.clock();
+            c.stats_mut().sample_window(clock);
+        }
+        let now = self.totals();
+        let counts = self.delta_counts(&self.snap.clone(), &now);
+        let watts = counts.avg_power_w(&self.cfg.power);
+        let active = self
+            .cluster
+            .stats()
+            .active_samples
+            .last()
+            .map(|&(_, a)| a)
+            .unwrap_or(0);
+        self.power_samples.push(PowerSample {
+            t_ns: now.t_ns,
+            active_cores: active,
+            watts,
+        });
+        self.snap = now;
+    }
+
+    /// Close the trailing (partial) sampling window so stats/time-series
+    /// include everything up to the current cycle.
+    pub fn finish_sampling(&mut self) {
+        self.sample();
+    }
+
+    /// Total activity from simulation start (for whole-run energy).
+    pub fn total_activity(&self) -> ActivityCounts {
+        self.delta_counts(&Snapshot::default(), &self.totals())
+    }
+
+    /// Aggregate data-bus utilization over one controller group.
+    pub fn bus_utilization(&self, space: MemSpace) -> f64 {
+        let ctrls = match space {
+            MemSpace::Dram => &self.dram,
+            MemSpace::Pim => &self.pim,
+        };
+        let n = ctrls.len().max(1) as f64;
+        ctrls.iter().map(|c| c.stats().bus_utilization()).sum::<f64>() / n
+    }
+
+    /// Whether all controllers are fully drained.
+    pub fn memory_idle(&self) -> bool {
+        self.dram.iter().chain(self.pim.iter()).all(|c| c.idle())
+    }
+
+    /// Mutable access to the cluster (for wiring additional threads'
+    /// completion checks in tests).
+    pub fn cluster_mut(&mut self) -> &mut CpuCluster {
+        &mut self.cluster
+    }
+
+    /// Sum of written bytes on each PIM channel per sampling window.
+    pub fn pim_channel_write_windows(&self) -> Vec<Vec<u64>> {
+        self.pim
+            .iter()
+            .map(|c| c.stats().windows.iter().map(|w| w.bytes_written).collect())
+            .collect()
+    }
+
+    /// Read+written bytes on each DRAM channel per sampling window.
+    pub fn dram_channel_windows(&self) -> Vec<Vec<u64>> {
+        self.dram
+            .iter()
+            .map(|c| {
+                c.stats()
+                    .windows
+                    .iter()
+                    .map(|w| w.bytes_read + w.bytes_written)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesignPoint;
+
+    #[test]
+    fn empty_system_advances_time() {
+        let cfg = SystemConfig::table1(DesignPoint::Baseline);
+        let mut sys = System::new(cfg, vec![]);
+        let done = sys.run_until(10_000.0, |_| false);
+        assert!(!done);
+        assert!(sys.now_ns() >= 10_000.0 - 1.0);
+        assert!(sys.memory_idle());
+    }
+
+    #[test]
+    fn dce_present_only_when_designed() {
+        let sys = System::new(SystemConfig::table1(DesignPoint::Baseline), vec![]);
+        assert!(sys.dce().is_none());
+        let sys = System::new(SystemConfig::table1(DesignPoint::BaseDHP), vec![]);
+        assert!(sys.dce().is_some());
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let mut cfg = SystemConfig::table1(DesignPoint::Baseline);
+        cfg.sample_ns = 1000.0;
+        let mut sys = System::new(cfg, vec![]);
+        sys.run_until(10_500.0, |_| false);
+        assert!(sys.power_samples().len() >= 10);
+        // Idle system: only the static floor, zero active cores.
+        let s = sys.power_samples().last().unwrap();
+        assert_eq!(s.active_cores, 0);
+        assert!(s.watts > 30.0 && s.watts < 65.0, "{}", s.watts);
+    }
+}

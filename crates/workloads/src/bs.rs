@@ -1,0 +1,117 @@
+//! BS — binary search: queries against a sorted array partitioned across
+//! DPUs. The dominant cost is shipping the sorted array to PIM — the
+//! paper's most extreme transfer-bound case (99.7 % of end-to-end time).
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Sorted-array search: each DPU owns a contiguous key range and answers
+/// the queries that fall inside it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinarySearch;
+
+/// Per-DPU kernel: binary-search `queries` in `slice`; returns
+/// `(query_index, position_within_slice)` for hits.
+pub fn dpu_kernel(slice: &[u64], queries: &[(usize, u64)]) -> Vec<(usize, usize)> {
+    queries
+        .iter()
+        .filter_map(|&(qi, q)| slice.binary_search(&q).ok().map(|pos| (qi, pos)))
+        .collect()
+}
+
+impl PimWorkload for BinarySearch {
+    fn name(&self) -> &'static str {
+        "BS"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let n = 1 << 14;
+        let n_queries = 512;
+        let mut rng = Xorshift::new(seed);
+        // Strictly increasing keys.
+        let mut keys: Vec<u64> = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for _ in 0..n {
+            acc += 1 + rng.below(5);
+            keys.push(acc);
+        }
+        // Half the queries hit, half miss.
+        let queries: Vec<(usize, u64)> = (0..n_queries)
+            .map(|qi| {
+                let hit = qi % 2 == 0;
+                let q = if hit {
+                    keys[rng.below(n as u64) as usize]
+                } else {
+                    // Misses: beyond the maximum key.
+                    acc + 1 + rng.below(100)
+                };
+                (qi, q)
+            })
+            .collect();
+
+        // Each DPU searches its slice; the router sends a query to the
+        // DPU whose key range covers it.
+        let mut found = std::collections::HashMap::new();
+        for r in ranges(n, n_dpus) {
+            if r.is_empty() {
+                continue;
+            }
+            let slice = &keys[r.clone()];
+            let in_range: Vec<(usize, u64)> = queries
+                .iter()
+                .filter(|&&(_, q)| q >= slice[0] && q <= *slice.last().expect("nonempty"))
+                .copied()
+                .collect();
+            for (qi, pos) in dpu_kernel(slice, &in_range) {
+                found.insert(qi, r.start + pos);
+            }
+        }
+
+        let verified = queries.iter().all(|&(qi, q)| match keys.binary_search(&q) {
+            Ok(pos) => found.get(&qi) == Some(&pos),
+            Err(_) => !found.contains_key(&qi),
+        });
+        FunctionalResult {
+            bytes_in: (n as u64) * 8 + n_queries as u64 * 8,
+            bytes_out: found.len() as u64 * 8,
+            verified,
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: (512 << 20) + (16 << 20),
+            out_bytes: 16 << 20,
+            // Probing touches O(log n) cache lines per query: almost no
+            // kernel time relative to shipping the array.
+            dpu_rate_gbps: 5.0,
+            fixed_kernel_ms: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_verified() {
+        for n in [1, 4, 33] {
+            assert!(BinarySearch.run_functional(n, 77).verified, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bs_is_the_most_transfer_bound_workload() {
+        // Kernel under 1 ms at 512 DPUs while the transfer is ~60 ms.
+        let p = BinarySearch.profile();
+        assert!(p.kernel_ms(512) < 1.0);
+    }
+
+    #[test]
+    fn kernel_reports_hits_only() {
+        let slice = [10u64, 20, 30];
+        let qs = [(0usize, 20u64), (1, 25)];
+        assert_eq!(dpu_kernel(&slice, &qs), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,110 @@
+//! HST-S / HST-L — histogram with small and large bin counts.
+//!
+//! Each DPU builds a private histogram of its slice; the host reduces.
+//! HST-L's larger bin table spills out of the DPUs' working memory and
+//! runs slower — captured by its lower effective rate.
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Per-DPU kernel: histogram one slice into `bins` buckets.
+pub fn dpu_kernel(slice: &[u32], bins: usize) -> Vec<u64> {
+    let mut h = vec![0u64; bins];
+    for &x in slice {
+        h[x as usize % bins] += 1;
+    }
+    h
+}
+
+fn run(bins: usize, n_dpus: u32, seed: u64) -> FunctionalResult {
+    let n = 1 << 14;
+    let mut rng = Xorshift::new(seed);
+    let input = rng.vec_u32(n);
+
+    let mut merged = vec![0u64; bins];
+    for r in ranges(n, n_dpus) {
+        for (b, c) in dpu_kernel(&input[r], bins).into_iter().enumerate() {
+            merged[b] += c;
+        }
+    }
+    let reference = dpu_kernel(&input, bins);
+    FunctionalResult {
+        bytes_in: n as u64 * 4,
+        bytes_out: bins as u64 * 8 * n_dpus as u64,
+        verified: merged == reference && merged.iter().sum::<u64>() == n as u64,
+    }
+}
+
+/// Small-bin histogram (256 bins — fits in DPU WRAM).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramSmall;
+
+impl PimWorkload for HistogramSmall {
+    fn name(&self) -> &'static str {
+        "HST-S"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        run(256, n_dpus, seed)
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 384 << 20,
+            out_bytes: 1 << 20,
+            dpu_rate_gbps: 0.06,
+            fixed_kernel_ms: 0.5,
+        }
+    }
+}
+
+/// Large-bin histogram (64 Ki bins — spills to MRAM, slower updates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramLarge;
+
+impl PimWorkload for HistogramLarge {
+    fn name(&self) -> &'static str {
+        "HST-L"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        run(1 << 16, n_dpus, seed)
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 384 << 20,
+            out_bytes: 32 << 20,
+            dpu_rate_gbps: 0.035,
+            fixed_kernel_ms: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_verify() {
+        for n in [1, 8, 64] {
+            assert!(HistogramSmall.run_functional(n, 1).verified);
+            assert!(HistogramLarge.run_functional(n, 1).verified);
+        }
+    }
+
+    #[test]
+    fn large_is_slower_than_small() {
+        assert!(
+            HistogramLarge.profile().kernel_ms(512) > HistogramSmall.profile().kernel_ms(512)
+        );
+    }
+
+    #[test]
+    fn kernel_counts_everything() {
+        let h = dpu_kernel(&[0, 1, 1, 255, 256], 256);
+        assert_eq!(h[0], 2); // 0 and 256
+        assert_eq!(h[1], 2);
+        assert_eq!(h[255], 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! The §V microbenchmarks: CPU-DPU (the PrIM DRAM↔PIM transfer
+//! microbenchmark) and the AVX-stream `memcpy`.
+//!
+//! These carry no kernels — they exist to measure transfer throughput and
+//! feed Fig. 6/8/14/15. The structs here document their parameter spaces;
+//! the actual simulation is driven by `pim_sim::run_transfer` /
+//! `pim_sim::run_memcpy`.
+
+use serde::{Deserialize, Serialize};
+
+/// The transfer sizes swept in Fig. 15.
+pub const FIG15_SIZES_MB: [u64; 5] = [1, 4, 16, 64, 256];
+
+/// The CPU-DPU transfer microbenchmark from PrIM (§V): a bulk
+/// `dpu_push_xfer` over all PIM cores, in one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuDpuMicrobench {
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// PIM cores targeted.
+    pub n_cores: u32,
+}
+
+impl CpuDpuMicrobench {
+    /// The paper's sweep point at `mb` megabytes over all 512 cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is not one of the Fig. 15 sizes.
+    pub fn fig15(mb: u64) -> Self {
+        assert!(
+            FIG15_SIZES_MB.contains(&mb),
+            "Fig. 15 sweeps {FIG15_SIZES_MB:?} MB, got {mb}"
+        );
+        CpuDpuMicrobench {
+            total_bytes: mb << 20,
+            n_cores: 512,
+        }
+    }
+
+    /// Per-core bytes.
+    pub fn per_core(&self) -> u64 {
+        self.total_bytes / self.n_cores as u64
+    }
+}
+
+/// The multi-threaded AVX-512 streaming `memcpy` microbenchmark (§V,
+/// `_mm512_stream_si512`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemcpyMicrobench {
+    /// Bytes copied.
+    pub bytes: u64,
+    /// Software threads.
+    pub threads: u32,
+}
+
+impl Default for MemcpyMicrobench {
+    fn default() -> Self {
+        MemcpyMicrobench {
+            bytes: 64 << 20,
+            threads: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_points() {
+        let m = CpuDpuMicrobench::fig15(64);
+        assert_eq!(m.per_core(), (64 << 20) / 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 15 sweeps")]
+    fn rejects_off_sweep_sizes() {
+        CpuDpuMicrobench::fig15(3);
+    }
+}

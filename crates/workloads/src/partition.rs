@@ -1,0 +1,87 @@
+//! Partitioning helpers shared by the workloads.
+
+/// Split `n` items into `parts` balanced contiguous ranges (the standard
+/// PrIM partitioning: each DPU gets a contiguous slice, sized as evenly
+/// as possible).
+pub fn ranges(n: usize, parts: u32) -> Vec<std::ops::Range<usize>> {
+    let parts = parts as usize;
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A simple deterministic xorshift generator for workload inputs (keeps
+/// the crate independent of `rand` for reproducibility-critical paths).
+#[derive(Debug, Clone)]
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeded generator (seed 0 is mapped to a nonzero state).
+    pub fn new(seed: u64) -> Self {
+        Xorshift(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// A vector of `n` `u32`s.
+    pub fn vec_u32(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.next_u64() as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_everything_once() {
+        let rs = ranges(103, 8);
+        assert_eq!(rs.len(), 8);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs.last().unwrap().end, 103);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 103);
+        // Balanced within 1.
+        let min = rs.iter().map(|r| r.len()).min().unwrap();
+        let max = rs.iter().map(|r| r.len()).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn ranges_with_fewer_items_than_parts() {
+        let rs = ranges(3, 8);
+        let nonempty = rs.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 3);
+        assert_eq!(rs.last().unwrap().end, 3);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(Xorshift::new(7).below(10) < 10);
+    }
+}

@@ -1,0 +1,60 @@
+//! RED — global reduction (sum).
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Tree reduction: each DPU sums its slice, the host sums the partials.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reduction;
+
+/// Per-DPU kernel: sum a slice.
+pub fn dpu_kernel(slice: &[u32]) -> u64 {
+    slice.iter().map(|&x| x as u64).sum()
+}
+
+impl PimWorkload for Reduction {
+    fn name(&self) -> &'static str {
+        "RED"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let n = 1 << 15;
+        let mut rng = Xorshift::new(seed);
+        let input = rng.vec_u32(n);
+        let total: u64 = ranges(n, n_dpus)
+            .into_iter()
+            .map(|r| dpu_kernel(&input[r]))
+            .sum();
+        FunctionalResult {
+            bytes_in: n as u64 * 4,
+            bytes_out: n_dpus as u64 * 8,
+            verified: total == dpu_kernel(&input),
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 512 << 20,
+            out_bytes: 1 << 20,
+            dpu_rate_gbps: 0.1,
+            fixed_kernel_ms: 0.3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_sum_matches() {
+        for n in [1, 13, 64] {
+            assert!(Reduction.run_functional(n, 5).verified, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn kernel_sums() {
+        assert_eq!(dpu_kernel(&[u32::MAX, 1]), u32::MAX as u64 + 1);
+    }
+}

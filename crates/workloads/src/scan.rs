@@ -1,0 +1,157 @@
+//! SCAN-SSA / SCAN-RSS — exclusive prefix sum, two PrIM strategies.
+//!
+//! * **SSA** (scan-scan-add): every DPU scans its slice immediately, the
+//!   host scans the per-DPU totals, and a second kernel adds each DPU's
+//!   base offset.
+//! * **RSS** (reduce-scan-scan): every DPU first only *reduces* its
+//!   slice, the host scans the totals, and a single second kernel does
+//!   the local scan seeded with the base offset (fewer MRAM passes —
+//!   faster, hence the different profile).
+//!
+//! Both produce identical results; the tests assert that equivalence.
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Per-DPU local exclusive scan from `base`; returns (scanned, total).
+pub fn dpu_scan(slice: &[u32], base: u64) -> (Vec<u64>, u64) {
+    let mut out = Vec::with_capacity(slice.len());
+    let mut acc = base;
+    for &x in slice {
+        out.push(acc);
+        acc += x as u64;
+    }
+    (out, acc - base)
+}
+
+fn host_reference(input: &[u32]) -> Vec<u64> {
+    dpu_scan(input, 0).0
+}
+
+fn run_ssa(n_dpus: u32, seed: u64) -> FunctionalResult {
+    let n = 1 << 14;
+    let mut rng = Xorshift::new(seed);
+    let input = rng.vec_u32(n);
+    // Kernel 1: local scans (from zero) + totals.
+    let parts: Vec<(Vec<u64>, u64)> = ranges(n, n_dpus)
+        .into_iter()
+        .map(|r| dpu_scan(&input[r], 0))
+        .collect();
+    // Host: exclusive scan of totals.
+    let mut bases = Vec::with_capacity(parts.len());
+    let mut acc = 0u64;
+    for (_, total) in &parts {
+        bases.push(acc);
+        acc += total;
+    }
+    // Kernel 2: add the base offset.
+    let mut out = Vec::with_capacity(n);
+    for ((scanned, _), base) in parts.into_iter().zip(bases) {
+        out.extend(scanned.into_iter().map(|v| v + base));
+    }
+    FunctionalResult {
+        bytes_in: n as u64 * 4,
+        bytes_out: n as u64 * 8,
+        verified: out == host_reference(&input),
+    }
+}
+
+fn run_rss(n_dpus: u32, seed: u64) -> FunctionalResult {
+    let n = 1 << 14;
+    let mut rng = Xorshift::new(seed);
+    let input = rng.vec_u32(n);
+    let rs = ranges(n, n_dpus);
+    // Kernel 1: reduce only.
+    let totals: Vec<u64> = rs
+        .iter()
+        .map(|r| input[r.clone()].iter().map(|&x| x as u64).sum())
+        .collect();
+    // Host scan of totals.
+    let mut bases = Vec::with_capacity(totals.len());
+    let mut acc = 0u64;
+    for t in &totals {
+        bases.push(acc);
+        acc += t;
+    }
+    // Kernel 2: local scan seeded with the base.
+    let mut out = Vec::with_capacity(n);
+    for (r, base) in rs.into_iter().zip(bases) {
+        out.extend(dpu_scan(&input[r], base).0);
+    }
+    FunctionalResult {
+        bytes_in: n as u64 * 4,
+        bytes_out: n as u64 * 8,
+        verified: out == host_reference(&input),
+    }
+}
+
+/// Scan-scan-add.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanSsa;
+
+impl PimWorkload for ScanSsa {
+    fn name(&self) -> &'static str {
+        "SCAN-SSA"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        run_ssa(n_dpus, seed)
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 256 << 20,
+            out_bytes: 256 << 20,
+            dpu_rate_gbps: 0.04,
+            fixed_kernel_ms: 1.0,
+        }
+    }
+}
+
+/// Reduce-scan-scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanRss;
+
+impl PimWorkload for ScanRss {
+    fn name(&self) -> &'static str {
+        "SCAN-RSS"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        run_rss(n_dpus, seed)
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 256 << 20,
+            out_bytes: 256 << 20,
+            dpu_rate_gbps: 0.05,
+            fixed_kernel_ms: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_strategies_verify() {
+        for n in [1, 3, 17, 64] {
+            assert!(ScanSsa.run_functional(n, 8).verified, "SSA n = {n}");
+            assert!(ScanRss.run_functional(n, 8).verified, "RSS n = {n}");
+        }
+    }
+
+    #[test]
+    fn rss_kernel_is_faster_per_byte() {
+        assert!(ScanRss.profile().kernel_ms(512) < ScanSsa.profile().kernel_ms(512));
+    }
+
+    #[test]
+    fn dpu_scan_is_exclusive() {
+        let (s, total) = dpu_scan(&[3, 4, 5], 10);
+        assert_eq!(s, vec![10, 13, 17]);
+        assert_eq!(total, 12);
+    }
+}

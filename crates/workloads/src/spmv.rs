@@ -1,0 +1,119 @@
+//! SpMV — sparse matrix-vector multiplication (CSR), row-partitioned.
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// A CSR matrix.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row pointers (`rows + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices per nonzero.
+    pub col_idx: Vec<usize>,
+    /// Values per nonzero.
+    pub values: Vec<i64>,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Csr {
+    /// A random matrix with ~`nnz_per_row` nonzeros per row.
+    pub fn random(rows: usize, cols: usize, nnz_per_row: usize, rng: &mut Xorshift) -> Self {
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..rows {
+            let nnz = 1 + rng.below(2 * nnz_per_row as u64) as usize;
+            let mut cols_this: Vec<usize> =
+                (0..nnz).map(|_| rng.below(cols as u64) as usize).collect();
+            cols_this.sort_unstable();
+            cols_this.dedup();
+            for c in cols_this {
+                col_idx.push(c);
+                values.push(rng.below(200) as i64 - 100);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            row_ptr,
+            col_idx,
+            values,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Multiply rows `range` against `x` (the per-DPU kernel).
+    pub fn spmv_rows(&self, range: std::ops::Range<usize>, x: &[i64]) -> Vec<i64> {
+        range
+            .map(|r| {
+                (self.row_ptr[r]..self.row_ptr[r + 1])
+                    .map(|k| self.values[k] * x[self.col_idx[k]])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// CSR SpMV, rows partitioned per DPU, full `x` broadcast (the PrIM
+/// SpMV layout).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spmv;
+
+impl PimWorkload for Spmv {
+    fn name(&self) -> &'static str {
+        "SpMV"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let mut rng = Xorshift::new(seed);
+        let m = Csr::random(512, 256, 8, &mut rng);
+        let x: Vec<i64> = (0..m.cols).map(|_| rng.below(100) as i64).collect();
+
+        let mut y = Vec::with_capacity(m.rows());
+        for r in ranges(m.rows(), n_dpus) {
+            y.extend(m.spmv_rows(r, &x));
+        }
+        let reference = m.spmv_rows(0..m.rows(), &x);
+        let nnz_bytes = (m.values.len() * 8 + m.col_idx.len() * 8) as u64;
+        FunctionalResult {
+            bytes_in: nnz_bytes + (m.row_ptr.len() * 8) as u64 + (m.cols * 8) as u64,
+            bytes_out: m.rows() as u64 * 8,
+            verified: y == reference,
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 400 << 20,
+            out_bytes: 2 << 20,
+            dpu_rate_gbps: 0.04,
+            fixed_kernel_ms: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_against_reference() {
+        for n in [1, 7, 32] {
+            assert!(Spmv.run_functional(n, 123).verified, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn csr_shape_is_consistent() {
+        let mut rng = Xorshift::new(5);
+        let m = Csr::random(100, 50, 4, &mut rng);
+        assert_eq!(m.rows(), 100);
+        assert_eq!(*m.row_ptr.last().unwrap(), m.values.len());
+        assert!(m.col_idx.iter().all(|&c| c < 50));
+    }
+}

@@ -1,0 +1,126 @@
+//! The workload trait, transfer profiles and the assembled PrIM suite.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a functional (small-scale) workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FunctionalResult {
+    /// Bytes shipped DRAM→PIM during the run.
+    pub bytes_in: u64,
+    /// Bytes shipped PIM→DRAM during the run.
+    pub bytes_out: u64,
+    /// Whether the merged PIM output matched the sequential reference.
+    pub verified: bool,
+}
+
+/// Paper-scale transfer/kernel footprint of one workload (drives the
+/// Fig. 16 end-to-end harness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferProfile {
+    /// Total DRAM→PIM bytes.
+    pub in_bytes: u64,
+    /// Total PIM→DRAM bytes.
+    pub out_bytes: u64,
+    /// Effective per-DPU processing rate in GB/s (MRAM streaming plus
+    /// arithmetic; real DPUs sustain 0.05–0.6 GB/s depending on the
+    /// operation mix — PrIM's published characterization).
+    pub dpu_rate_gbps: f64,
+    /// Fixed kernel overhead (launch/sync), ms.
+    pub fixed_kernel_ms: f64,
+}
+
+impl TransferProfile {
+    /// Kernel wall-clock time in milliseconds on `n_dpus` DPUs: the
+    /// per-DPU share of the footprint at the effective rate (SPMD — the
+    /// slowest DPU bounds the launch; shares are balanced).
+    pub fn kernel_ms(&self, n_dpus: u32) -> f64 {
+        let per_dpu = (self.in_bytes + self.out_bytes) as f64 / n_dpus as f64;
+        self.fixed_kernel_ms + per_dpu / (self.dpu_rate_gbps * 1e6)
+    }
+}
+
+/// A PrIM workload: functional execution plus its paper-scale profile.
+pub trait PimWorkload: Send + Sync {
+    /// Short name as it appears in Fig. 16 ("VA", "BS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Run the workload functionally at test scale on `n_dpus` DPUs with
+    /// deterministic `seed`: generate inputs, partition, execute per-DPU
+    /// kernels, merge, verify against a host reference.
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult;
+
+    /// The paper-scale footprint for the end-to-end evaluation.
+    fn profile(&self) -> TransferProfile;
+}
+
+/// The 16 PrIM workloads in the order of Fig. 16.
+pub fn prim_suite() -> Vec<Box<dyn PimWorkload>> {
+    vec![
+        Box::new(crate::bfs::Bfs),
+        Box::new(crate::bs::BinarySearch),
+        Box::new(crate::gemv::Gemv),
+        Box::new(crate::hst::HistogramLarge),
+        Box::new(crate::hst::HistogramSmall),
+        Box::new(crate::mlp::Mlp),
+        Box::new(crate::nw::NeedlemanWunsch),
+        Box::new(crate::red::Reduction),
+        Box::new(crate::scan::ScanRss),
+        Box::new(crate::scan::ScanSsa),
+        Box::new(crate::sel::Select),
+        Box::new(crate::spmv::Spmv),
+        Box::new(crate::trns::Transpose),
+        Box::new(crate::ts::TimeSeries),
+        Box::new(crate::uni::Unique),
+        Box::new(crate::va::VectorAdd),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_16_uniquely_named_workloads() {
+        let s = prim_suite();
+        assert_eq!(s.len(), 16);
+        let names: std::collections::HashSet<&str> = s.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for w in prim_suite() {
+            let p = w.profile();
+            assert!(p.in_bytes > 0, "{}", w.name());
+            assert!(p.dpu_rate_gbps > 0.0, "{}", w.name());
+            assert!(p.kernel_ms(512) > 0.0, "{}", w.name());
+            // More DPUs => faster kernels.
+            assert!(p.kernel_ms(512) < p.kernel_ms(64), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn transfer_dominates_on_average_like_fig16() {
+        // Paper: DRAM↔PIM transfer is 63.7 % of end-to-end on average
+        // (max 99.7 %) at baseline transfer throughput (~8.5 GB/s).
+        let baseline_gbps = 8.5;
+        let mut fracs = Vec::new();
+        for w in prim_suite() {
+            let p = w.profile();
+            let t_xfer_ms = (p.in_bytes + p.out_bytes) as f64 / (baseline_gbps * 1e6);
+            let total = t_xfer_ms + p.kernel_ms(512);
+            fracs.push(t_xfer_ms / total);
+        }
+        let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        let max = fracs.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (0.5..=0.8).contains(&avg),
+            "average transfer fraction {avg:.3} outside the Fig. 16 band"
+        );
+        assert!(max > 0.95, "max transfer fraction {max:.3} should be ~0.997");
+        assert!(
+            fracs.iter().cloned().fold(1.0, f64::min) < 0.1,
+            "TS should be kernel-dominated"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! TS — time-series subsequence search (the kernel-dominated outlier of
+//! Fig. 16: PIM-MMU barely helps because transfers are ~3 % of runtime).
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Find the subsequence of the series closest (squared Euclidean
+/// distance) to a query window. DPUs receive overlapping slices so every
+/// alignment is covered exactly once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeSeries;
+
+/// Distance between the query and the window starting at `start`.
+fn dist(series: &[i64], start: usize, query: &[i64]) -> i64 {
+    query
+        .iter()
+        .enumerate()
+        .map(|(k, &q)| {
+            let d = series[start + k] - q;
+            d * d
+        })
+        .sum()
+}
+
+/// Per-DPU kernel: best (distance, alignment) over `starts`.
+pub fn dpu_kernel(
+    series: &[i64],
+    starts: std::ops::Range<usize>,
+    query: &[i64],
+) -> Option<(i64, usize)> {
+    starts.map(|s| (dist(series, s, query), s)).min()
+}
+
+impl PimWorkload for TimeSeries {
+    fn name(&self) -> &'static str {
+        "TS"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let n = 1 << 13;
+        let m = 64; // query length
+        let mut rng = Xorshift::new(seed);
+        let series: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
+        let query: Vec<i64> = (0..m).map(|_| rng.below(1000) as i64).collect();
+        let alignments = n - m + 1;
+
+        // Partition the alignment space; each DPU's slice includes the
+        // m-1 overlap needed to evaluate its last alignment.
+        let best = ranges(alignments, n_dpus)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .filter_map(|r| dpu_kernel(&series, r, &query))
+            .min();
+        let reference = dpu_kernel(&series, 0..alignments, &query);
+        FunctionalResult {
+            bytes_in: (n as u64 + m as u64) * 8,
+            bytes_out: 16,
+            verified: best == reference && best.is_some(),
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 32 << 20,
+            out_bytes: 1 << 20,
+            // O(n*m) arithmetic per input byte: the DPUs crawl.
+            dpu_rate_gbps: 0.0001,
+            fixed_kernel_ms: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_min_equals_global_min() {
+        for n in [1, 6, 40] {
+            assert!(TimeSeries.run_functional(n, 2024).verified, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ts_is_kernel_dominated() {
+        let p = TimeSeries.profile();
+        let kernel = p.kernel_ms(512);
+        let xfer_at_baseline = (p.in_bytes + p.out_bytes) as f64 / 8.5e6;
+        assert!(
+            kernel > 20.0 * xfer_at_baseline,
+            "kernel {kernel} ms vs xfer {xfer_at_baseline} ms"
+        );
+    }
+
+    #[test]
+    fn dist_is_squared_euclidean() {
+        assert_eq!(dist(&[1, 2, 3], 0, &[1, 1]), 1);
+        assert_eq!(dpu_kernel(&[5, 0, 5], 0..2, &[0]), Some((0, 1)));
+    }
+}

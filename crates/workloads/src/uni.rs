@@ -1,0 +1,84 @@
+//! UNI — unique (collapse consecutive duplicates, like `uniq`).
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Collapse runs of equal adjacent values. Each DPU dedups its slice;
+/// the host merge drops a partition's first element when it equals the
+/// previous partition's last — the same boundary fix-up the PrIM kernel
+/// performs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unique;
+
+/// Per-DPU kernel: local `uniq`.
+pub fn dpu_kernel(slice: &[u32]) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(slice.len());
+    for &x in slice {
+        if out.last() != Some(&x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+impl PimWorkload for Unique {
+    fn name(&self) -> &'static str {
+        "UNI"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let n = 1 << 14;
+        let mut rng = Xorshift::new(seed);
+        // Values with plenty of runs.
+        let mut input = Vec::with_capacity(n);
+        let mut v = 0u32;
+        while input.len() < n {
+            v = rng.below(1000) as u32;
+            let run = 1 + rng.below(6) as usize;
+            for _ in 0..run.min(n - input.len()) {
+                input.push(v);
+            }
+        }
+        let _ = v;
+
+        let mut out: Vec<u32> = Vec::new();
+        for r in ranges(n, n_dpus) {
+            let part = dpu_kernel(&input[r]);
+            let skip = usize::from(out.last().is_some() && out.last() == part.first().as_deref());
+            out.extend(&part[skip.min(part.len())..]);
+        }
+        let reference = dpu_kernel(&input);
+        FunctionalResult {
+            bytes_in: n as u64 * 4,
+            bytes_out: out.len() as u64 * 4,
+            verified: out == reference,
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 512 << 20,
+            out_bytes: 256 << 20,
+            dpu_rate_gbps: 0.07,
+            fixed_kernel_ms: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_duplicates_are_merged() {
+        for n in [1, 2, 9, 64] {
+            assert!(Unique.run_functional(n, 3).verified, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn kernel_dedups_runs() {
+        assert_eq!(dpu_kernel(&[1, 1, 2, 2, 2, 1]), vec![1, 2, 1]);
+        assert_eq!(dpu_kernel(&[]), Vec::<u32>::new());
+    }
+}

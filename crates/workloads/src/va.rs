@@ -1,0 +1,64 @@
+//! VA — vector addition (the PrIM "hello world").
+
+use crate::partition::{ranges, Xorshift};
+use crate::suite::{FunctionalResult, PimWorkload, TransferProfile};
+
+/// Element-wise `c[i] = a[i] + b[i]`, partitioned contiguously.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorAdd;
+
+/// Per-DPU kernel: add the two input slices.
+pub fn dpu_kernel(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()
+}
+
+impl PimWorkload for VectorAdd {
+    fn name(&self) -> &'static str {
+        "VA"
+    }
+
+    fn run_functional(&self, n_dpus: u32, seed: u64) -> FunctionalResult {
+        let n = 1 << 14;
+        let mut rng = Xorshift::new(seed);
+        let a = rng.vec_u32(n);
+        let b = rng.vec_u32(n);
+        let mut c = Vec::with_capacity(n);
+        for r in ranges(n, n_dpus) {
+            c.extend(dpu_kernel(&a[r.clone()], &b[r]));
+        }
+        let reference: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
+        FunctionalResult {
+            bytes_in: 2 * (n as u64) * 4,
+            bytes_out: (n as u64) * 4,
+            verified: c == reference,
+        }
+    }
+
+    fn profile(&self) -> TransferProfile {
+        TransferProfile {
+            in_bytes: 512 << 20, // two 256 MiB vectors
+            out_bytes: 256 << 20,
+            dpu_rate_gbps: 0.1,
+            fixed_kernel_ms: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_on_various_dpu_counts() {
+        for n in [1, 3, 16, 64] {
+            let r = VectorAdd.run_functional(n, 7);
+            assert!(r.verified, "n_dpus = {n}");
+            assert_eq!(r.bytes_in, 2 * r.bytes_out);
+        }
+    }
+
+    #[test]
+    fn kernel_adds() {
+        assert_eq!(dpu_kernel(&[1, u32::MAX], &[2, 1]), vec![3, 0]);
+    }
+}

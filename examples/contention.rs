@@ -1,0 +1,34 @@
+//! Robustness under co-located workloads (the Fig. 13 story as a demo):
+//! spin up compute contenders next to a DRAM→PIM transfer and watch the
+//! baseline collapse while the DCE-offloaded transfer shrugs.
+//!
+//! ```sh
+//! cargo run --release --example contention
+//! ```
+
+use pim_mmu::XferKind;
+use pim_sim::{run_transfer, ContenderSpec, DesignPoint, SystemConfig, TransferSpec};
+
+fn main() {
+    let bytes = 8u64 << 20;
+    println!("DRAM->PIM {} MiB with co-located spin-lock threads", bytes >> 20);
+    println!("{:>12} {:>16} {:>16}", "contenders", "Baseline (ms)", "PIM-MMU (ms)");
+    for k in [0u32, 8, 16, 24] {
+        let mut times = Vec::new();
+        for design in [DesignPoint::Baseline, DesignPoint::BaseDHP] {
+            let mut cfg = SystemConfig::table1(design);
+            // A 0.25 ms scheduling quantum so this short demo transfer
+            // spans several rounds of the OS's round-robin rotation.
+            cfg.cpu.quantum_cycles = 800_000;
+            let spec = TransferSpec {
+                contenders: vec![ContenderSpec::Spin(k)],
+                max_ns: 1e10,
+                ..TransferSpec::simple(XferKind::DramToPim, bytes)
+            };
+            times.push(run_transfer(&cfg, &spec).elapsed_ns * 1e-6);
+        }
+        println!("{k:>12} {:>16.2} {:>16.2}", times[0], times[1]);
+    }
+    println!("\nThe baseline needs all 8 cores for its copy loops; every contender");
+    println!("steals quanta from them. The DCE never touches a core.");
+}

@@ -1,0 +1,61 @@
+//! PIM offload of PrIM's histogram (HST-S): partition, per-DPU private
+//! histograms, host-side reduction — then the Fig. 16-style timing split
+//! under baseline vs PIM-MMU.
+//!
+//! ```sh
+//! cargo run --release --example histogram
+//! ```
+
+use pim_mmu::XferKind;
+use pim_sim::{run_transfer, DesignPoint, SystemConfig, TransferSpec};
+use pim_workloads::hst::{self, HistogramSmall};
+use pim_workloads::partition::{ranges, Xorshift};
+use pim_workloads::suite::PimWorkload;
+
+fn main() {
+    // Functional offload across 128 DPUs.
+    let n_dpus = 128u32;
+    let n = 1 << 18;
+    let bins = 256usize;
+    let mut rng = Xorshift::new(0xDEADBEEF);
+    let data = rng.vec_u32(n);
+
+    let mut merged = vec![0u64; bins];
+    for r in ranges(n, n_dpus) {
+        for (b, c) in hst::dpu_kernel(&data[r], bins).into_iter().enumerate() {
+            merged[b] += c;
+        }
+    }
+    assert_eq!(merged.iter().sum::<u64>(), n as u64);
+    let hottest = merged
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .expect("nonempty");
+    println!(
+        "functional HST-S: {n} values into {bins} bins on {n_dpus} DPUs; hottest bin {} holds {}",
+        hottest.0, hottest.1
+    );
+    assert!(HistogramSmall.run_functional(n_dpus, 1).verified);
+
+    // Timing at paper scale.
+    let p = HistogramSmall.profile();
+    println!(
+        "\npaper-scale HST-S: {} MiB in, {:.1} ms kernel on 512 DPUs",
+        p.in_bytes >> 20,
+        p.kernel_ms(512)
+    );
+    for design in [DesignPoint::Baseline, DesignPoint::BaseDHP] {
+        let cfg = SystemConfig::table1(design);
+        let slice = 16u64 << 20;
+        let t = run_transfer(&cfg, &TransferSpec::simple(XferKind::DramToPim, slice));
+        let in_ms = t.elapsed_ns * 1e-6 * p.in_bytes as f64 / slice as f64;
+        let total = in_ms + p.kernel_ms(512); // output histograms are tiny
+        println!(
+            "  {:<12} in {in_ms:6.1} ms + kernel {:5.1} ms = {total:6.1} ms  ({:.2} GB/s transfer)",
+            cfg.design.label(),
+            p.kernel_ms(512),
+            t.throughput_gbps()
+        );
+    }
+}

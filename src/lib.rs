@@ -1,0 +1,2 @@
+//! Umbrella crate for examples and integration tests. See the member crates.
+pub use pim_mmu as core;

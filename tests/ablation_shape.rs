@@ -1,0 +1,107 @@
+//! The paper's qualitative claims, checked end to end at test scale:
+//! the ablation ordering of Fig. 15, the channel-balance contrast of
+//! Fig. 6, and the static-dominated energy story of Fig. 15(b).
+
+use pim_mmu::XferKind;
+use pim_sim::{run_transfer, DesignPoint, SystemConfig, TransferResult, TransferSpec};
+
+fn run(design: DesignPoint, kind: XferKind, bytes: u64) -> TransferResult {
+    let mut cfg = SystemConfig::table1(design);
+    cfg.sample_ns = 100_000.0;
+    let spec = TransferSpec {
+        max_ns: 1e10,
+        ..TransferSpec::simple(kind, bytes)
+    };
+    run_transfer(&cfg, &spec)
+}
+
+#[test]
+fn fig15_throughput_ordering() {
+    let bytes = 4 << 20;
+    let base = run(DesignPoint::Baseline, XferKind::DramToPim, bytes);
+    let d = run(DesignPoint::BaseD, XferKind::DramToPim, bytes);
+    let dh = run(DesignPoint::BaseDH, XferKind::DramToPim, bytes);
+    let dhp = run(DesignPoint::BaseDHP, XferKind::DramToPim, bytes);
+    let t = |r: &TransferResult| r.throughput_gbps();
+
+    // A vanilla DMA engine does not beat the deeply-pipelined AVX loop.
+    assert!(
+        t(&d) < t(&base) * 1.05,
+        "Base+D {:.2} should not outrun Base {:.2}",
+        t(&d),
+        t(&base)
+    );
+    // HetMap alone barely moves end-to-end transfer throughput.
+    assert!(
+        (t(&dh) - t(&d)).abs() / t(&d) < 0.15,
+        "Base+D+H {:.2} vs Base+D {:.2} should be marginal",
+        t(&dh),
+        t(&d)
+    );
+    // PIM-MS unlocks it.
+    assert!(
+        t(&dhp) > 2.0 * t(&base),
+        "Base+D+H+P {:.2} must clearly beat Base {:.2}",
+        t(&dhp),
+        t(&base)
+    );
+}
+
+#[test]
+fn fig15_energy_shape() {
+    let bytes = 4 << 20;
+    let base = run(DesignPoint::Baseline, XferKind::DramToPim, bytes);
+    let d = run(DesignPoint::BaseD, XferKind::DramToPim, bytes);
+    let dhp = run(DesignPoint::BaseDHP, XferKind::DramToPim, bytes);
+    // Slower Base+D costs *more* energy than Base (static-dominated).
+    assert!(
+        d.energy.total_mj() > base.energy.total_mj() * 0.9,
+        "Base+D {:.2} mJ vs Base {:.2} mJ",
+        d.energy.total_mj(),
+        base.energy.total_mj()
+    );
+    // Full PIM-MMU costs much less.
+    assert!(dhp.energy.total_mj() < base.energy.total_mj() / 2.0);
+    // And the static share dominates everywhere.
+    for r in [&base, &d, &dhp] {
+        let s = r.energy.core_static_mj + r.energy.cache_static_mj + r.energy.dram_static_mj
+            + r.energy.pimmmu_static_mj;
+        assert!(s > r.energy.total_mj() * 0.5, "{:?}", r.energy);
+    }
+}
+
+#[test]
+fn fig6_pim_ms_balances_channels() {
+    let bytes = 4 << 20;
+    let spec = TransferSpec {
+        max_ns: 1e10,
+        ..TransferSpec::simple(XferKind::DramToPim, bytes)
+    };
+    let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+    cfg.sample_ns = 100_000.0;
+    let r = run_transfer(&cfg, &spec);
+    // Total written bytes per PIM channel must be near-equal.
+    let per_ch: Vec<u64> = r
+        .pim_channel_windows
+        .iter()
+        .map(|w| w.iter().sum::<u64>())
+        .collect();
+    let total: u64 = per_ch.iter().sum();
+    assert!(total >= bytes, "all writes must reach PIM");
+    let avg = total as f64 / per_ch.len() as f64;
+    for (ch, &b) in per_ch.iter().enumerate() {
+        assert!(
+            (b as f64 - avg).abs() / avg < 0.02,
+            "channel {ch} skewed: {per_ch:?}"
+        );
+    }
+}
+
+#[test]
+fn driver_overhead_only_hurts_tiny_transfers() {
+    // The DCE pays a fixed driver round trip; at 64 KiB it is visible,
+    // at megabytes it vanishes.
+    let small = run(DesignPoint::BaseDHP, XferKind::DramToPim, 128 << 10);
+    let big = run(DesignPoint::BaseDHP, XferKind::DramToPim, 8 << 20);
+    assert!(big.throughput_gbps() > small.throughput_gbps());
+}
