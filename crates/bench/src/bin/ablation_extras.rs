@@ -9,7 +9,10 @@ use pim_sim::{run_memcpy, run_transfer, DesignPoint, TransferSpec};
 fn main() {
     let bytes = 8u64 << 20;
 
-    println!("DCE data-buffer capacity sweep (DRAM->PIM, {} MiB):", bytes >> 20);
+    println!(
+        "DCE data-buffer capacity sweep (DRAM->PIM, {} MiB):",
+        bytes >> 20
+    );
     println!("{:>12} {:>12}", "buffer (KB)", "GB/s");
     for kb in [1u64, 4, 8, 16, 64] {
         let mut c = cfg(DesignPoint::BaseDHP);
@@ -32,8 +35,16 @@ fn main() {
         // The mapping family is selected by design point; emulate the
         // no-hash variant by a strided copy where only the hash spreads
         // channels. Report both sequential and row-strided memcpy.
-        let c = cfg(if hash { DesignPoint::BaseDHP } else { DesignPoint::Baseline });
+        let c = cfg(if hash {
+            DesignPoint::BaseDHP
+        } else {
+            DesignPoint::Baseline
+        });
         let r = run_memcpy(&c, bytes, 1e10);
-        println!("  {label:<16} {:>8.2} GB/s ({})", r.throughput_gbps(), c.mapper().name());
+        println!(
+            "  {label:<16} {:>8.2} GB/s ({})",
+            r.throughput_gbps(),
+            c.mapper().name()
+        );
     }
 }

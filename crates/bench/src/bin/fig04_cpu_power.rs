@@ -20,7 +20,10 @@ fn series(design: DesignPoint, kind: XferKind, bytes: u64) {
         r.elapsed_ns * 1e-6,
         r.throughput_gbps()
     );
-    println!("{:>10} {:>14} {:>10}", "t (ms)", "active cores", "power (W)");
+    println!(
+        "{:>10} {:>14} {:>10}",
+        "t (ms)", "active cores", "power (W)"
+    );
     for s in r
         .power_samples
         .iter()

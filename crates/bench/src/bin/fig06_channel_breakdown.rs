@@ -20,7 +20,9 @@ fn print_windows(title: &str, windows: &[Vec<u64>], max_rows: usize) {
     println!("  (imbalance = max/avg)");
     let mut imbalances = Vec::new();
     for w in 0..n_w.min(max_rows) {
-        let vals: Vec<u64> = (0..n_ch).map(|c| *windows[c].get(w).unwrap_or(&0)).collect();
+        let vals: Vec<u64> = (0..n_ch)
+            .map(|c| *windows[c].get(w).unwrap_or(&0))
+            .collect();
         let total: u64 = vals.iter().sum();
         if total == 0 {
             continue;

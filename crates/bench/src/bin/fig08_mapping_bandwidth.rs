@@ -11,8 +11,9 @@ use pim_mapping::{LocalityCentric, MapFn, MlpCentric, Organization, PhysAddr};
 /// under `mapper`; returns achieved GB/s.
 fn stream_bandwidth(org: Organization, mapper: &dyn MapFn, stride: u64, lines: u64) -> f64 {
     let timing = TimingParams::ddr4_2400();
-    let mut ctrls: Vec<MemController> =
-        (0..org.channels).map(|_| MemController::new(org, timing)).collect();
+    let mut ctrls: Vec<MemController> = (0..org.channels)
+        .map(|_| MemController::new(org, timing))
+        .collect();
     // 8 "threads", each streaming its own region, like the multi-threaded
     // microbenchmark of §V.
     let n_threads = 8usize;

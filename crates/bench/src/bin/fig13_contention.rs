@@ -7,9 +7,9 @@
 use pim_bench::{cfg, HarnessArgs};
 use pim_cpu::streams::Intensity;
 use pim_mmu::XferKind;
-use pim_sim::{run_transfer, ContenderSpec, DesignPoint, TransferSpec};
+use pim_sim::{run_batch, BatchPoint, ContenderSpec, DesignPoint, TransferSpec};
 
-fn latency(design: DesignPoint, bytes: u64, contenders: Vec<ContenderSpec>) -> f64 {
+fn point(design: DesignPoint, bytes: u64, contenders: Vec<ContenderSpec>) -> BatchPoint {
     let spec = TransferSpec {
         contenders,
         max_ns: 1e10,
@@ -20,23 +20,41 @@ fn latency(design: DesignPoint, bytes: u64, contenders: Vec<ContenderSpec>) -> f
     // (the paper's 1.5 ms quantum on multi-hundred-MB transfers has the
     // same many-quanta relationship at 10x the simulation cost).
     c.cpu.quantum_cycles = 800_000;
-    run_transfer(&c, &spec).elapsed_ns
+    BatchPoint::transfer(design.label(), c, spec)
 }
 
 fn main() {
     let args = HarnessArgs::parse();
     let bytes: u64 = if args.full { 32 << 20 } else { 8 << 20 };
+    let spins = [0u32, 8, 16, 24];
+    let intensities = Intensity::all();
+
+    // Every (design, contender) latency is an independent simulation:
+    // build the whole figure as one batch and fan it out.
+    let mut points = Vec::new();
+    for d in [DesignPoint::Baseline, DesignPoint::BaseDHP] {
+        points.push(point(d, bytes, vec![]));
+        for k in spins {
+            points.push(point(d, bytes, vec![ContenderSpec::Spin(k)]));
+        }
+        for intensity in intensities {
+            points.push(point(d, bytes, vec![ContenderSpec::Memory(4, intensity)]));
+        }
+    }
+    let results = run_batch(&points, args.threads());
+    let per_design = results.len() / 2;
+    let (base, mmu) = results.split_at(per_design);
+    let base0 = base[0].elapsed_ns;
+    let mmu0 = mmu[0].elapsed_ns;
 
     println!("Fig. 13(a): sensitivity to spin-lock CPU core contenders");
-    let base0 = latency(DesignPoint::Baseline, bytes, vec![]);
-    let mmu0 = latency(DesignPoint::BaseDHP, bytes, vec![]);
     println!(
         "{:>12} {:>18} {:>18}",
         "contenders", "Baseline (norm.)", "PIM-MMU (norm.)"
     );
-    for k in [0u32, 8, 16, 24] {
-        let b = latency(DesignPoint::Baseline, bytes, vec![ContenderSpec::Spin(k)]);
-        let m = latency(DesignPoint::BaseDHP, bytes, vec![ContenderSpec::Spin(k)]);
+    for (i, k) in spins.iter().enumerate() {
+        let b = base[1 + i].elapsed_ns;
+        let m = mmu[1 + i].elapsed_ns;
         println!("{k:>12} {:>18.2} {:>18.2}", b / base0, m / mmu0);
     }
 
@@ -45,10 +63,9 @@ fn main() {
         "{:>12} {:>18} {:>18}",
         "intensity", "Baseline (norm.)", "PIM-MMU (norm.)"
     );
-    for intensity in Intensity::all() {
-        let c = vec![ContenderSpec::Memory(4, intensity)];
-        let b = latency(DesignPoint::Baseline, bytes, c.clone());
-        let m = latency(DesignPoint::BaseDHP, bytes, c);
+    for (i, intensity) in intensities.into_iter().enumerate() {
+        let b = base[1 + spins.len() + i].elapsed_ns;
+        let m = mmu[1 + spins.len() + i].elapsed_ns;
         println!("{intensity:>12?} {:>18.2} {:>18.2}", b / base0, m / mmu0);
     }
     println!("(paper: baseline rises to ~5x with 24 spin contenders; PIM-MMU stays ~1x)");

@@ -6,13 +6,31 @@
 
 use pim_bench::{cfg, geomean, HarnessArgs};
 use pim_mapping::Organization;
-use pim_sim::{run_memcpy, DesignPoint};
+use pim_sim::{run_batch, BatchPoint, DesignPoint};
 
 fn main() {
     let args = HarnessArgs::parse();
     let bytes: u64 = if args.full { 64 << 20 } else { 16 << 20 };
     // 'xC-yR': x channels, y total ranks (y/x per channel), as in Fig. 14.
     let configs = [(2u32, 4u32), (4, 8), (4, 16)];
+
+    // Both design points of every memory configuration are independent:
+    // run the 2x3 grid as one parallel batch.
+    let points: Vec<BatchPoint> = configs
+        .iter()
+        .flat_map(|&(ch, ranks)| {
+            let org = Organization::ddr4_dimm(ch, ranks / ch);
+            [DesignPoint::Baseline, DesignPoint::BaseDHP]
+                .into_iter()
+                .map(move |d| {
+                    let mut c = cfg(d);
+                    c.dram_org = org;
+                    BatchPoint::memcpy(format!("{ch}C-{ranks}R/{}", d.label()), c, bytes, 1e10)
+                })
+        })
+        .collect();
+    let results = run_batch(&points, args.threads());
+
     println!("Fig. 14: normalized DRAM throughput during DRAM->DRAM memcpy");
     println!(
         "{:<8} {:>16} {:>16} {:>10}",
@@ -20,15 +38,14 @@ fn main() {
     );
     let mut speedups = Vec::new();
     let mut mmu_abs = Vec::new();
-    for (ch, ranks) in configs {
-        let org = Organization::ddr4_dimm(ch, ranks / ch);
-        let mut base = cfg(DesignPoint::Baseline);
-        base.dram_org = org;
-        let mut mmu = cfg(DesignPoint::BaseDHP);
-        mmu.dram_org = org;
-        let b = run_memcpy(&base, bytes, 1e10).throughput_gbps();
-        let m = run_memcpy(&mmu, bytes, 1e10).throughput_gbps();
-        println!("{:<8} {b:>16.2} {m:>16.2} {:>9.2}x", format!("{ch}C-{ranks}R"), m / b);
+    for (i, (ch, ranks)) in configs.into_iter().enumerate() {
+        let b = results[2 * i].throughput_gbps();
+        let m = results[2 * i + 1].throughput_gbps();
+        println!(
+            "{:<8} {b:>16.2} {m:>16.2} {:>9.2}x",
+            format!("{ch}C-{ranks}R"),
+            m / b
+        );
         speedups.push(m / b);
         mmu_abs.push(m);
     }

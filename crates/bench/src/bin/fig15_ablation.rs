@@ -9,10 +9,9 @@
 //! *more* than Base; the full design wins because static energy
 //! integrates over a much shorter transfer.
 
-use crossbeam::thread;
 use pim_bench::{cfg, geomean, row, HarnessArgs};
 use pim_mmu::XferKind;
-use pim_sim::{run_transfer, DesignPoint, TransferResult, TransferSpec};
+use pim_sim::{run_batch, BatchPoint, DesignPoint, TransferResult, TransferSpec};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -23,28 +22,22 @@ fn main() {
     };
     for kind in [XferKind::DramToPim, XferKind::PimToDram] {
         println!("\n=== {kind:?} ===");
-        // All (size, design) runs are independent: fan out.
-        let mut results: Vec<Vec<TransferResult>> = Vec::new();
-        for &mb in sizes_mb {
-            let designs = DesignPoint::all();
-            let runs = thread::scope(|s| {
-                let handles: Vec<_> = designs
-                    .iter()
-                    .map(|&d| {
-                        s.spawn(move |_| {
-                            let spec = TransferSpec {
-                                max_ns: 1e11,
-                                ..TransferSpec::simple(kind, mb << 20)
-                            };
-                            run_transfer(&cfg(d), &spec)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("run ok")).collect::<Vec<_>>()
+        // All (size, design) runs are independent: one batch per
+        // direction, fanned out over the host cores.
+        let points: Vec<BatchPoint> = sizes_mb
+            .iter()
+            .flat_map(|&mb| {
+                DesignPoint::all().into_iter().map(move |d| {
+                    let spec = TransferSpec {
+                        max_ns: 1e11,
+                        ..TransferSpec::simple(kind, mb << 20)
+                    };
+                    BatchPoint::transfer(format!("{}MB/{}", mb, d.label()), cfg(d), spec)
+                })
             })
-            .expect("scope ok");
-            results.push(runs);
-        }
+            .collect();
+        let flat = run_batch(&points, args.threads());
+        let results: Vec<&[TransferResult]> = flat.chunks(DesignPoint::all().len()).collect();
 
         println!("(a) data-transfer throughput, normalized to Base");
         print!("{:<24}", "size");
@@ -56,10 +49,7 @@ fn main() {
         for (di, d) in DesignPoint::all().iter().enumerate() {
             let vals: Vec<f64> = results
                 .iter()
-                .map(|per_size| {
-                    let base = per_size[0].throughput_gbps();
-                    per_size[di].throughput_gbps() / base
-                })
+                .map(|per_size| per_size[di].speedup_over(&per_size[0]))
                 .collect();
             if *d == DesignPoint::BaseDHP {
                 full_speedups.extend(vals.clone());

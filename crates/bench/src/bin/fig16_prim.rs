@@ -12,43 +12,74 @@
 
 use pim_bench::{cfg, geomean, HarnessArgs};
 use pim_mmu::XferKind;
-use pim_sim::{run_transfer, DesignPoint, TransferSpec};
+use pim_sim::{run_batch, BatchPoint, DesignPoint, TransferSpec};
 use pim_workloads::prim_suite;
 use std::collections::HashMap;
 
-/// Transfer time in ms via simulation, memoized per (bytes, direction,
-/// design) — many workloads share footprints.
+/// A unique simulation point: (bytes, is_dram_to_pim, is_pim_mmu).
+type Key = (u64, bool, bool);
+
+/// Transfer times in ms, memoized per [`Key`] — many workloads share
+/// footprints, and all unique points run as one parallel batch.
 struct XferSim {
-    cache: HashMap<(u64, bool, bool), f64>,
+    cache: HashMap<Key, f64>,
     quick: bool,
 }
 
 impl XferSim {
-    fn time_ms(&mut self, bytes: u64, kind: XferKind, design: DesignPoint) -> f64 {
-        let key = (
-            bytes,
-            matches!(kind, XferKind::DramToPim),
-            design == DesignPoint::BaseDHP,
-        );
-        if let Some(&v) = self.cache.get(&key) {
-            return v;
-        }
-        // Simulate a representative (smaller) size and scale linearly:
-        // transfers are bandwidth-bound, so time scales with bytes once
-        // past the ramp (validated by the Fig. 15 sweep).
+    /// Simulate a representative (smaller) size and scale linearly:
+    /// transfers are bandwidth-bound, so time scales with bytes once past
+    /// the ramp (validated by the Fig. 15 sweep).
+    fn point(&self, key: Key) -> BatchPoint {
+        let (bytes, to_pim, mmu) = key;
         let sim_bytes = if self.quick {
             bytes.min(8 << 20)
         } else {
             bytes.min(64 << 20)
         };
+        let kind = if to_pim {
+            XferKind::DramToPim
+        } else {
+            XferKind::PimToDram
+        };
+        let design = if mmu {
+            DesignPoint::BaseDHP
+        } else {
+            DesignPoint::Baseline
+        };
         let spec = TransferSpec {
             max_ns: 1e11,
             ..TransferSpec::simple(kind, sim_bytes)
         };
-        let r = run_transfer(&cfg(design), &spec);
-        let ms = r.elapsed_ns * 1e-6 * bytes as f64 / sim_bytes as f64;
-        self.cache.insert(key, ms);
-        ms
+        BatchPoint::transfer(
+            format!("{sim_bytes}B/{kind:?}/{}", design.label()),
+            cfg(design),
+            spec,
+        )
+    }
+
+    /// Run every not-yet-cached key through the parallel batch harness.
+    fn prefetch(&mut self, keys: impl IntoIterator<Item = Key>, threads: usize) {
+        let mut missing: Vec<Key> = keys
+            .into_iter()
+            .filter(|k| !self.cache.contains_key(k))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let points: Vec<BatchPoint> = missing.iter().map(|&k| self.point(k)).collect();
+        for (key, r) in missing.iter().zip(run_batch(&points, threads)) {
+            let (bytes, ..) = *key;
+            let sim_bytes = r.bytes;
+            let ms = r.elapsed_ns * 1e-6 * bytes as f64 / sim_bytes as f64;
+            self.cache.insert(*key, ms);
+        }
+    }
+
+    fn time_ms(&self, bytes: u64, kind: XferKind, design: DesignPoint) -> f64 {
+        let key = sim_key(bytes, kind, design);
+        *self.cache.get(&key).unwrap_or_else(|| {
+            panic!("point {key:?} not prefetched: keep the prefetch enumeration in sync")
+        })
     }
 }
 
@@ -58,16 +89,46 @@ fn main() {
         cache: HashMap::new(),
         quick: !args.full,
     };
+    // Gather every (bytes, direction, design) point of the suite, then
+    // simulate the deduplicated set in parallel before printing.
+    let suite = prim_suite();
+    sim.prefetch(
+        suite.iter().flat_map(|w| {
+            let p = w.profile();
+            [true, false].into_iter().flat_map(move |to_pim| {
+                let (bytes, kind) = if to_pim {
+                    (p.in_bytes, XferKind::DramToPim)
+                } else {
+                    (p.out_bytes, XferKind::PimToDram)
+                };
+                [DesignPoint::Baseline, DesignPoint::BaseDHP]
+                    .into_iter()
+                    .map(move |d| sim_key(bytes, kind, d))
+            })
+        }),
+        args.threads(),
+    );
+
     println!("Fig. 16: normalized end-to-end execution time (Baseline vs PIM-MMU)");
     println!(
         "{:<10} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} | {:>8} {:>7}",
-        "workload", "in", "kern", "out", "total", "in'", "kern'", "out'", "total'", "xfer%", "speedup"
+        "workload",
+        "in",
+        "kern",
+        "out",
+        "total",
+        "in'",
+        "kern'",
+        "out'",
+        "total'",
+        "xfer%",
+        "speedup"
     );
     let mut speedups = Vec::new();
     let mut xfer_fracs = Vec::new();
     let mut in_gains = Vec::new();
     let mut out_gains = Vec::new();
-    for w in prim_suite() {
+    for w in suite {
         let p = w.profile();
         let kern = p.kernel_ms(512);
         let b_in = sim.time_ms(p.in_bytes, XferKind::DramToPim, DesignPoint::Baseline);
@@ -105,4 +166,13 @@ fn main() {
         speedups.iter().cloned().fold(0.0, f64::max),
         speedups.iter().cloned().fold(f64::INFINITY, f64::min)
     );
+}
+
+/// The cache key of one simulation point.
+fn sim_key(bytes: u64, kind: XferKind, design: DesignPoint) -> Key {
+    (
+        bytes,
+        matches!(kind, XferKind::DramToPim),
+        design == DesignPoint::BaseDHP,
+    )
 }

@@ -5,8 +5,8 @@
 //! 4.1x average improvement).
 
 use pim_bench::cfg;
-use pim_sim::{run_memcpy, run_transfer, DesignPoint, TransferSpec};
 use pim_mmu::XferKind;
+use pim_sim::{run_memcpy, run_transfer, DesignPoint, TransferSpec};
 
 fn main() {
     let bytes: u64 = std::env::args()

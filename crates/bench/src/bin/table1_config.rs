@@ -23,7 +23,10 @@ fn main() {
     );
     println!("  Memory controller    64-entry read & write queues, FR-FCFS");
     println!("DRAM system");
-    println!("  Timing               DDR4-2400 (tCK {} ps)", cfg.dram_timing.t_ck_ps);
+    println!(
+        "  Timing               DDR4-2400 (tCK {} ps)",
+        cfg.dram_timing.t_ck_ps
+    );
     println!("  Organization         {}", cfg.dram_org);
     println!("PIM system");
     println!(

@@ -8,18 +8,37 @@
 
 use pim_sim::{DesignPoint, SystemConfig};
 
-/// Parse harness CLI flags (`--full` for paper-scale sizes).
+/// Parse harness CLI flags (`--full` for paper-scale sizes, `--threads N`
+/// to bound the batch-harness worker pool).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Run the full paper-scale sweep.
     pub full: bool,
+    /// Explicit worker count for `pim_sim::batch` (default: all cores).
+    pub threads: Option<usize>,
 }
 
 impl HarnessArgs {
     /// Read from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--threads` is present without a positive integer value.
     pub fn parse() -> Self {
-        let full = std::env::args().any(|a| a == "--full");
-        HarnessArgs { full }
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let threads = args.iter().position(|a| a == "--threads").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .expect("--threads requires a positive integer")
+        });
+        HarnessArgs { full, threads }
+    }
+
+    /// The worker-pool size to hand to [`pim_sim::run_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(pim_sim::default_threads)
     }
 }
 
@@ -76,5 +95,19 @@ mod tests {
     #[test]
     fn cfg_wires_design() {
         assert_eq!(cfg(DesignPoint::BaseDHP).design, DesignPoint::BaseDHP);
+    }
+
+    #[test]
+    fn threads_defaults_to_host_parallelism() {
+        let args = HarnessArgs {
+            full: false,
+            threads: None,
+        };
+        assert_eq!(args.threads(), pim_sim::default_threads());
+        let pinned = HarnessArgs {
+            full: false,
+            threads: Some(3),
+        };
+        assert_eq!(pinned.threads(), 3);
     }
 }

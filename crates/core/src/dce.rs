@@ -183,7 +183,9 @@ impl Dce {
             if self.outbox.len() >= self.outbox_cap {
                 break;
             }
-            let Some(p) = job.write_ready.pop_front() else { break };
+            let Some(p) = job.write_ready.pop_front() else {
+                break;
+            };
             let spaced = self.mapper.map(p.dst);
             let id = self.next_id;
             self.next_id += 1;
@@ -212,7 +214,9 @@ impl Dce {
             if job.inflight_reads.len() >= max_inflight {
                 break;
             }
-            let Some(p) = job.sched.next_pair() else { break };
+            let Some(p) = job.sched.next_pair() else {
+                break;
+            };
             let spaced = self.mapper.map(p.src);
             let id = self.next_id;
             self.next_id += 1;

@@ -65,9 +65,6 @@ mod tests {
     fn per_entry_cost_scales() {
         let d = DriverModel::default();
         assert!(d.submit_ns(1024) > d.submit_ns(1));
-        assert_eq!(
-            d.round_trip_ns(0),
-            d.submit_fixed_ns + d.interrupt_ns
-        );
+        assert_eq!(d.round_trip_ns(0), d.submit_fixed_ns + d.interrupt_ns);
     }
 }

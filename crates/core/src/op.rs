@@ -112,7 +112,7 @@ impl PimMmuOp {
     ///
     /// See [`OpError`].
     pub fn validate(&self, addr_buffer_entries: usize) -> Result<(), OpError> {
-        if self.size_per_pim == 0 || self.size_per_pim % LINE_BYTES != 0 {
+        if self.size_per_pim == 0 || !self.size_per_pim.is_multiple_of(LINE_BYTES) {
             return Err(OpError::BadSize(self.size_per_pim));
         }
         if self.entries.is_empty() {

@@ -241,9 +241,7 @@ mod tests {
 
     fn op(cores: Vec<u32>, size: u64) -> PimMmuOp {
         PimMmuOp::to_pim(
-            cores
-                .into_iter()
-                .map(|c| (PhysAddr(c as u64 * size), c)),
+            cores.into_iter().map(|c| (PhysAddr(c as u64 * size), c)),
             size,
             0,
         )
@@ -270,7 +268,9 @@ mod tests {
         let s = space();
         let cores: Vec<u32> = (0..4).map(|ch| s.core_id(ch, 0, 0, 0)).collect();
         let mut sched = PairScheduler::new(&op(cores, 128), &s, DceMode::PimMs);
-        let chans: Vec<u32> = (0..4).map(|_| sched.next_pair().unwrap().pim_channel).collect();
+        let chans: Vec<u32> = (0..4)
+            .map(|_| sched.next_pair().unwrap().pim_channel)
+            .collect();
         assert_eq!(chans, vec![0, 1, 2, 3]);
     }
 
@@ -293,7 +293,110 @@ mod tests {
         assert_ne!(core_a, core_b);
     }
 
+    #[test]
+    fn pim_ms_rotates_bank_groups_before_banks() {
+        let s = space();
+        // Two banks x two bank groups in channel 0, rank 0, deliberately
+        // scrambled descriptor order.
+        let cores = vec![
+            s.core_id(0, 0, 1, 1),
+            s.core_id(0, 0, 0, 0),
+            s.core_id(0, 0, 1, 0),
+            s.core_id(0, 0, 0, 1),
+        ];
+        let mut sched = PairScheduler::new(&op(cores, 64), &s, DceMode::PimMs);
+        let coords: Vec<(u32, u32)> = (0..4)
+            .map(|_| {
+                let p = sched.next_pair().unwrap();
+                let (core, _) = s.locate(p.dst);
+                let (_, _, bg, bk) = s.core_coords(core);
+                (bk, bg)
+            })
+            .collect();
+        assert_eq!(
+            coords,
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            "bank groups must rotate before the bank advances"
+        );
+    }
+
+    /// `n` distinct PIM cores chosen pseudo-randomly from `seed` (odd
+    /// stride modulo the 512-core space, so all picks are distinct).
+    fn distinct_cores(seed: u64, n: usize) -> Vec<u32> {
+        let step = 2 * (seed % 256) + 1;
+        (0..n as u64)
+            .map(|i| ((seed + i * step) % 512) as u32)
+            .collect()
+    }
+
     proptest! {
+        #[test]
+        fn emission_is_a_permutation_of_the_ops_lines(
+            seed in 0u64..1000,
+            n_cores in 1usize..64,
+            lines_per_core in 1u64..5,
+            mode in prop_oneof![Just(DceMode::PimMs), Just(DceMode::Coarse)],
+        ) {
+            let s = space();
+            let cores = distinct_cores(seed, n_cores);
+            let size = lines_per_core * 64;
+            let o = op(cores.clone(), size);
+            let mut sched = PairScheduler::new(&o, &s, mode);
+            let mut emitted: Vec<(u64, u64)> = Vec::new();
+            while let Some(p) = sched.next_pair() {
+                emitted.push((p.src.0, p.dst.0));
+            }
+            let mut expected: Vec<(u64, u64)> = o
+                .entries
+                .iter()
+                .flat_map(|&(src, core)| {
+                    (0..lines_per_core).map(move |l| (src.0 + l * 64, core, l))
+                })
+                .map(|(src, core, l)| (src, s.core_phys(core, l * 64).0))
+                .collect();
+            emitted.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(emitted, expected, "emitted pairs must be a permutation of the op");
+        }
+
+        #[test]
+        fn pim_ms_visits_cores_bank_group_innermost(
+            seed in 0u64..500,
+            n_cores in 2usize..48,
+            lines_per_core in 1u64..4,
+        ) {
+            let s = space();
+            let cores = distinct_cores(seed, n_cores);
+            let o = op(cores.clone(), lines_per_core * 64);
+            let mut sched = PairScheduler::new(&o, &s, DceMode::PimMs);
+            // Per channel, Algorithm 1 sweeps the channel's cores in
+            // (bank, rank, bank-group)-sorted order, one line per core
+            // per round: the visitation sequence is exactly that order
+            // repeated `lines_per_core` times, so bank groups rotate on
+            // every step while the bank only advances between runs.
+            let mut visits: std::collections::HashMap<u32, Vec<u32>> =
+                std::collections::HashMap::new();
+            while let Some(p) = sched.next_pair() {
+                let (core, _) = s.locate(p.dst);
+                visits.entry(p.pim_channel).or_default().push(core);
+            }
+            for (ch, seen) in visits {
+                let mut chan_cores: Vec<u32> = cores
+                    .iter()
+                    .copied()
+                    .filter(|&c| s.core_coords(c).0 == ch)
+                    .collect();
+                chan_cores.sort_by_key(|&c| {
+                    let (_, ra, bg, bk) = s.core_coords(c);
+                    (bk, ra, bg)
+                });
+                let expected: Vec<u32> = (0..lines_per_core)
+                    .flat_map(|_| chan_cores.iter().copied())
+                    .collect();
+                prop_assert_eq!(seen, expected, "channel {} order diverged", ch);
+            }
+        }
+
         #[test]
         fn every_line_yielded_exactly_once(
             n_cores in 1usize..40,

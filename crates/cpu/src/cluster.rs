@@ -340,10 +340,17 @@ mod tests {
     use pim_mapping::Organization;
 
     fn mapper() -> HetMap {
-        HetMap::baseline_bios(Organization::ddr4_dimm(4, 2), Organization::upmem_dimm(4, 2))
+        HetMap::baseline_bios(
+            Organization::ddr4_dimm(4, 2),
+            Organization::upmem_dimm(4, 2),
+        )
     }
 
-    fn drain_and_complete(cluster: &mut CpuCluster, latency: u64, pending: &mut Vec<(u64, Completion)>) {
+    fn drain_and_complete(
+        cluster: &mut CpuCluster,
+        latency: u64,
+        pending: &mut Vec<(u64, Completion)>,
+    ) {
         // A trivial perfect-memory model: every request completes after
         // `latency` core cycles.
         let now = cluster.clock();

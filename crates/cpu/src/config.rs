@@ -79,7 +79,7 @@ mod tests {
         assert_eq!(c.window, 224);
         assert_eq!(c.mshrs, 64);
         assert_eq!(c.period_ps(), 312); // 3.2 GHz, integer ps
-        // 1.5 ms quantum.
+                                        // 1.5 ms quantum.
         let quantum_ms = c.quantum_cycles as f64 / (c.freq_mhz as f64 * 1e3);
         assert!((quantum_ms - 1.5).abs() < 1e-9);
     }

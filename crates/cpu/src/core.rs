@@ -116,7 +116,10 @@ impl Core {
         if self.bubbles_left > 0 {
             let n = self.bubbles_left;
             self.bubbles_left = 0;
-            debug_assert!(self.stalled_op.is_none(), "bubbles and stalled op never coexist");
+            debug_assert!(
+                self.stalled_op.is_none(),
+                "bubbles and stalled op never coexist"
+            );
             return Some(TraceOp::Bubbles(n));
         }
         self.stalled_op.take()
@@ -425,7 +428,7 @@ mod tests {
         // Store buffer caps outstanding stores...
         assert_eq!(mem.sent.len() as u32, cfg().store_buffer);
         // ...but those issued retired immediately.
-        assert_eq!(retired as u32, cfg().store_buffer);
+        assert_eq!(retired, cfg().store_buffer);
         core.on_completion(0);
         core.tick(1000, &mut mem, || None);
         assert_eq!(mem.sent.len() as u32, cfg().store_buffer + 1);

@@ -61,7 +61,10 @@ impl Llc {
 
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.line();
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Probe for a load. Returns `true` on hit (LRU updated).

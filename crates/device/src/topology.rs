@@ -42,7 +42,7 @@ impl PimTopology {
     pub fn from_organization(org: &Organization) -> Self {
         let banks = org.banks_per_rank();
         assert!(
-            banks % 8 == 0,
+            banks.is_multiple_of(8),
             "banks per rank ({banks}) must form whole 8-DPU chips"
         );
         PimTopology {

@@ -63,7 +63,7 @@ pub fn chip_shard(block: &[u8; BLOCK_BYTES], chip: usize) -> [u8; WORD_BYTES] {
 /// Panics if the buffer length is not a multiple of 64.
 pub fn transpose_buffer(buf: &mut [u8]) {
     assert!(
-        buf.len() % BLOCK_BYTES == 0,
+        buf.len().is_multiple_of(BLOCK_BYTES),
         "buffer length {} not a multiple of {BLOCK_BYTES}",
         buf.len()
     );
@@ -103,17 +103,25 @@ mod tests {
         // After the software transpose, chip i receives original word i in
         // full (paper Fig. 3(b)).
         let mut block = [0u8; BLOCK_BYTES];
-        for (w, text) in [b"DATAWORD", b"SECONDWD", b"THIRDWRD", b"FOURTHWD",
-                          b"FIFTHWRD", b"SIXTHWRD", b"SEVENTHW", b"EIGHTHWD"]
-            .iter()
-            .enumerate()
+        for (w, text) in [
+            b"DATAWORD",
+            b"SECONDWD",
+            b"THIRDWRD",
+            b"FOURTHWD",
+            b"FIFTHWRD",
+            b"SIXTHWRD",
+            b"SEVENTHW",
+            b"EIGHTHWD",
+        ]
+        .iter()
+        .enumerate()
         {
             block[w * 8..(w + 1) * 8].copy_from_slice(*text);
         }
         let original = words(&block);
         transpose_8x8(&mut block);
-        for chip in 0..8 {
-            assert_eq!(chip_shard(&block, chip), original[chip], "chip {chip}");
+        for (chip, word) in original.iter().enumerate() {
+            assert_eq!(&chip_shard(&block, chip), word, "chip {chip}");
         }
     }
 

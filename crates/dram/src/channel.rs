@@ -143,8 +143,10 @@ impl ChannelState {
                     } else {
                         // Rank-to-rank bus turnaround.
                         rank.next.push(Command::Rd, now + t.bl + t.rtrs);
-                        rank.next
-                            .push(Command::Wr, now + (t.cl + t.bl + t.rtrs).saturating_sub(t.cwl));
+                        rank.next.push(
+                            Command::Wr,
+                            now + (t.cl + t.bl + t.rtrs).saturating_sub(t.cwl),
+                        );
                     }
                 }
                 let rank = &mut self.ranks[this_rank];
@@ -160,8 +162,10 @@ impl ChannelState {
                         rank.next.push(Command::Rd, now + t.cwl + t.bl + t.wtr_s);
                     } else {
                         rank.next.push(Command::Wr, now + t.bl + t.rtrs);
-                        rank.next
-                            .push(Command::Rd, now + (t.cwl + t.bl + t.rtrs).saturating_sub(t.cl));
+                        rank.next.push(
+                            Command::Rd,
+                            now + (t.cwl + t.bl + t.rtrs).saturating_sub(t.cl),
+                        );
                     }
                 }
                 let rank = &mut self.ranks[this_rank];

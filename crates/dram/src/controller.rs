@@ -348,7 +348,8 @@ impl MemController {
             if self.refresh_due(rank) {
                 continue;
             }
-            if self.state.open_row(&addr).is_none() && self.state.can_issue(Command::Act, &addr, now)
+            if self.state.open_row(&addr).is_none()
+                && self.state.can_issue(Command::Act, &addr, now)
             {
                 self.issue_cmd(Command::Act, &addr, now);
                 self.stats.activates += 1;
@@ -642,8 +643,13 @@ mod tests {
             .collect();
         let run = |mut c: MemController| {
             for (i, a) in pattern.iter().enumerate() {
-                c.enqueue(MemRequest::read(i as u64, PhysAddr(0), *a, Default::default()))
-                    .unwrap();
+                c.enqueue(MemRequest::read(
+                    i as u64,
+                    PhysAddr(0),
+                    *a,
+                    Default::default(),
+                ))
+                .unwrap();
             }
             let mut done = 0;
             let mut cycles = 0u64;

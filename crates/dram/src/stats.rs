@@ -127,11 +127,13 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let mut s = ChannelStats::default();
-        s.reads = 1000;
-        s.writes = 500;
-        s.elapsed_cycles = 6000;
-        s.busy_data_cycles = 6000;
+        let s = ChannelStats {
+            reads: 1000,
+            writes: 500,
+            elapsed_cycles: 6000,
+            busy_data_cycles: 6000,
+            ..ChannelStats::default()
+        };
         // 1500 bursts * 4 cycles = 6000 busy cycles => 100% utilization.
         assert!((s.bus_utilization() - 1.0).abs() < 1e-12);
         // At DDR4-2400 that is the 19.2 GB/s peak.
@@ -140,8 +142,10 @@ mod tests {
 
     #[test]
     fn windows_capture_deltas() {
-        let mut s = ChannelStats::default();
-        s.reads = 10;
+        let mut s = ChannelStats {
+            reads: 10,
+            ..ChannelStats::default()
+        };
         s.sample_window(100);
         s.reads = 25;
         s.writes = 4;

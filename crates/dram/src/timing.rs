@@ -131,7 +131,7 @@ impl TimingParams {
             wtr_l: 9,
             wr: 18,
             rtp: 9,
-            rfc: 420,  // 350 ns for an 8 Gb device
+            rfc: 420,   // 350 ns for an 8 Gb device
             refi: 9363, // 7.8 us
             rtrs: 2,
         }
@@ -268,7 +268,13 @@ mod tests {
 
     #[test]
     fn command_indices_are_dense() {
-        let all = [Command::Act, Command::Pre, Command::Rd, Command::Wr, Command::Ref];
+        let all = [
+            Command::Act,
+            Command::Pre,
+            Command::Rd,
+            Command::Wr,
+            Command::Ref,
+        ];
         let mut seen = [false; Command::COUNT];
         for c in all {
             assert!(!seen[c.idx()]);

@@ -99,20 +99,14 @@ impl TimingValidator {
                             need("tRRD_S", t.rrd_s);
                         }
                     }
-                    (Command::Act, Command::Rd) | (Command::Act, Command::Wr) => {
-                        if same_bank {
-                            need("tRCD", t.rcd);
-                        }
+                    (Command::Act, Command::Rd) | (Command::Act, Command::Wr) if same_bank => {
+                        need("tRCD", t.rcd);
                     }
-                    (Command::Act, Command::Pre) => {
-                        if same_bank {
-                            need("tRAS", t.ras);
-                        }
+                    (Command::Act, Command::Pre) if same_bank => {
+                        need("tRAS", t.ras);
                     }
-                    (Command::Pre, Command::Act) => {
-                        if same_bank {
-                            need("tRP", t.rp);
-                        }
+                    (Command::Pre, Command::Act) if same_bank => {
+                        need("tRP", t.rp);
                     }
                     (Command::Rd, Command::Rd) => {
                         if same_bg {
@@ -154,15 +148,11 @@ impl TimingValidator {
                             );
                         }
                     }
-                    (Command::Rd, Command::Pre) => {
-                        if same_bank {
-                            need("tRTP", t.rtp);
-                        }
+                    (Command::Rd, Command::Pre) if same_bank => {
+                        need("tRTP", t.rtp);
                     }
-                    (Command::Wr, Command::Pre) => {
-                        if same_bank {
-                            need("tWR", t.cwl + t.bl + t.wr);
-                        }
+                    (Command::Wr, Command::Pre) if same_bank => {
+                        need("tWR", t.cwl + t.bl + t.wr);
                     }
                     (Command::Ref, _) if same_rank => match b.cmd {
                         Command::Act | Command::Ref => need("tRFC", t.rfc),

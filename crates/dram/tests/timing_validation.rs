@@ -2,9 +2,7 @@
 //! never emit a command stream that the independent quadratic
 //! [`TimingValidator`] rejects.
 
-use pim_dram::{
-    AccessKind, ControllerConfig, MemController, MemRequest, TimingParams, TimingValidator,
-};
+use pim_dram::{ControllerConfig, MemController, MemRequest, TimingParams, TimingValidator};
 use pim_mapping::{DramAddr, Organization, PhysAddr};
 use proptest::prelude::*;
 

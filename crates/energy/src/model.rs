@@ -189,8 +189,14 @@ mod tests {
             pimmmu_present: true,
         };
         let w = a.avg_power_w(&p);
-        assert!(w < 72.0, "DCE transfer power {w:.1} W should sit below baseline");
-        assert!(w > 55.0, "static floor (leaky 32 nm parts) keeps power up, got {w:.1} W");
+        assert!(
+            w < 72.0,
+            "DCE transfer power {w:.1} W should sit below baseline"
+        );
+        assert!(
+            w > 55.0,
+            "static floor (leaky 32 nm parts) keeps power up, got {w:.1} W"
+        );
     }
 
     /// Fig. 15(b) anchor: static energy dominates, so halving transfer
@@ -213,7 +219,8 @@ mod tests {
             pimmmu_present: false,
         };
         let e = a.energy(&p);
-        let static_mj = e.core_static_mj + e.cache_static_mj + e.dram_static_mj + e.pimmmu_static_mj;
+        let static_mj =
+            e.core_static_mj + e.cache_static_mj + e.dram_static_mj + e.pimmmu_static_mj;
         assert!(static_mj > e.total_mj() * 0.5, "{e:?}");
     }
 

@@ -214,12 +214,18 @@ mod tests {
     #[test]
     fn dram_partition_spreads_only_under_pim_mmu() {
         let (het, base) = maps();
-        let het_ch: std::collections::HashSet<u32> =
-            (0..8u64).map(|i| het.map(PhysAddr(i * 64)).addr.channel).collect();
-        let base_ch: std::collections::HashSet<u32> =
-            (0..8u64).map(|i| base.map(PhysAddr(i * 64)).addr.channel).collect();
+        let het_ch: std::collections::HashSet<u32> = (0..8u64)
+            .map(|i| het.map(PhysAddr(i * 64)).addr.channel)
+            .collect();
+        let base_ch: std::collections::HashSet<u32> = (0..8u64)
+            .map(|i| base.map(PhysAddr(i * 64)).addr.channel)
+            .collect();
         assert_eq!(het_ch.len(), 4, "HetMap DRAM side must rotate channels");
-        assert_eq!(base_ch.len(), 1, "baseline BIOS pins the stream to one channel");
+        assert_eq!(
+            base_ch.len(),
+            1,
+            "baseline BIOS pins the stream to one channel"
+        );
     }
 
     #[test]
@@ -230,8 +236,18 @@ mod tests {
             let b1 = m.map(m.pim_base().offset(m.pim_organization().bank_bytes() - 64));
             assert_eq!(b0.space, MemSpace::Pim);
             assert_eq!(
-                (b0.addr.channel, b0.addr.rank, b0.addr.bank_group, b0.addr.bank),
-                (b1.addr.channel, b1.addr.rank, b1.addr.bank_group, b1.addr.bank)
+                (
+                    b0.addr.channel,
+                    b0.addr.rank,
+                    b0.addr.bank_group,
+                    b0.addr.bank
+                ),
+                (
+                    b1.addr.channel,
+                    b1.addr.rank,
+                    b1.addr.bank_group,
+                    b1.addr.bank
+                )
             );
         }
     }

@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn consecutive_lines_spread_channels() {
         let m = MlpCentric::new(org());
-        let chans: HashSet<u32> = (0..16u64).map(|i| m.map(PhysAddr(i * 64)).channel).collect();
+        let chans: HashSet<u32> = (0..16u64)
+            .map(|i| m.map(PhysAddr(i * 64)).channel)
+            .collect();
         assert_eq!(chans.len(), 4);
     }
 
@@ -138,10 +140,12 @@ mod tests {
         // Stride of one full row*channels*banks: without hashing every
         // access hits channel 0; with hashing they spread.
         let stride = o.row_bytes() * (o.channels * o.bank_groups * o.banks) as u64;
-        let plain_ch: HashSet<u32> =
-            (0..32).map(|i| plain.map(PhysAddr(i * stride)).channel).collect();
-        let hash_ch: HashSet<u32> =
-            (0..32).map(|i| hashed.map(PhysAddr(i * stride)).channel).collect();
+        let plain_ch: HashSet<u32> = (0..32)
+            .map(|i| plain.map(PhysAddr(i * stride)).channel)
+            .collect();
+        let hash_ch: HashSet<u32> = (0..32)
+            .map(|i| hashed.map(PhysAddr(i * stride)).channel)
+            .collect();
         assert_eq!(plain_ch.len(), 1);
         assert!(hash_ch.len() >= 3, "hashed channels: {hash_ch:?}");
     }

@@ -1,0 +1,290 @@
+//! The reusable component engine.
+//!
+//! Every cycle-level model in the machine implements [`Tickable`] — a
+//! uniform tick / drain-outputs / stats-snapshot surface — and
+//! [`ClockDomains`] owns the per-domain [`Clock`]s that used to be
+//! embedded in `System`. `System` itself is reduced to *composition*:
+//! it registers one domain per component group, asks the scheduler which
+//! domains fire at the next edge, and wires component outputs together.
+//!
+//! The trait lives here (not in `pim-cpu`/`pim-dram`/`pim-mmu`) so the
+//! substrate crates stay independent of the sim layer; Rust's coherence
+//! rules allow the local-trait-for-foreign-type impls in
+//! [`crate::components`].
+
+use crate::clock::Clock;
+use pim_dram::{Completion, MemRequest};
+use pim_mapping::MemSpace;
+
+/// A unit of work leaving a component at a clock edge.
+#[derive(Debug, Clone, Copy)]
+pub enum Output {
+    /// A translated memory request bound for the controller group of
+    /// `space` (emitted by request sources: the CPU cluster and the DCE).
+    Request {
+        /// Which controller group must service the request.
+        space: MemSpace,
+        /// The request, already address-translated.
+        req: MemRequest,
+    },
+    /// A completed memory access leaving a controller, to be routed back
+    /// to whichever component issued it.
+    Done(Completion),
+}
+
+/// Counter snapshot a component contributes to system-level accounting
+/// (power windows, whole-run energy). Fields a component does not own
+/// stay zero; [`merge`](Self::merge) sums snapshots across components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// CPU core cycles spent busy (cluster only).
+    pub core_active_cycles: u64,
+    /// Transfer-loop (AVX) instructions retired (cluster only).
+    pub transfer_instr: u64,
+    /// Shared-LLC accesses, hits plus misses (cluster only).
+    pub llc_accesses: u64,
+    /// DRAM row activations (controllers only).
+    pub dram_activates: u64,
+    /// DRAM read bursts (controllers only).
+    pub dram_reads: u64,
+    /// DRAM write bursts (controllers only).
+    pub dram_writes: u64,
+    /// DRAM refresh commands (controllers only).
+    pub dram_refreshes: u64,
+    /// 64 B lines fully copied by the DCE (DCE only).
+    pub dce_lines: u64,
+    /// Engine cycles the DCE had an active job (DCE only).
+    pub dce_busy_cycles: u64,
+}
+
+impl StatsSnapshot {
+    /// Field-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.core_active_cycles += other.core_active_cycles;
+        self.transfer_instr += other.transfer_instr;
+        self.llc_accesses += other.llc_accesses;
+        self.dram_activates += other.dram_activates;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.dram_refreshes += other.dram_refreshes;
+        self.dce_lines += other.dce_lines;
+        self.dce_busy_cycles += other.dce_busy_cycles;
+    }
+
+    /// Field-wise difference `self - earlier` (window deltas).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            core_active_cycles: self.core_active_cycles - earlier.core_active_cycles,
+            transfer_instr: self.transfer_instr - earlier.transfer_instr,
+            llc_accesses: self.llc_accesses - earlier.llc_accesses,
+            dram_activates: self.dram_activates - earlier.dram_activates,
+            dram_reads: self.dram_reads - earlier.dram_reads,
+            dram_writes: self.dram_writes - earlier.dram_writes,
+            dram_refreshes: self.dram_refreshes - earlier.dram_refreshes,
+            dce_lines: self.dce_lines - earlier.dce_lines,
+            dce_busy_cycles: self.dce_busy_cycles - earlier.dce_busy_cycles,
+        }
+    }
+}
+
+/// A clocked component of the simulated machine.
+///
+/// The contract mirrors how `System` drives every component:
+///
+/// 1. at each edge of the component's clock domain, [`tick`](Self::tick)
+///    advances it one cycle;
+/// 2. [`drain_outputs`](Self::drain_outputs) then hands pending outputs
+///    to a sink, which may refuse [`Output::Request`]s (controller queue
+///    back-pressure) — the component must keep refused work queued;
+/// 3. [`stats_snapshot`](Self::stats_snapshot) exposes cumulative
+///    counters for windowed power and whole-run energy accounting.
+pub trait Tickable {
+    /// Stable component name (for diagnostics and domain labeling).
+    fn name(&self) -> &'static str;
+
+    /// Advance one cycle of this component's clock domain.
+    fn tick(&mut self);
+
+    /// Drain pending outputs through `sink`, stopping at the first
+    /// refused output. [`Output::Done`] completions are not
+    /// flow-controlled: sinks must always accept them.
+    fn drain_outputs(&mut self, sink: &mut dyn FnMut(Output) -> bool);
+
+    /// Cumulative counters since construction.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+}
+
+/// Handle to one registered clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainId(usize);
+
+/// The set of domains firing at one edge (result of
+/// [`ClockDomains::advance`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Fired {
+    /// The tick of the edge.
+    pub now: u64,
+    mask: u64,
+}
+
+impl Fired {
+    /// Whether domain `d` has an edge at this tick.
+    pub fn contains(&self, d: DomainId) -> bool {
+        (self.mask >> d.0) & 1 == 1
+    }
+}
+
+/// Owns every per-domain clock and schedules the next edge.
+///
+/// Components register a domain at build time and are ticked whenever
+/// [`advance`](Self::advance) reports their domain fired; `System` holds
+/// only [`DomainId`] handles, no clock state.
+#[derive(Debug, Default)]
+pub struct ClockDomains {
+    clocks: Vec<Clock>,
+    labels: Vec<&'static str>,
+}
+
+impl ClockDomains {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        ClockDomains::default()
+    }
+
+    fn push(&mut self, label: &'static str, clock: Clock) -> DomainId {
+        assert!(self.clocks.len() < 64, "at most 64 clock domains");
+        self.clocks.push(clock);
+        self.labels.push(label);
+        DomainId(self.clocks.len() - 1)
+    }
+
+    /// Register a domain from a period in picoseconds; its first edge is
+    /// at tick 0.
+    pub fn add_period_ps(&mut self, label: &'static str, ps: u64) -> DomainId {
+        self.push(label, Clock::from_period_ps(ps))
+    }
+
+    /// Register a domain with a period in raw ticks whose first edge is
+    /// one full period in (used for sampling windows).
+    pub fn add_period_ticks(&mut self, label: &'static str, ticks: u64) -> DomainId {
+        let ticks = ticks.max(1);
+        self.push(
+            label,
+            Clock {
+                period: ticks,
+                next: ticks,
+            },
+        )
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The label a domain was registered under.
+    pub fn label(&self, d: DomainId) -> &'static str {
+        self.labels[d.0]
+    }
+
+    /// The tick of the earliest pending edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no domains are registered.
+    pub fn next_edge(&self) -> u64 {
+        self.clocks
+            .iter()
+            .map(|c| c.next)
+            .min()
+            .expect("at least one clock domain")
+    }
+
+    /// Jump to the earliest pending edge, advancing every clock with an
+    /// edge there, and report which domains fired.
+    pub fn advance(&mut self) -> Fired {
+        let now = self.next_edge();
+        let mut mask = 0u64;
+        for (i, c) in self.clocks.iter_mut().enumerate() {
+            if c.due(now) {
+                mask |= 1 << i;
+            }
+        }
+        Fired { now, mask }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_fire_at_their_own_rates() {
+        let mut d = ClockDomains::new();
+        let fast = d.add_period_ps("fast", 312); // 30 ticks
+        let slow = d.add_period_ps("slow", 833); // 80 ticks
+        let mut fast_edges = 0;
+        let mut slow_edges = 0;
+        loop {
+            let f = d.advance();
+            if f.now > 2400 {
+                break;
+            }
+            if f.contains(fast) {
+                fast_edges += 1;
+            }
+            if f.contains(slow) {
+                slow_edges += 1;
+            }
+        }
+        // Both fire at t=0; 2400 ticks = 81 fast edges, 31 slow edges.
+        assert_eq!(fast_edges, 81);
+        assert_eq!(slow_edges, 31);
+    }
+
+    #[test]
+    fn coincident_edges_fire_together() {
+        let mut d = ClockDomains::new();
+        let a = d.add_period_ticks("a", 6);
+        let b = d.add_period_ticks("b", 10);
+        // First coincidence after 0 is at lcm(6, 10) = 30.
+        let mut coincident = None;
+        for _ in 0..20 {
+            let f = d.advance();
+            if f.contains(a) && f.contains(b) {
+                coincident = Some(f.now);
+                break;
+            }
+        }
+        assert_eq!(coincident, Some(30));
+    }
+
+    #[test]
+    fn labels_and_len() {
+        let mut d = ClockDomains::new();
+        assert!(d.is_empty());
+        let a = d.add_period_ps("cpu", 312);
+        assert_eq!(d.label(a), "cpu");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_and_delta_roundtrip() {
+        let a = StatsSnapshot {
+            core_active_cycles: 5,
+            dram_reads: 7,
+            dce_lines: 2,
+            ..StatsSnapshot::default()
+        };
+        let mut sum = StatsSnapshot::default();
+        sum.merge(&a);
+        sum.merge(&a);
+        assert_eq!(sum.dram_reads, 14);
+        assert_eq!(sum.delta(&a), a);
+    }
+}

@@ -7,6 +7,12 @@
 //! on two clock domains (3.2 GHz core/engine clock, 1.2 GHz DDR4-2400
 //! memory clock) over a common integer tick of 1/96 ns.
 //!
+//! Components plug into the [`engine`] layer: each implements
+//! [`Tickable`] (tick + drain-outputs + stats snapshot, adapters in
+//! [`components`]) and [`System`] composes them over a [`ClockDomains`]
+//! scheduler. Independent experiment points fan out across host cores
+//! through the [`batch`] harness.
+//!
 //! The four design points of the paper's ablation (Fig. 15) are selected
 //! with [`DesignPoint`]:
 //!
@@ -17,14 +23,19 @@
 //! | `BaseDH` | DCE, coarse | HetMap (MLP-centric DRAM) | descriptor order |
 //! | `BaseDHP` | DCE + PIM-MS | HetMap | Algorithm 1 |
 
+pub mod batch;
 pub mod clock;
+pub mod components;
 pub mod config;
+pub mod engine;
 pub mod result;
 pub mod system;
 pub mod transfer;
 
+pub use batch::{default_threads, run_batch, run_batch_parallel, BatchPoint, Experiment};
 pub use clock::{ns_to_ticks, ticks_to_ns, Clock, TICKS_PER_NS};
 pub use config::{DesignPoint, SystemConfig, ThreadAssignment};
+pub use engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable};
 pub use result::{PowerSample, TransferResult};
 pub use system::System;
 pub use transfer::{run_memcpy, run_transfer, ContenderSpec, TransferSpec, HOST_BUFFER_BASE};

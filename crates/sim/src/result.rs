@@ -56,6 +56,19 @@ impl TransferResult {
         }
         self.bytes as f64 / uj
     }
+
+    /// Wall-clock speedup of `self` over `baseline` (latency ratio).
+    ///
+    /// Guarded against zero-elapsed results (e.g. a run cut off by the
+    /// `max_ns` cap before any progress): any non-positive elapsed time
+    /// on either side yields `0.0` rather than `inf`/`NaN`, so sweep
+    /// tables and geomeans stay finite.
+    pub fn speedup_over(&self, baseline: &TransferResult) -> f64 {
+        if self.elapsed_ns <= 0.0 || baseline.elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        baseline.elapsed_ns / self.elapsed_ns
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +91,39 @@ mod tests {
         // 64 MiB in 1 ms = 67.1 GB/s.
         assert!((r.throughput_gbps() - 67.108864).abs() < 1e-6);
         assert_eq!(r.bytes_per_uj(), 0.0);
+    }
+
+    fn result_with_elapsed(elapsed_ns: f64) -> TransferResult {
+        TransferResult {
+            design: "Base".into(),
+            bytes: 1 << 20,
+            elapsed_ns,
+            energy: EnergyBreakdown::default(),
+            power_samples: vec![],
+            pim_channel_windows: vec![],
+            dram_channel_windows: vec![],
+            pim_bus_utilization: 0.0,
+            dram_bus_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn zero_elapsed_runs_are_guarded() {
+        // A run cut off by the max_ns cap before any progress must not
+        // poison derived metrics with inf/NaN.
+        let dead = result_with_elapsed(0.0);
+        let live = result_with_elapsed(1e6);
+        assert_eq!(dead.throughput_gbps(), 0.0);
+        assert_eq!(dead.speedup_over(&live), 0.0);
+        assert_eq!(live.speedup_over(&dead), 0.0);
+        assert_eq!(result_with_elapsed(-1.0).throughput_gbps(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_latency_ratio() {
+        let fast = result_with_elapsed(1e6);
+        let slow = result_with_elapsed(4e6);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
     }
 }

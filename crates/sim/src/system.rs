@@ -1,8 +1,14 @@
 //! The assembled system: CPU cluster + DCE + DRAM/PIM memory controllers
-//! on their clock domains.
+//! composed over the [`crate::engine`] component engine.
+//!
+//! `System` owns no per-component clock bookkeeping: every clock lives in
+//! a [`ClockDomains`] scheduler, every component is driven through the
+//! [`Tickable`] surface, and `step` is pure composition — advance to the
+//! earliest edge, tick whichever domains fired, wire outputs together.
 
-use crate::clock::{ticks_to_ns, Clock, TICKS_PER_NS};
+use crate::clock::{ticks_to_ns, TICKS_PER_NS};
 use crate::config::SystemConfig;
+use crate::engine::{ClockDomains, DomainId, Output, StatsSnapshot, Tickable};
 use crate::result::PowerSample;
 use pim_cpu::{CpuCluster, Thread};
 use pim_dram::MemController;
@@ -10,6 +16,18 @@ use pim_energy::ActivityCounts;
 use pim_mapping::{HetMap, MemSpace, PimAddrSpace};
 use pim_mmu::dce::DCE_SOURCE;
 use pim_mmu::Dce;
+
+/// [`DomainId`] handles for the registered clock domains (the clocks
+/// themselves live in [`ClockDomains`]).
+#[derive(Debug, Clone, Copy)]
+struct Domains {
+    cpu: DomainId,
+    dram: DomainId,
+    pim: DomainId,
+    /// Present iff the design instantiates a DCE.
+    dce: Option<DomainId>,
+    sample: DomainId,
+}
 
 /// The evaluated machine.
 pub struct System {
@@ -21,27 +39,17 @@ pub struct System {
     dram: Vec<MemController>,
     pim: Vec<MemController>,
     t: u64,
-    cpu_clk: Clock,
-    dram_clk: Clock,
-    pim_clk: Clock,
-    dce_clk: Clock,
-    sample_clk: Clock,
+    clocks: ClockDomains,
+    domains: Domains,
     snap: Snapshot,
     power_samples: Vec<PowerSample>,
 }
 
-/// Raw counter snapshot for windowed power computation.
+/// Timestamped counter snapshot for windowed power computation.
 #[derive(Debug, Clone, Copy, Default)]
 struct Snapshot {
     t_ns: f64,
-    core_active: u64,
-    avx_instr: u64,
-    llc: u64,
-    acts: u64,
-    reads: u64,
-    writes: u64,
-    refreshes: u64,
-    dce_lines: u64,
+    counters: StatsSnapshot,
 }
 
 impl System {
@@ -61,7 +69,17 @@ impl System {
         let pim = (0..cfg.pim_org.channels)
             .map(|_| MemController::with_config(cfg.pim_org, cfg.pim_timing, ctrl_cfg))
             .collect();
-        let sample_ticks = (cfg.sample_ns * TICKS_PER_NS as f64) as u64;
+
+        let mut clocks = ClockDomains::new();
+        let domains = Domains {
+            cpu: clocks.add_period_ps("cpu", cfg.cpu.period_ps()),
+            dram: clocks.add_period_ps("dram", cfg.dram_timing.t_ck_ps),
+            pim: clocks.add_period_ps("pim", cfg.pim_timing.t_ck_ps),
+            dce: dce
+                .is_some()
+                .then(|| clocks.add_period_ps("dce", cfg.dce.period_ps())),
+            sample: clocks.add_period_ticks("sample", (cfg.sample_ns * TICKS_PER_NS as f64) as u64),
+        };
         System {
             mapper,
             cluster,
@@ -69,14 +87,8 @@ impl System {
             dram,
             pim,
             t: 0,
-            cpu_clk: Clock::from_period_ps(cfg.cpu.period_ps()),
-            dram_clk: Clock::from_period_ps(cfg.dram_timing.t_ck_ps),
-            pim_clk: Clock::from_period_ps(cfg.pim_timing.t_ck_ps),
-            dce_clk: Clock::from_period_ps(cfg.dce.period_ps()),
-            sample_clk: Clock {
-                period: sample_ticks.max(1),
-                next: sample_ticks.max(1),
-            },
+            clocks,
+            domains,
             snap: Snapshot::default(),
             power_samples: Vec::new(),
             cfg,
@@ -113,6 +125,11 @@ impl System {
         &self.pim
     }
 
+    /// The clock-domain scheduler (labels, edge inspection).
+    pub fn clock_domains(&self) -> &ClockDomains {
+        &self.clocks
+    }
+
     /// Power/activity samples collected so far.
     pub fn power_samples(&self) -> &[PowerSample] {
         &self.power_samples
@@ -123,58 +140,59 @@ impl System {
         ticks_to_ns(self.t)
     }
 
-    fn route(&mut self, space: MemSpace, channel: u32) -> &mut MemController {
-        match space {
-            MemSpace::Dram => &mut self.dram[channel as usize],
-            MemSpace::Pim => &mut self.pim[channel as usize],
-        }
-    }
-
-    fn drain_cluster_outbox(&mut self) {
-        loop {
-            let Some(front) = self.cluster.outbox_mut().front().copied() else {
-                return;
-            };
-            let ctrl = self.route(front.space, front.req.addr.channel);
-            if ctrl.can_accept(front.req.kind) {
-                ctrl.enqueue(front.req).expect("capacity checked");
-                self.cluster.outbox_mut().pop_front();
-            } else {
-                return;
+    /// Drain `source`'s pending requests into the controller queues,
+    /// honoring per-queue back-pressure (a refused request stops the
+    /// drain; the source keeps it queued).
+    fn drain_requests(
+        source: &mut dyn Tickable,
+        dram: &mut [MemController],
+        pim: &mut [MemController],
+    ) {
+        source.drain_outputs(&mut |out| match out {
+            Output::Request { space, req } => {
+                let ctrl = match space {
+                    MemSpace::Dram => &mut dram[req.addr.channel as usize],
+                    MemSpace::Pim => &mut pim[req.addr.channel as usize],
+                };
+                if ctrl.can_accept(req.kind) {
+                    ctrl.enqueue(req).expect("capacity checked");
+                    true
+                } else {
+                    false
+                }
             }
+            Output::Done(_) => unreachable!("request sources do not emit completions"),
+        });
+    }
+
+    /// Top every request source's queue back up (after controllers freed
+    /// queue slots, or after a source ticked).
+    fn refill_controller_queues(&mut self) {
+        Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
+        if let Some(dce) = &mut self.dce {
+            Self::drain_requests(dce, &mut self.dram, &mut self.pim);
         }
     }
 
-    fn drain_dce_outbox(&mut self) {
-        let Some(dce) = &mut self.dce else { return };
-        loop {
-            let Some(front) = dce.outbox_mut().front().copied() else {
-                return;
-            };
-            let ctrl = match front.space {
-                MemSpace::Dram => &mut self.dram[front.req.addr.channel as usize],
-                MemSpace::Pim => &mut self.pim[front.req.addr.channel as usize],
-            };
-            if ctrl.can_accept(front.req.kind) {
-                ctrl.enqueue(front.req).expect("capacity checked");
-                dce.outbox_mut().pop_front();
-            } else {
-                return;
-            }
-        }
-    }
-
+    /// Tick one controller group and route its completions back to the
+    /// component that issued each request.
     fn tick_controllers(&mut self, space: MemSpace) {
         let ctrls = match space {
             MemSpace::Dram => &mut self.dram,
             MemSpace::Pim => &mut self.pim,
         };
-        let mut completions = Vec::new();
+        let mut done: Vec<Output> = Vec::new();
         for c in ctrls.iter_mut() {
-            c.tick();
-            completions.extend(c.drain_completions());
+            Tickable::tick(c);
+            c.drain_outputs(&mut |o| {
+                done.push(o);
+                true
+            });
         }
-        for c in completions {
+        for o in done {
+            let Output::Done(c) = o else {
+                unreachable!("controllers only emit completions")
+            };
             if c.source.0 == DCE_SOURCE {
                 if let Some(dce) = &mut self.dce {
                     dce.on_completion(c);
@@ -187,33 +205,30 @@ impl System {
 
     /// Advance the simulation by one event (the earliest due clock edge).
     pub fn step(&mut self) {
-        let mut next = self.cpu_clk.next.min(self.dram_clk.next).min(self.pim_clk.next);
-        if self.dce.is_some() {
-            next = next.min(self.dce_clk.next);
-        }
-        next = next.min(self.sample_clk.next);
-        self.t = next;
+        let fired = self.clocks.advance();
+        self.t = fired.now;
 
-        if self.cpu_clk.due(next) {
-            self.cluster.tick();
-            self.drain_cluster_outbox();
+        if fired.contains(self.domains.cpu) {
+            Tickable::tick(&mut self.cluster);
+            Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
         }
-        if self.dce.is_some() && self.dce_clk.due(next) {
-            self.dce.as_mut().expect("checked").tick();
-            self.drain_dce_outbox();
+        if let Some(dce_dom) = self.domains.dce {
+            if fired.contains(dce_dom) {
+                let dce = self.dce.as_mut().expect("domain registered iff present");
+                Tickable::tick(dce);
+                Self::drain_requests(dce, &mut self.dram, &mut self.pim);
+            }
         }
-        if self.dram_clk.due(next) {
+        if fired.contains(self.domains.dram) {
             self.tick_controllers(MemSpace::Dram);
             // Controllers freed queue slots: top the queues back up.
-            self.drain_cluster_outbox();
-            self.drain_dce_outbox();
+            self.refill_controller_queues();
         }
-        if self.pim_clk.due(next) {
+        if fired.contains(self.domains.pim) {
             self.tick_controllers(MemSpace::Pim);
-            self.drain_cluster_outbox();
-            self.drain_dce_outbox();
+            self.refill_controller_queues();
         }
-        if self.sample_clk.due(next) {
+        if fired.contains(self.domains.sample) {
             self.sample();
         }
     }
@@ -231,44 +246,38 @@ impl System {
         pred(self)
     }
 
+    /// Cumulative counters summed over every component.
     fn totals(&self) -> Snapshot {
-        let cs = self.cluster.core_stats();
-        let mut s = Snapshot {
-            t_ns: self.now_ns(),
-            core_active: cs.iter().map(|c| c.busy_cycles).sum(),
-            avx_instr: self.cluster.stats().retired_transfer,
-            llc: self.cluster.llc().hits + self.cluster.llc().misses,
-            ..Snapshot::default()
-        };
-        for c in self.dram.iter().chain(self.pim.iter()) {
-            let st = c.stats();
-            s.acts += st.activates;
-            s.reads += st.reads;
-            s.writes += st.writes;
-            s.refreshes += st.refreshes;
-        }
+        let mut counters = self.cluster.stats_snapshot();
         if let Some(dce) = &self.dce {
-            s.dce_lines = dce.stats().lines_done;
+            counters.merge(&dce.stats_snapshot());
         }
-        s
+        for c in self.dram.iter().chain(self.pim.iter()) {
+            counters.merge(&c.stats_snapshot());
+        }
+        Snapshot {
+            t_ns: self.now_ns(),
+            counters,
+        }
     }
 
     /// Activity since `snap`, as energy-model input.
     fn delta_counts(&self, snap: &Snapshot, now: &Snapshot) -> ActivityCounts {
+        let d = now.counters.delta(&snap.counters);
         ActivityCounts {
             duration_ns: now.t_ns - snap.t_ns,
             cores: self.cfg.cpu.cores,
-            core_active_cycles: now.core_active - snap.core_active,
+            core_active_cycles: d.core_active_cycles,
             // AVX premium applied per transfer-loop instruction.
-            avx_cycles: now.avx_instr - snap.avx_instr,
-            llc_accesses: now.llc - snap.llc,
+            avx_cycles: d.transfer_instr,
+            llc_accesses: d.llc_accesses,
             ranks: self.cfg.dram_org.channels * self.cfg.dram_org.ranks
                 + self.cfg.pim_org.channels * self.cfg.pim_org.ranks,
-            dram_acts: now.acts - snap.acts,
-            dram_reads: now.reads - snap.reads,
-            dram_writes: now.writes - snap.writes,
-            dram_refreshes: now.refreshes - snap.refreshes,
-            dce_lines: now.dce_lines - snap.dce_lines,
+            dram_acts: d.dram_activates,
+            dram_reads: d.dram_reads,
+            dram_writes: d.dram_writes,
+            dram_refreshes: d.dram_refreshes,
+            dce_lines: d.dce_lines,
             pimmmu_present: self.dce.is_some(),
         }
     }
@@ -315,7 +324,11 @@ impl System {
             MemSpace::Pim => &self.pim,
         };
         let n = ctrls.len().max(1) as f64;
-        ctrls.iter().map(|c| c.stats().bus_utilization()).sum::<f64>() / n
+        ctrls
+            .iter()
+            .map(|c| c.stats().bus_utilization())
+            .sum::<f64>()
+            / n
     }
 
     /// Whether all controllers are fully drained.
@@ -373,6 +386,16 @@ mod tests {
         assert!(sys.dce().is_none());
         let sys = System::new(SystemConfig::table1(DesignPoint::BaseDHP), vec![]);
         assert!(sys.dce().is_some());
+    }
+
+    #[test]
+    fn domains_follow_design_point() {
+        // Baseline: cpu + dram + pim + sample. DCE designs add one more.
+        let base = System::new(SystemConfig::table1(DesignPoint::Baseline), vec![]);
+        assert_eq!(base.clock_domains().len(), 4);
+        let full = System::new(SystemConfig::table1(DesignPoint::BaseDHP), vec![]);
+        assert_eq!(full.clock_domains().len(), 5);
+        assert_eq!(full.clock_domains().label(full.domains.cpu), "cpu");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::config::{SystemConfig, ThreadAssignment};
 use crate::result::TransferResult;
 use crate::system::System;
-use pim_cpu::streams::{ContenderStream, CopyChunk, Intensity, MemcpyStream, SpinStream, XferDir, XferStream};
+use pim_cpu::streams::{
+    ContenderStream, CopyChunk, Intensity, MemcpyStream, SpinStream, XferDir, XferStream,
+};
 use pim_cpu::{Thread, ThreadKind};
 use pim_mapping::{MemSpace, PhysAddr, PimAddrSpace};
 use pim_mmu::{PimMmuOp, XferKind};
@@ -51,7 +53,7 @@ impl TransferSpec {
     fn size_per_core(&self) -> u64 {
         let raw = self.total_bytes / self.n_cores as u64;
         assert!(
-            raw >= 64 && raw % 64 == 0,
+            raw >= 64 && raw.is_multiple_of(64),
             "per-core size {raw} must be a nonzero multiple of 64 B"
         );
         raw
@@ -259,7 +261,10 @@ pub fn run_memcpy(cfg: &SystemConfig, bytes: u64, max_ns: f64) -> TransferResult
     let finished = sys.run_until(max_ns, move |s| {
         (0..n_threads).all(|t| s.cluster().thread_finished(t))
     });
-    assert!(finished, "memcpy of {bytes} bytes did not finish in {max_ns} ns");
+    assert!(
+        finished,
+        "memcpy of {bytes} bytes did not finish in {max_ns} ns"
+    );
     let cpu_period_ns = sys.cfg.cpu.period_ps() as f64 / 1000.0;
     let elapsed_ns = (0..n_threads)
         .map(|t| sys.cluster().thread_finished_at(t).expect("finished"))

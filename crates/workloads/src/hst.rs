@@ -95,9 +95,7 @@ mod tests {
 
     #[test]
     fn large_is_slower_than_small() {
-        assert!(
-            HistogramLarge.profile().kernel_ms(512) > HistogramSmall.profile().kernel_ms(512)
-        );
+        assert!(HistogramLarge.profile().kernel_ms(512) > HistogramSmall.profile().kernel_ms(512));
     }
 
     #[test]

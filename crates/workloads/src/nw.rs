@@ -50,7 +50,8 @@ impl PimWorkload for NeedlemanWunsch {
         let mk = |rng: &mut Xorshift| -> Vec<u8> {
             (0..len).map(|_| b"ACGT"[rng.below(4) as usize]).collect()
         };
-        let batch: Vec<(Vec<u8>, Vec<u8>)> = (0..pairs).map(|_| (mk(&mut rng), mk(&mut rng))).collect();
+        let batch: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..pairs).map(|_| (mk(&mut rng), mk(&mut rng))).collect();
 
         let mut scores = vec![0i64; pairs];
         for r in ranges(pairs, n_dpus) {

@@ -12,7 +12,7 @@ pub struct Select;
 /// The predicate.
 #[inline]
 pub fn keep(x: u32) -> bool {
-    x % 2 == 0
+    x.is_multiple_of(2)
 }
 
 /// Per-DPU kernel: compact one slice.

@@ -117,7 +117,10 @@ mod tests {
             (0.5..=0.8).contains(&avg),
             "average transfer fraction {avg:.3} outside the Fig. 16 band"
         );
-        assert!(max > 0.95, "max transfer fraction {max:.3} should be ~0.997");
+        assert!(
+            max > 0.95,
+            "max transfer fraction {max:.3} should be ~0.997"
+        );
         assert!(
             fracs.iter().cloned().fold(1.0, f64::min) < 0.1,
             "TS should be kernel-dominated"

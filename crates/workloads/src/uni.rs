@@ -44,7 +44,7 @@ impl PimWorkload for Unique {
         let mut out: Vec<u32> = Vec::new();
         for r in ranges(n, n_dpus) {
             let part = dpu_kernel(&input[r]);
-            let skip = usize::from(out.last().is_some() && out.last() == part.first().as_deref());
+            let skip = usize::from(out.last().is_some() && out.last() == part.first());
             out.extend(&part[skip.min(part.len())..]);
         }
         let reference = dpu_kernel(&input);

@@ -11,8 +11,14 @@ use pim_sim::{run_transfer, ContenderSpec, DesignPoint, SystemConfig, TransferSp
 
 fn main() {
     let bytes = 8u64 << 20;
-    println!("DRAM->PIM {} MiB with co-located spin-lock threads", bytes >> 20);
-    println!("{:>12} {:>16} {:>16}", "contenders", "Baseline (ms)", "PIM-MMU (ms)");
+    println!(
+        "DRAM->PIM {} MiB with co-located spin-lock threads",
+        bytes >> 20
+    );
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "contenders", "Baseline (ms)", "PIM-MMU (ms)"
+    );
     for k in [0u32, 8, 16, 24] {
         let mut times = Vec::new();
         for design in [DesignPoint::Baseline, DesignPoint::BaseDHP] {

@@ -6,9 +6,7 @@
 //! cargo run --release --example mapping_explorer
 //! ```
 
-use pim_mapping::{
-    BiosConfig, HetMap, LocalityCentric, MapFn, MlpCentric, Organization, PhysAddr,
-};
+use pim_mapping::{BiosConfig, HetMap, LocalityCentric, MapFn, MlpCentric, Organization, PhysAddr};
 
 fn main() {
     let dram = Organization::ddr4_dimm(4, 2);
@@ -24,7 +22,12 @@ fn main() {
     );
     for i in 0..8u64 {
         let p = PhysAddr(i * 64);
-        println!("{:>12}  {:<28} {:<28}", p.to_string(), loc.map(p).to_string(), mlp.map(p).to_string());
+        println!(
+            "{:>12}  {:<28} {:<28}",
+            p.to_string(),
+            loc.map(p).to_string(),
+            mlp.map(p).to_string()
+        );
     }
 
     println!("\n4 KiB-page walk (the XOR hash keeps strides spread):");
@@ -38,11 +41,24 @@ fn main() {
         );
     }
 
-    println!("\nHetMap partition boundary at {} (= DRAM capacity):", het.pim_base());
-    for off in [0u64, (32 << 30) - 64, 32 << 30, (32 << 30) + 64 * 1024 * 1024] {
+    println!(
+        "\nHetMap partition boundary at {} (= DRAM capacity):",
+        het.pim_base()
+    );
+    for off in [
+        0u64,
+        (32 << 30) - 64,
+        32 << 30,
+        (32 << 30) + 64 * 1024 * 1024,
+    ] {
         let p = PhysAddr(off);
         let s = het.map(p);
-        println!("{:>14} -> {:>4} {}", p.to_string(), s.space.to_string(), s.addr);
+        println!(
+            "{:>14} -> {:>4} {}",
+            p.to_string(),
+            s.space.to_string(),
+            s.addr
+        );
     }
 
     println!("\nBIOS interleaving knobs (Fig. 1): channel of the first 8 lines");

@@ -32,29 +32,47 @@ fn main() {
     });
 
     let a: Vec<u32> = (0..n_dpus as usize * per_dpu).map(|i| i as u32).collect();
-    let b: Vec<u32> = (0..n_dpus as usize * per_dpu).map(|i| (2 * i) as u32).collect();
+    let b: Vec<u32> = (0..n_dpus as usize * per_dpu)
+        .map(|i| (2 * i) as u32)
+        .collect();
 
     // DPU_FOREACH { dpu_prepare_xfer(a) } ; dpu_push_xfer(TO_DPU) ...
     let mut set = DpuSet::all(&mut device);
     for d in 0..n_dpus {
         let lo = d as usize * per_dpu;
-        let bytes: Vec<u8> = a[lo..lo + per_dpu].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bytes: Vec<u8> = a[lo..lo + per_dpu]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         set.prepare_xfer(d, bytes);
     }
     set.push_xfer(XferDirection::ToDpu, 0).expect("push a");
     for d in 0..n_dpus {
         let lo = d as usize * per_dpu;
-        let bytes: Vec<u8> = b[lo..lo + per_dpu].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bytes: Vec<u8> = b[lo..lo + per_dpu]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         set.prepare_xfer(d, bytes);
     }
-    set.push_xfer(XferDirection::ToDpu, (per_dpu * 4) as u64).expect("push b");
+    set.push_xfer(XferDirection::ToDpu, (per_dpu * 4) as u64)
+        .expect("push b");
 
     // "Launch" the kernels: each DPU adds its slices inside MRAM.
     for d in 0..n_dpus {
         let av = set.device().mram(d).read_vec(0, per_dpu * 4);
-        let bv = set.device().mram(d).read_vec(per_dpu as u64 * 4, per_dpu * 4);
-        let au: Vec<u32> = av.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
-        let bu: Vec<u32> = bv.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        let bv = set
+            .device()
+            .mram(d)
+            .read_vec(per_dpu as u64 * 4, per_dpu * 4);
+        let au: Vec<u32> = av
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let bu: Vec<u32> = bv
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         let cu = va::dpu_kernel(&au, &bu);
         let cb: Vec<u8> = cu.iter().flat_map(|v| v.to_le_bytes()).collect();
         let off = (2 * per_dpu * 4) as u64;

@@ -1,0 +1,129 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the API subset used by the `pim-bench` benchmarks:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{throughput,
+//! bench_function, finish}`, `Bencher::iter`, `black_box`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! real adaptive wall-clock loop (median of sampled batches) — numbers
+//! are honest, just without criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-of-work declaration used to derive a rate from the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("== {name} ==");
+        BenchmarkGroup { throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declare the per-iteration work for subsequent `bench_function`s.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Time `f` and print the per-iteration latency (and rate, when a
+    /// throughput was declared).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up pass (also primes caches/allocator).
+        f(&mut b);
+        b.samples.clear();
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            f(&mut b);
+        }
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let per_iter_ns = median as f64;
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => println!(
+                "{id:<28} {:>12.1} ns/iter  {:>10.2} GiB/s",
+                per_iter_ns,
+                n as f64 / per_iter_ns * 1e9 / (1u64 << 30) as f64
+            ),
+            Some(Throughput::Elements(n)) => println!(
+                "{id:<28} {:>12.1} ns/iter  {:>10.2} Melem/s",
+                per_iter_ns,
+                n as f64 / per_iter_ns * 1e3
+            ),
+            None => println!("{id:<28} {per_iter_ns:>12.1} ns/iter"),
+        }
+        self
+    }
+
+    /// End the group (parity with criterion; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Run `f` in a timed batch and record the per-iteration latency.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Batch enough iterations to dwarf timer overhead.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed().as_nanos() / batch);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

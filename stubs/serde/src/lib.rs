@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No actual
+//! serialization machinery exists; swap the workspace dependency back to
+//! crates.io serde when a real serializer is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or bounded
+/// on in this workspace).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or
+/// bounded on in this workspace).
+pub trait Deserialize<'de> {}

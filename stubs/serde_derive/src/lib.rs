@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! types but never (de)serializes through them yet — the derives only
+//! need to parse. Each derive accepts the full `#[serde(...)]` attribute
+//! surface and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -64,7 +64,9 @@ fn fig15_energy_shape() {
     assert!(dhp.energy.total_mj() < base.energy.total_mj() / 2.0);
     // And the static share dominates everywhere.
     for r in [&base, &d, &dhp] {
-        let s = r.energy.core_static_mj + r.energy.cache_static_mj + r.energy.dram_static_mj
+        let s = r.energy.core_static_mj
+            + r.energy.cache_static_mj
+            + r.energy.dram_static_mj
             + r.energy.pimmmu_static_mj;
         assert!(s > r.energy.total_mj() * 0.5, "{:?}", r.energy);
     }

@@ -4,7 +4,7 @@
 //! PIM core numbering.
 
 use pim_device::{DpuSet, PimDevice, PimTopology, XferDirection};
-use pim_mapping::{HetMap, MemSpace, Organization, PimAddrSpace, PhysAddr};
+use pim_mapping::{HetMap, MemSpace, Organization, PhysAddr, PimAddrSpace};
 use pim_workloads::prim_suite;
 
 #[test]
