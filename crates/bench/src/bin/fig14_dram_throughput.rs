@@ -4,6 +4,7 @@
 //! Paper shape: PIM-MMU improves memcpy throughput 4.9x on average (max
 //! 6.0x); throughput scales with the number of *channels*, not ranks.
 
+use pim_bench::json::{write_json, Json};
 use pim_bench::{cfg, geomean, HarnessArgs};
 use pim_mapping::Organization;
 use pim_sim::{run_batch, BatchPoint, DesignPoint};
@@ -38,6 +39,7 @@ fn main() {
     );
     let mut speedups = Vec::new();
     let mut mmu_abs = Vec::new();
+    let mut rows = Vec::new();
     for (i, (ch, ranks)) in configs.into_iter().enumerate() {
         let b = results[2 * i].throughput_gbps();
         let m = results[2 * i + 1].throughput_gbps();
@@ -48,6 +50,12 @@ fn main() {
         );
         speedups.push(m / b);
         mmu_abs.push(m);
+        rows.push(Json::obj([
+            ("config", Json::str(format!("{ch}C-{ranks}R"))),
+            ("baseline_gbps", Json::num(b)),
+            ("pim_mmu_gbps", Json::num(m)),
+            ("speedup", Json::num(m / b)),
+        ]));
     }
     println!(
         "-> geomean speedup {:.2}x (paper: avg 4.9x, max 6.0x)",
@@ -57,4 +65,13 @@ fn main() {
         "-> channel scaling: 2C {:.1} GB/s vs 4C {:.1} GB/s; rank scaling 8R {:.1} vs 16R {:.1} GB/s",
         mmu_abs[0], mmu_abs[1], mmu_abs[1], mmu_abs[2]
     );
+    let doc = Json::obj([
+        ("bench", Json::str("fig14_dram_throughput")),
+        ("bytes", Json::int(bytes)),
+        ("geomean_speedup", Json::num(geomean(&speedups))),
+        ("paper_avg_speedup", Json::num(4.9)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_json("BENCH_fig14.json", &doc).expect("write results file");
+    println!("wrote BENCH_fig14.json");
 }

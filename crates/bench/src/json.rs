@@ -1,0 +1,193 @@
+//! A tiny JSON value + writer for the `BENCH_*.json` results pipeline.
+//!
+//! The workspace's `serde` is an offline no-op stub, so benchmark
+//! binaries serialize through this self-contained module instead: a
+//! value tree, deterministic rendering (insertion-ordered objects,
+//! shortest-roundtrip floats), and a file writer. Two runs of the same
+//! seeded experiment produce byte-identical files — the property the
+//! perf-trajectory tooling diffs against.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A JSON value. Objects preserve insertion order (deterministic
+/// output); numbers are f64 like JSON's.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// An integer value (exact for |x| < 2^53).
+    pub fn int(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&fmt_num(*x)),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(k.clone()).write_into(out, indent + 1);
+                    out.push_str(": ");
+                    v.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Deterministic number formatting: integers without a fraction,
+/// everything else via Rust's shortest-roundtrip float display;
+/// non-finite values become `null` (JSON has no NaN/inf).
+fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Write a value to `path` (rendered via [`Json::render`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: impl AsRef<Path>, value: &Json) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(value.render().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::int(42).render(), "42\n");
+        assert_eq!(Json::num(0.5).render(), "0.5\n");
+        assert_eq!(Json::num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::num(-3.0).render(), "-3\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn nests_deterministically() {
+        let v = Json::obj([
+            ("name", Json::str("fig")),
+            ("xs", Json::Arr(vec![Json::int(1), Json::int(2)])),
+            ("empty", Json::Arr(vec![])),
+            ("inner", Json::obj([("k", Json::Bool(false))])),
+        ]);
+        let expect = "{\n  \"name\": \"fig\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"inner\": {\n    \"k\": false\n  }\n}\n";
+        assert_eq!(v.render(), expect);
+        // Rendering is a pure function of the value.
+        assert_eq!(v.render(), v.clone().render());
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for x in [1.25, 1e-9, 123456.789, 1e20] {
+            let s = fmt_num(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+        // Negative zero collapses to plain 0 (sign is not meaningful in
+        // the results pipeline).
+        assert_eq!(fmt_num(-0.0), "0");
+    }
+}

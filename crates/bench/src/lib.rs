@@ -6,6 +6,8 @@
 //! `cargo run --release -p pim-bench --bin <experiment>`; pass `--full`
 //! for the paper-scale transfer sizes (slower).
 
+pub mod json;
+
 use pim_sim::{DesignPoint, SystemConfig};
 
 /// Parse harness CLI flags (`--full` for paper-scale sizes, `--threads N`

@@ -111,6 +111,14 @@ impl Dce {
         self.job.as_ref().and_then(|j| j.completed_at)
     }
 
+    /// Current engine cycle (ticks since construction). Together with
+    /// [`completed_at`](Self::completed_at) this lets a host runtime
+    /// measure per-job service time in engine cycles exactly, matching
+    /// the one-shot harness's accounting.
+    pub fn cycle(&self) -> u64 {
+        self.clock
+    }
+
     /// Requests awaiting entry into the memory subsystem.
     pub fn outbox_mut(&mut self) -> &mut VecDeque<DceRequest> {
         &mut self.outbox
@@ -318,6 +326,32 @@ mod tests {
         dce.retire_job();
         assert!(!dce.busy());
         assert_eq!(dce.stats().jobs_done, 1);
+    }
+
+    #[test]
+    fn submit_rejects_degenerate_jobs_without_panicking() {
+        // Regression for the zero-byte / zero-core edges: the engine must
+        // hand back a typed error, never reach the scheduler with a shape
+        // that would build an empty schedule.
+        let mut dce = setup();
+        let zero_bytes = PimMmuOp::to_pim([(PhysAddr(0), 0)], 0, 0);
+        assert_eq!(
+            dce.submit(zero_bytes, DceMode::PimMs),
+            Err(OpError::BadSize(0))
+        );
+        let zero_cores = PimMmuOp::to_pim(std::iter::empty(), 64, 0);
+        assert_eq!(dce.submit(zero_cores, DceMode::PimMs), Err(OpError::Empty));
+        assert!(!dce.busy(), "rejected submissions must leave the DCE idle");
+    }
+
+    #[test]
+    fn cycle_counts_ticks() {
+        let mut dce = setup();
+        assert_eq!(dce.cycle(), 0);
+        for _ in 0..5 {
+            dce.tick();
+        }
+        assert_eq!(dce.cycle(), 5);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub struct PowerParams {
     /// Dynamic energy per active core cycle, nJ (≈2.5 W at 3.2 GHz).
     pub core_dynamic_nj_per_cycle: f64,
     /// Extra dynamic energy per AVX-512-active cycle, nJ. AVX-512 is
-    /// notoriously power-hungry (paper cites [39], [105]).
+    /// notoriously power-hungry (paper cites \[39\], \[105\]).
     pub avx_extra_nj_per_cycle: f64,
     /// LLC leakage, W.
     pub llc_static_w: f64,

@@ -1,5 +1,5 @@
 //! The MLP-centric mapping with permutation-based XOR hashing
-//! (paper Fig. 7(b), following Zhang et al. [115]).
+//! (paper Fig. 7(b), following Zhang et al. \[115\]).
 
 use crate::addr::{DramAddr, PhysAddr};
 use crate::layout::FieldLayout;

@@ -1,0 +1,196 @@
+//! Transfer jobs: what a tenant submits, how it becomes chunked
+//! [`PimMmuOp`]s, and the per-job completion record.
+
+use pim_mapping::PhysAddr;
+use pim_mmu::{OpError, PimMmuOp, XferKind};
+use std::collections::VecDeque;
+
+/// A tenant-level transfer request: move `per_core_bytes` to/from each of
+/// `n_cores` PIM cores, staged at `dram_base` on the host side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Transfer direction.
+    pub kind: XferKind,
+    /// Bytes per targeted PIM core (a nonzero multiple of 64).
+    pub per_core_bytes: u64,
+    /// Number of PIM cores targeted (cores `0..n_cores`).
+    pub n_cores: u32,
+    /// Base physical address of the host-side staging buffer; core `i`'s
+    /// chunk sits at `dram_base + i * per_core_bytes`, matching the
+    /// layout of the one-shot transfer harness.
+    pub dram_base: PhysAddr,
+    /// Offset into each core's MRAM heap.
+    pub heap_offset: u64,
+}
+
+impl JobSpec {
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_core_bytes * self.n_cores as u64
+    }
+
+    /// The full (unchunked) descriptor for this job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed construction errors for degenerate shapes
+    /// (zero bytes, zero cores).
+    pub fn op(&self) -> Result<PimMmuOp, OpError> {
+        let entries =
+            (0..self.n_cores).map(|i| (self.dram_base.offset(i as u64 * self.per_core_bytes), i));
+        PimMmuOp::try_new(self.kind, entries, self.per_core_bytes, self.heap_offset)
+    }
+}
+
+/// A queued job: its spec plus scheduling state. The pending chunk list
+/// is materialized at submission, so dispatch is a pop.
+#[derive(Debug)]
+pub struct Job {
+    /// Globally unique job id (submission order).
+    pub id: u64,
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Arrival time, ns.
+    pub submit_ns: f64,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Chunked descriptors awaiting dispatch.
+    pub chunks: VecDeque<PimMmuOp>,
+    /// When the first chunk entered the engine (None while queued).
+    pub first_dispatch_ns: Option<f64>,
+    /// Bytes whose chunks have completed.
+    pub bytes_done: u64,
+}
+
+impl Job {
+    /// Build a job, chunking its descriptor to at most `chunk_bytes` /
+    /// `max_entries` per dispatched op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed construction errors for degenerate specs.
+    pub fn new(
+        id: u64,
+        tenant: usize,
+        submit_ns: f64,
+        spec: &JobSpec,
+        chunk_bytes: u64,
+        max_entries: usize,
+    ) -> Result<Self, OpError> {
+        let op = spec.op()?;
+        let chunks: VecDeque<PimMmuOp> = op.chunks(chunk_bytes, max_entries)?.into();
+        Ok(Job {
+            id,
+            tenant,
+            submit_ns,
+            total_bytes: op.total_bytes(),
+            chunks,
+            first_dispatch_ns: None,
+            bytes_done: 0,
+        })
+    }
+
+    /// Bytes not yet completed.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.total_bytes - self.bytes_done
+    }
+
+    /// Whether at least one chunk has been dispatched and the job is not
+    /// yet complete.
+    pub fn in_service(&self) -> bool {
+        self.first_dispatch_ns.is_some()
+    }
+}
+
+/// The completion record of one job — the raw material for latency
+/// histograms and for exact (bit-identical) comparisons in tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Arrival time, ns.
+    pub submit_ns: f64,
+    /// First-chunk dispatch time, ns.
+    pub dispatch_ns: f64,
+    /// Completion-interrupt time, ns (driver round trip included).
+    pub complete_ns: f64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+impl JobRecord {
+    /// Queueing delay (arrival → first dispatch), ns.
+    pub fn queue_delay_ns(&self) -> f64 {
+        self.dispatch_ns - self.submit_ns
+    }
+
+    /// End-to-end latency (arrival → completion interrupt), ns.
+    pub fn e2e_ns(&self) -> f64 {
+        self.complete_ns - self.submit_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: XferKind::DramToPim,
+            per_core_bytes: 4096,
+            n_cores: 8,
+            dram_base: PhysAddr(1 << 30),
+            heap_offset: 0,
+        }
+    }
+
+    #[test]
+    fn spec_builds_harness_layout() {
+        let op = spec().op().unwrap();
+        assert_eq!(op.total_bytes(), 8 * 4096);
+        assert_eq!(op.entries[3], (PhysAddr((1 << 30) + 3 * 4096), 3));
+    }
+
+    #[test]
+    fn job_chunks_cover_the_spec() {
+        let job = Job::new(7, 2, 100.0, &spec(), 8 << 10, 4096).unwrap();
+        assert_eq!(job.id, 7);
+        assert!(job.chunks.len() > 1);
+        let total: u64 = job.chunks.iter().map(|c| c.total_bytes()).sum();
+        assert_eq!(total, job.total_bytes);
+        assert_eq!(job.remaining_bytes(), job.total_bytes);
+        assert!(!job.in_service());
+    }
+
+    #[test]
+    fn degenerate_specs_are_typed_errors() {
+        let mut s = spec();
+        s.n_cores = 0;
+        assert!(matches!(
+            Job::new(0, 0, 0.0, &s, 1 << 20, 4096),
+            Err(OpError::Empty)
+        ));
+        let mut s = spec();
+        s.per_core_bytes = 0;
+        assert!(matches!(
+            Job::new(0, 0, 0.0, &s, 1 << 20, 4096),
+            Err(OpError::BadSize(0))
+        ));
+    }
+
+    #[test]
+    fn record_derives() {
+        let r = JobRecord {
+            id: 1,
+            tenant: 0,
+            submit_ns: 10.0,
+            dispatch_ns: 25.0,
+            complete_ns: 125.0,
+            bytes: 64,
+        };
+        assert_eq!(r.queue_delay_ns(), 15.0);
+        assert_eq!(r.e2e_ns(), 115.0);
+    }
+}

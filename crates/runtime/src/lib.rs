@@ -1,0 +1,69 @@
+//! `pim-runtime`: an OS/driver-level multi-tenant transfer-queue runtime
+//! over the PIM-MMU Data Copy Engine.
+//!
+//! The paper's evaluation exercises the DCE one transfer at a time; this
+//! crate turns the simulator into a *traffic-serving* system:
+//!
+//! * **Tenants & traffic** — each [`TenantSpec`] couples an arrival
+//!   process ([`ArrivalProcess`]: seeded Poisson, bursty, closed-loop
+//!   feedback, or an explicit trace) with a job-size model
+//!   ([`JobSizer`]: fixed, or sampled from the PrIM suite's input-shape
+//!   catalog in [`pim_workloads::job_shapes`]).
+//! * **QoS scheduling** — a pluggable [`QueuePolicy`]
+//!   ([`Fcfs`], [`Sjf`], [`Drr`], [`StrictPriority`]) picks which
+//!   tenant's head job receives the engine's next quantum. Jobs are
+//!   split into chunked [`pim_mmu::PimMmuOp`]s so no tenant can
+//!   monopolize the DCE.
+//! * **Completion path** — DCE `jobs_done` events are routed back to the
+//!   owning tenant with the driver round-trip latency model applied, and
+//!   recorded as [`JobRecord`]s.
+//! * **Metrics** — per-tenant queueing delay, service time and
+//!   end-to-end latency histograms ([`LogHistogram`], p50/p95/p99),
+//!   achieved bandwidth, and the Jain fairness index ([`jain_index`]).
+//!
+//! [`ServingSystem`] composes a [`Runtime`] with the simulated machine:
+//! the runtime registers its own clock domain and participates as a
+//! [`pim_sim::Tickable`].
+//!
+//! ```
+//! use pim_runtime::{ArrivalProcess, Fcfs, JobSizer, Runtime, RuntimeConfig,
+//!                   ServingSystem, TenantSpec};
+//! use pim_mmu::XferKind;
+//! use pim_sim::{DesignPoint, SystemConfig};
+//!
+//! let tenant = TenantSpec {
+//!     name: "interactive".into(),
+//!     kind: XferKind::DramToPim,
+//!     arrival: ArrivalProcess::Trace(vec![0.0, 1_000.0]),
+//!     sizer: JobSizer::Fixed { per_core_bytes: 512, n_cores: 8 },
+//!     priority: 0,
+//!     weight: 1,
+//! };
+//! let cfg = RuntimeConfig { open_until_ns: 5_000.0, ..RuntimeConfig::default() };
+//! let runtime = Runtime::new(cfg, vec![tenant], Box::new(Fcfs));
+//! let mut serving = ServingSystem::new(
+//!     SystemConfig::table1(DesignPoint::BaseDHP), runtime);
+//! assert!(serving.run_until_drained(1e8));
+//! assert_eq!(serving.runtime().records().len(), 2);
+//! ```
+
+pub mod arrival;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod runtime;
+pub mod serving;
+
+pub use arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
+pub use job::{Job, JobRecord, JobSpec};
+pub use metrics::{jain_index, LogHistogram, TenantStats, HIST_BUCKETS};
+pub use policy::{
+    policy_by_name, Drr, Fcfs, HeadView, QueuePolicy, QueueView, Sjf, StrictPriority, POLICY_NAMES,
+};
+pub use runtime::{Runtime, RuntimeConfig, TenantSpec};
+pub use serving::ServingSystem;
+
+// The engine trait the runtime participates through, re-exported so
+// downstream drivers (tests, harnesses) can tick a [`Runtime`] without
+// naming `pim_sim` directly.
+pub use pim_sim::Tickable;

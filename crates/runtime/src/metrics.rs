@@ -1,0 +1,225 @@
+//! Serving metrics: fixed-bucket log2 latency histograms, per-tenant
+//! counters, and the Jain fairness index — all dependency-free and
+//! deterministic, so two runs of the same seeded trace produce
+//! bit-identical reports.
+
+/// Number of power-of-two buckets. Bucket `b` holds values whose bit
+/// width is `b` (i.e. `v ∈ [2^(b-1), 2^b)`), bucket 0 holds zero; the
+/// largest distinct bucket tops out at 2^47 ns ≈ 39 hours (anything
+/// larger clamps into it).
+pub const HIST_BUCKETS: usize = 48;
+
+/// A fixed-bucket log2 histogram over nanosecond values.
+///
+/// Quantiles come back as the *upper bound* of the bucket holding the
+/// requested rank — a ≤2x overestimate by construction, which is the
+/// usual trade for O(1) recording with zero allocation and no
+/// dependencies.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one value (negative values clamp to zero).
+    pub fn record(&mut self, v_ns: f64) {
+        let v = v_ns.max(0.0);
+        let n = v as u64;
+        let b = (u64::BITS - n.leading_zeros()) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 { 0.0 } else { (1u64 << b) as f64 };
+            }
+        }
+        (1u64 << (HIST_BUCKETS - 1)) as f64
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Jain's fairness index over per-tenant allocations:
+/// `(Σx)² / (n·Σx²)`. 1.0 means perfectly equal shares, `1/n` means one
+/// tenant holds everything. An empty or all-zero allocation is reported
+/// as 1.0 (nobody is being treated unequally).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Cumulative serving statistics for one tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Jobs accepted into the tenant's queue.
+    pub submitted: u64,
+    /// Jobs fully completed (all chunks serviced).
+    pub completed: u64,
+    /// Payload bytes of completed jobs (goodput).
+    pub bytes_completed: u64,
+    /// Bytes of completed *chunks*, including those of jobs still in
+    /// service — the engine time actually granted to this tenant, which
+    /// is what fairness is judged on.
+    pub bytes_serviced: u64,
+    /// Queueing delay: job arrival → first chunk dispatched.
+    pub queue_delay: LogHistogram,
+    /// Service time: first dispatch → completion interrupt.
+    pub service: LogHistogram,
+    /// End-to-end latency: arrival → completion interrupt.
+    pub e2e: LogHistogram,
+}
+
+impl TenantStats {
+    /// Achieved goodput (completed jobs) over a measurement span, in
+    /// (decimal) GB/s.
+    pub fn achieved_gbps(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 {
+            0.0
+        } else {
+            self.bytes_completed as f64 / span_ns
+        }
+    }
+
+    /// Engine bandwidth granted (completed chunks) over a measurement
+    /// span, in (decimal) GB/s.
+    pub fn serviced_gbps(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 {
+            0.0
+        } else {
+            self.bytes_serviced as f64 / span_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let mut h = LogHistogram::new();
+        for v in [100.0, 200.0, 400.0, 800.0, 100_000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 rank is the 3rd value (400) → bucket upper bound 512.
+        assert_eq!(h.p50(), 512.0);
+        // The tail lands in 100_000's bucket: 2^17 = 131072.
+        assert_eq!(h.p99(), 131072.0);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert_eq!(h.max(), 100_000.0);
+        assert!((h.mean() - 20_300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.p99(), 0.0);
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.p50(), 0.0);
+        h.record(1e30); // clamps into the last bucket without panicking
+        assert_eq!(h.quantile(1.0), (1u64 << (HIST_BUCKETS - 1)) as f64);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_within_2x() {
+        let mut h = LogHistogram::new();
+        h.record(1000.0);
+        let q = h.p50();
+        assert!((1000.0..=2000.0).contains(&q), "{q}");
+    }
+
+    #[test]
+    fn jain_index_ranges() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogging everything → 1/n.
+        assert!((jain_index(&[12.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // 8:1:1:1 skew: (11)^2 / (4 * 67).
+        let j = jain_index(&[8.0, 1.0, 1.0, 1.0]);
+        assert!((j - 121.0 / 268.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_bandwidth() {
+        let s = TenantStats {
+            bytes_completed: 1_000_000,
+            ..TenantStats::default()
+        };
+        assert!((s.achieved_gbps(1e6) - 1.0).abs() < 1e-12);
+        assert_eq!(s.achieved_gbps(0.0), 0.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! The transfer-queue runtime: per-tenant submission queues fed by
+//! arrival generators, a pluggable QoS scheduler dispatching chunked
+//! [`PimMmuOp`](pim_mmu::PimMmuOp)s into the DCE, and the completion
+//! path routing `jobs_done` events back to the owning tenant through
+//! the driver latency model.
+//!
+//! The runtime is a [`Tickable`]: [`tick`](Tickable::tick) advances its
+//! decision clock and drains due arrivals into the queues. Interaction
+//! with the engine happens through [`drive`](Runtime::drive), which the
+//! composer (see [`crate::serving`]) calls at every runtime clock edge
+//! *before* the engine's own tick — the same submit-then-run ordering as
+//! the one-shot harness, which is what makes a single-tenant FCFS run
+//! reproduce `pim_sim::run_transfer` bit for bit.
+
+use crate::arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
+use crate::job::{Job, JobRecord, JobSpec};
+use crate::metrics::{jain_index, TenantStats};
+use crate::policy::{HeadView, QueuePolicy, QueueView};
+use pim_mapping::PhysAddr;
+use pim_mmu::{Dce, DceMode, DriverModel, XferKind};
+use pim_sim::{ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE};
+use pim_workloads::JobShape;
+use std::collections::VecDeque;
+
+/// One tenant of the runtime: its traffic model and QoS parameters.
+#[derive(Debug)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Transfer direction of this tenant's jobs.
+    pub kind: XferKind,
+    /// When jobs arrive.
+    pub arrival: ArrivalProcess,
+    /// How large jobs are.
+    pub sizer: JobSizer,
+    /// Strict-priority class (lower is more important).
+    pub priority: u32,
+    /// DRR weight (quantum multiplier).
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A plain open-loop Poisson tenant with fixed-size jobs, priority
+    /// class 1 and weight 1.
+    pub fn poisson(name: &str, mean_ns: f64, per_core_bytes: u64, n_cores: u32) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            kind: XferKind::DramToPim,
+            arrival: ArrivalProcess::Poisson { mean_ns },
+            sizer: JobSizer::Fixed {
+                per_core_bytes,
+                n_cores,
+            },
+            priority: 1,
+            weight: 1,
+        }
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Decision-clock period in picoseconds (default: the 3.2 GHz DCE
+    /// clock, so scheduling decisions never lag the engine).
+    pub period_ps: u64,
+    /// Engine quantum: max bytes per dispatched chunk. One tenant can
+    /// monopolize the engine for at most this many bytes at a time.
+    pub chunk_bytes: u64,
+    /// Max per-core entries per chunk (the DCE address-buffer budget).
+    pub max_entries: usize,
+    /// Driver latency model applied around every chunk submission.
+    pub driver: DriverModel,
+    /// DCE scheduling mode for dispatched chunks.
+    pub mode: DceMode,
+    /// Arrivals are generated while `now < open_until_ns`; afterwards
+    /// the runtime only drains what is queued.
+    pub open_until_ns: f64,
+    /// Master seed; tenant generators derive per-tenant streams.
+    pub seed: u64,
+    /// DRAM staging-buffer stride between tenants.
+    pub dram_stride: u64,
+    /// MRAM heap-offset stride between tenants.
+    pub heap_stride: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            period_ps: 312,
+            chunk_bytes: 256 << 10,
+            max_entries: 4096,
+            driver: DriverModel::default(),
+            mode: DceMode::PimMs,
+            open_until_ns: 1e6,
+            seed: 0xD15C0,
+            dram_stride: 128 << 20,
+            heap_stride: 1 << 20,
+        }
+    }
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    gen: ArrivalGen,
+    size_rng: Rng,
+    queue: VecDeque<Job>,
+    stats: TenantStats,
+}
+
+struct ActiveChunk {
+    tenant: usize,
+    bytes: u64,
+    entries: usize,
+    submit_cycle: u64,
+    submit_ns: f64,
+}
+
+/// The multi-tenant transfer-queue runtime.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    policy: Box<dyn QueuePolicy>,
+    tenants: Vec<TenantState>,
+    shapes: Vec<JobShape>,
+    suite_max: u64,
+    /// Decision-clock ticks taken and the tick period (in simulator
+    /// ticks), kept identical to the registered clock domain so the
+    /// internal notion of "now" matches the composer's edge times.
+    ticks_taken: u64,
+    period_ticks: u64,
+    arrivals_scratch: Vec<f64>,
+    active: Option<ActiveChunk>,
+    driver_ready_ns: f64,
+    next_job_id: u64,
+    records: Vec<JobRecord>,
+    /// Dispatch opportunities where backlog existed but the policy
+    /// declined (must stay 0 for a work-conserving policy).
+    missed_dispatches: u64,
+    chunks_dispatched: u64,
+}
+
+impl Runtime {
+    /// Build a runtime over `tenants` scheduled by `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate fixed job sizer (zero cores, or a
+    /// per-core size that is not a nonzero multiple of 64 B) — caught
+    /// here at configuration time so it cannot surface as a mid-
+    /// simulation failure. (Suite sizers always produce valid shapes.)
+    pub fn new(cfg: RuntimeConfig, tenants: Vec<TenantSpec>, policy: Box<dyn QueuePolicy>) -> Self {
+        for spec in &tenants {
+            if let JobSizer::Fixed {
+                per_core_bytes,
+                n_cores,
+            } = spec.sizer
+            {
+                assert!(
+                    per_core_bytes > 0 && per_core_bytes % 64 == 0,
+                    "tenant {:?}: per_core_bytes {} must be a nonzero multiple of 64",
+                    spec.name,
+                    per_core_bytes
+                );
+                assert!(
+                    n_cores > 0,
+                    "tenant {:?}: jobs must target at least one PIM core",
+                    spec.name
+                );
+            }
+        }
+        let shapes = pim_workloads::job_shapes();
+        let suite_max = pim_workloads::max_in_bytes(&shapes);
+        let tenants = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(i as u64 + 1);
+                let gen = ArrivalGen::new(spec.arrival.clone(), seed);
+                TenantState {
+                    spec,
+                    gen,
+                    size_rng: Rng::new(seed ^ 0xA5A5_A5A5_A5A5_A5A5),
+                    queue: VecDeque::new(),
+                    stats: TenantStats::default(),
+                }
+            })
+            .collect();
+        Runtime {
+            period_ticks: Clock::from_period_ps(cfg.period_ps).period,
+            cfg,
+            policy,
+            tenants,
+            shapes,
+            suite_max,
+            ticks_taken: 0,
+            arrivals_scratch: Vec::new(),
+            active: None,
+            driver_ready_ns: 0.0,
+            next_job_id: 0,
+            records: Vec::new(),
+            missed_dispatches: 0,
+            chunks_dispatched: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Override the DCE scheduling mode (the composer aligns it with the
+    /// system's design point).
+    pub fn set_mode(&mut self, mode: DceMode) {
+        self.cfg.mode = mode;
+    }
+
+    /// The scheduling policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current decision-clock time in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        ticks_to_ns(self.ticks_taken.saturating_sub(1) * self.period_ticks)
+    }
+
+    /// Completion records so far (submission-ordered ids, completion-
+    /// ordered entries).
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Per-tenant statistics.
+    pub fn tenant_stats(&self) -> Vec<(&str, &TenantStats)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.spec.name.as_str(), &t.stats))
+            .collect()
+    }
+
+    /// Jobs currently queued across all tenants (including any in
+    /// service).
+    pub fn backlog(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// Total chunks dispatched into the engine.
+    pub fn chunks_dispatched(&self) -> u64 {
+        self.chunks_dispatched
+    }
+
+    /// Dispatch opportunities with backlog where the policy declined —
+    /// 0 for every work-conserving policy.
+    pub fn missed_dispatches(&self) -> u64 {
+        self.missed_dispatches
+    }
+
+    /// Jain fairness index over per-tenant *serviced* bytes (chunk
+    /// completions) — engine time granted, not just whole-job goodput,
+    /// so a tenant mid-way through a large job is credited for the
+    /// service it received.
+    pub fn jain_by_bytes(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.stats.bytes_serviced as f64)
+            .collect();
+        jain_index(&xs)
+    }
+
+    /// Whether no further work can ever appear or progress: every
+    /// generator is exhausted, every queue empty, nothing in flight.
+    pub fn drained(&self) -> bool {
+        self.active.is_none()
+            && self
+                .tenants
+                .iter()
+                .all(|t| t.queue.is_empty() && t.gen.exhausted(self.cfg.open_until_ns))
+    }
+
+    fn enqueue_arrivals(&mut self, now_ns: f64) {
+        for ti in 0..self.tenants.len() {
+            self.arrivals_scratch.clear();
+            let t = &mut self.tenants[ti];
+            t.gen
+                .poll(now_ns, self.cfg.open_until_ns, &mut self.arrivals_scratch);
+            for i in 0..self.arrivals_scratch.len() {
+                let at_ns = self.arrivals_scratch[i];
+                let t = &mut self.tenants[ti];
+                let (per_core_bytes, n_cores) =
+                    t.spec
+                        .sizer
+                        .sample(&mut t.size_rng, &self.shapes, self.suite_max);
+                let spec = JobSpec {
+                    kind: t.spec.kind,
+                    per_core_bytes,
+                    n_cores,
+                    dram_base: PhysAddr(HOST_BUFFER_BASE + ti as u64 * self.cfg.dram_stride),
+                    heap_offset: ti as u64 * self.cfg.heap_stride,
+                };
+                let job = Job::new(
+                    self.next_job_id,
+                    ti,
+                    at_ns,
+                    &spec,
+                    self.cfg.chunk_bytes,
+                    self.cfg.max_entries,
+                )
+                .expect("samplers produce valid job shapes");
+                self.next_job_id += 1;
+                t.stats.submitted += 1;
+                t.queue.push_back(job);
+            }
+        }
+    }
+
+    fn views(&self) -> Vec<QueueView> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| QueueView {
+                tenant: i,
+                priority: t.spec.priority,
+                weight: t.spec.weight,
+                backlog: t.queue.len(),
+                head: t.queue.front().map(|j| HeadView {
+                    submit_ns: j.submit_ns,
+                    total_bytes: j.total_bytes,
+                    remaining_bytes: j.remaining_bytes(),
+                    next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
+                    in_service: j.in_service(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Service the engine at a decision-clock edge: retire a completed
+    /// chunk (routing the completion to the owning tenant), then — if the
+    /// engine and driver are free — dispatch the next chunk chosen by the
+    /// scheduling policy. Call once per edge, after [`tick`](Tickable::tick)
+    /// and before the engine's own tick.
+    ///
+    /// Driver-latency modeling follows the one-shot harness exactly (the
+    /// basis of the bit-identical equivalence): the engine starts at the
+    /// submit edge, and a chunk's recorded latency charges the full
+    /// submit + interrupt round trip analytically. Between successive
+    /// chunks, only the completion-interrupt cost (plus detection at the
+    /// next decision edge) serializes the engine — the MMIO descriptor
+    /// write is *not* an engine stall, it merely gates how soon the
+    /// driver can submit again.
+    pub fn drive(&mut self, dce: &mut Dce, now_ns: f64) {
+        // Completion path.
+        if let Some(active) = &self.active {
+            if let Some(done_cycle) = dce.completed_at() {
+                let active_tenant = active.tenant;
+                let engine_ns = (done_cycle - active.submit_cycle) as f64
+                    * dce.config().period_ps() as f64
+                    / 1000.0;
+                // The harness's accounting, per chunk: engine cycles plus
+                // the driver round trip (submit + completion interrupt).
+                let finish_ns =
+                    active.submit_ns + engine_ns + self.cfg.driver.round_trip_ns(active.entries);
+                let bytes = active.bytes;
+                dce.retire_job();
+                self.active = None;
+                // The driver fields the interrupt before it can submit
+                // again.
+                self.driver_ready_ns = now_ns + self.cfg.driver.interrupt_ns;
+
+                let t = &mut self.tenants[active_tenant];
+                t.stats.bytes_serviced += bytes;
+                let job = t.queue.front_mut().expect("active job sits at its head");
+                job.bytes_done += bytes;
+                if job.chunks.is_empty() {
+                    let job = t.queue.pop_front().expect("checked above");
+                    debug_assert_eq!(job.bytes_done, job.total_bytes);
+                    let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
+                    t.stats.completed += 1;
+                    t.stats.bytes_completed += job.total_bytes;
+                    t.stats.queue_delay.record(dispatch_ns - job.submit_ns);
+                    t.stats.service.record(finish_ns - dispatch_ns);
+                    t.stats.e2e.record(finish_ns - job.submit_ns);
+                    t.gen.on_complete(finish_ns.max(now_ns));
+                    self.records.push(JobRecord {
+                        id: job.id,
+                        tenant: active_tenant,
+                        submit_ns: job.submit_ns,
+                        dispatch_ns,
+                        complete_ns: finish_ns,
+                        bytes: job.total_bytes,
+                    });
+                }
+            }
+        }
+
+        // Dispatch path.
+        if self.active.is_some() || dce.busy() || now_ns < self.driver_ready_ns {
+            return;
+        }
+        // Idle runtime clock edges are the common case; don't build
+        // policy views (allocating) when there is nothing to dispatch.
+        if self.tenants.iter().all(|t| t.queue.is_empty()) {
+            return;
+        }
+        let views = self.views();
+        let backlog = views.iter().any(|v| v.head.is_some());
+        let Some(pick) = self.policy.pick(&views) else {
+            if backlog {
+                self.missed_dispatches += 1;
+            }
+            return;
+        };
+        let t = &mut self.tenants[pick];
+        let job = t
+            .queue
+            .front_mut()
+            .expect("policies only pick backlogged tenants");
+        let chunk = job.chunks.pop_front().expect("queued jobs have chunks");
+        if job.first_dispatch_ns.is_none() {
+            job.first_dispatch_ns = Some(now_ns);
+        }
+        let bytes = chunk.total_bytes();
+        let entries = chunk.entries.len();
+        let submit_cycle = dce.cycle();
+        dce.submit(chunk, self.cfg.mode)
+            .expect("chunk is valid and the engine is idle");
+        self.policy.dispatched(pick, bytes);
+        self.chunks_dispatched += 1;
+        // The MMIO descriptor write occupies the driver before the next
+        // submission.
+        self.driver_ready_ns = now_ns + self.cfg.driver.submit_ns(entries);
+        self.active = Some(ActiveChunk {
+            tenant: pick,
+            bytes,
+            entries,
+            submit_cycle,
+            submit_ns: now_ns,
+        });
+    }
+}
+
+impl Tickable for Runtime {
+    fn name(&self) -> &'static str {
+        "pim-runtime"
+    }
+
+    fn tick(&mut self) {
+        self.ticks_taken += 1;
+        let now_ns = self.now_ns();
+        self.enqueue_arrivals(now_ns);
+    }
+
+    fn drain_outputs(&mut self, _sink: &mut dyn FnMut(Output) -> bool) {
+        // The runtime issues no memory traffic of its own; it feeds the
+        // DCE through `drive`.
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Fcfs;
+
+    #[test]
+    #[should_panic(expected = "nonzero multiple of 64")]
+    fn degenerate_fixed_sizer_is_rejected_at_construction() {
+        // Regression: a bad per-core size must fail at configuration
+        // time, not as a mid-simulation panic on the first arrival.
+        Runtime::new(
+            RuntimeConfig::default(),
+            vec![TenantSpec::poisson("bad", 1_000.0, 100, 8)],
+            Box::new(Fcfs),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PIM core")]
+    fn zero_core_sizer_is_rejected_at_construction() {
+        Runtime::new(
+            RuntimeConfig::default(),
+            vec![TenantSpec::poisson("bad", 1_000.0, 64, 0)],
+            Box::new(Fcfs),
+        );
+    }
+}

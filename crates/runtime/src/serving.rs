@@ -1,0 +1,140 @@
+//! Composition of a [`Runtime`] with the simulated machine: the runtime
+//! participates in the system's [`ClockDomains`](pim_sim::ClockDomains)
+//! as a registered [`Tickable`] domain, acting at each of its edges
+//! *before* the machine's components tick — so a submission lands ahead
+//! of the engine's cycle at the same edge, exactly like the one-shot
+//! harness's submit-then-run ordering.
+
+use crate::runtime::Runtime;
+use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable};
+
+/// A [`System`] serving sustained multi-tenant transfer traffic.
+pub struct ServingSystem {
+    sys: System,
+    runtime: Runtime,
+    dom: DomainId,
+}
+
+impl ServingSystem {
+    /// Compose `runtime` with the machine described by `cfg`. The
+    /// runtime's DCE mode is aligned with the design point's, so the
+    /// ablation switch stays the single source of truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.design` has no DCE to serve transfers with.
+    pub fn new(cfg: SystemConfig, mut runtime: Runtime) -> Self {
+        assert!(
+            cfg.design.uses_dce(),
+            "a serving runtime needs a DCE design point"
+        );
+        runtime.set_mode(cfg.design.dce_mode());
+        let period_ps = runtime.config().period_ps;
+        let mut sys = System::new(cfg, vec![]);
+        let dom = sys.register_domain("runtime", period_ps);
+        ServingSystem { sys, runtime, dom }
+    }
+
+    /// The runtime (queues, stats, records).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The underlying machine.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Current simulated time, ns.
+    pub fn now_ns(&self) -> f64 {
+        self.sys.now_ns()
+    }
+
+    /// Advance one event: if the runtime's domain fires at the next
+    /// edge, tick it (arrivals) and let it service the DCE, then step
+    /// the machine.
+    pub fn step(&mut self) {
+        let pending = self.sys.pending();
+        if pending.contains(self.dom) {
+            Tickable::tick(&mut self.runtime);
+            let now_ns = ticks_to_ns(pending.now);
+            let dce = self.sys.dce_mut().expect("checked in new");
+            self.runtime.drive(dce, now_ns);
+        }
+        self.sys.step();
+    }
+
+    /// Run until `horizon_ns` of simulated time has elapsed.
+    pub fn run_for(&mut self, horizon_ns: f64) {
+        while self.sys.now_ns() < horizon_ns {
+            self.step();
+        }
+    }
+
+    /// Run until the runtime is fully drained (no future arrivals, empty
+    /// queues, idle engine) or `max_ns` elapses; returns whether it
+    /// drained.
+    pub fn run_until_drained(&mut self, max_ns: f64) -> bool {
+        while self.sys.now_ns() < max_ns {
+            if self.runtime.drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.runtime.drained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalProcess, JobSizer};
+    use crate::policy::Fcfs;
+    use crate::runtime::{RuntimeConfig, TenantSpec};
+    use pim_mmu::XferKind;
+    use pim_sim::DesignPoint;
+
+    fn tiny_tenant(times: Vec<f64>) -> TenantSpec {
+        TenantSpec {
+            name: "t".into(),
+            kind: XferKind::DramToPim,
+            arrival: ArrivalProcess::Trace(times),
+            sizer: JobSizer::Fixed {
+                per_core_bytes: 256,
+                n_cores: 8,
+            },
+            priority: 0,
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn serving_drains_a_small_trace() {
+        let cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+        let rt_cfg = RuntimeConfig {
+            open_until_ns: 10_000.0,
+            ..RuntimeConfig::default()
+        };
+        let runtime = Runtime::new(
+            rt_cfg,
+            vec![tiny_tenant(vec![0.0, 100.0, 200.0])],
+            Box::new(Fcfs),
+        );
+        let mut serving = ServingSystem::new(cfg, runtime);
+        assert!(serving.run_until_drained(1e8));
+        let rec = serving.runtime().records();
+        assert_eq!(rec.len(), 3);
+        assert!(rec.windows(2).all(|w| w[0].complete_ns <= w[1].complete_ns));
+        let (_, stats) = serving.runtime().tenant_stats()[0];
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.bytes_completed, 3 * 8 * 256);
+        assert_eq!(serving.runtime().missed_dispatches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DCE design point")]
+    fn baseline_designs_cannot_serve() {
+        let runtime = Runtime::new(RuntimeConfig::default(), vec![], Box::new(Fcfs));
+        ServingSystem::new(SystemConfig::table1(DesignPoint::Baseline), runtime);
+    }
+}

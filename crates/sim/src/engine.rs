@@ -217,6 +217,25 @@ impl ClockDomains {
         }
         Fired { now, mask }
     }
+
+    /// The edge [`advance`](Self::advance) would fire next, without
+    /// advancing any clock — lets a composer act *before* the components
+    /// on a domain tick (e.g. submit work ahead of the engine's cycle at
+    /// the same edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no domains are registered.
+    pub fn peek(&self) -> Fired {
+        let now = self.next_edge();
+        let mut mask = 0u64;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if now >= c.next {
+                mask |= 1 << i;
+            }
+        }
+        Fired { now, mask }
+    }
 }
 
 #[cfg(test)]

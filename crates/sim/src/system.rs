@@ -8,7 +8,7 @@
 
 use crate::clock::{ticks_to_ns, TICKS_PER_NS};
 use crate::config::SystemConfig;
-use crate::engine::{ClockDomains, DomainId, Output, StatsSnapshot, Tickable};
+use crate::engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable};
 use crate::result::PowerSample;
 use pim_cpu::{CpuCluster, Thread};
 use pim_dram::MemController;
@@ -39,6 +39,9 @@ pub struct System {
     dram: Vec<MemController>,
     pim: Vec<MemController>,
     t: u64,
+    /// Whether `step` has run (guards late domain registration, which
+    /// `t` alone cannot: the first step fires the t = 0 edges).
+    stepped: bool,
     clocks: ClockDomains,
     domains: Domains,
     snap: Snapshot,
@@ -87,6 +90,7 @@ impl System {
             dram,
             pim,
             t: 0,
+            stepped: false,
             clocks,
             domains,
             snap: Snapshot::default(),
@@ -128,6 +132,32 @@ impl System {
     /// The clock-domain scheduler (labels, edge inspection).
     pub fn clock_domains(&self) -> &ClockDomains {
         &self.clocks
+    }
+
+    /// Register an additional clock domain for an external [`Tickable`]
+    /// participant (e.g. a host-side transfer-queue runtime). The
+    /// composer owning both the `System` and the participant ticks it
+    /// whenever [`pending`](Self::pending)/[`step`](Self::step) report
+    /// the domain firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already stepped: a clock registered
+    /// mid-run would have edges in the past.
+    pub fn register_domain(&mut self, label: &'static str, period_ps: u64) -> DomainId {
+        assert!(
+            !self.stepped,
+            "clock domains must be registered before the first step"
+        );
+        self.clocks.add_period_ps(label, period_ps)
+    }
+
+    /// The set of domains that will fire on the next [`step`](Self::step),
+    /// without advancing anything. External participants registered via
+    /// [`register_domain`](Self::register_domain) use this to act at
+    /// their edge *before* the machine's components tick it.
+    pub fn pending(&self) -> Fired {
+        self.clocks.peek()
     }
 
     /// Power/activity samples collected so far.
@@ -204,7 +234,10 @@ impl System {
     }
 
     /// Advance the simulation by one event (the earliest due clock edge).
-    pub fn step(&mut self) {
+    /// Returns which domains fired, so a composer can tick external
+    /// participants registered via [`register_domain`](Self::register_domain).
+    pub fn step(&mut self) -> Fired {
+        self.stepped = true;
         let fired = self.clocks.advance();
         self.t = fired.now;
 
@@ -231,6 +264,7 @@ impl System {
         if fired.contains(self.domains.sample) {
             self.sample();
         }
+        fired
     }
 
     /// Run until `pred` returns true or `max_ns` elapses. Returns whether
@@ -396,6 +430,41 @@ mod tests {
         let full = System::new(SystemConfig::table1(DesignPoint::BaseDHP), vec![]);
         assert_eq!(full.clock_domains().len(), 5);
         assert_eq!(full.clock_domains().label(full.domains.cpu), "cpu");
+    }
+
+    #[test]
+    fn registered_domain_fires_and_peek_matches_step() {
+        let cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+        let mut sys = System::new(cfg, vec![]);
+        let dom = sys.register_domain("runtime", 312);
+        let mut peeked = 0;
+        let mut fired = 0;
+        for _ in 0..200 {
+            let pending = sys.pending();
+            if pending.contains(dom) {
+                peeked += 1;
+            }
+            let f = sys.step();
+            assert_eq!(pending.now, f.now, "peek must predict the edge");
+            assert_eq!(pending.contains(dom), f.contains(dom));
+            if f.contains(dom) {
+                fired += 1;
+            }
+        }
+        assert_eq!(peeked, fired);
+        assert!(fired > 0, "a 3.2 GHz domain fires within 200 events");
+        assert_eq!(sys.clock_domains().label(dom), "runtime");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first step")]
+    fn late_domain_registration_is_rejected() {
+        let mut sys = System::new(SystemConfig::table1(DesignPoint::Baseline), vec![]);
+        // Even the first step (which only fires the t = 0 edges) closes
+        // the registration window: a domain added after it would miss
+        // the t = 0 edge the other components already processed.
+        sys.step();
+        sys.register_domain("late", 312);
     }
 
     #[test]

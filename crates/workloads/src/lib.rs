@@ -36,4 +36,6 @@ pub mod ts;
 pub mod uni;
 pub mod va;
 
-pub use suite::{prim_suite, FunctionalResult, PimWorkload, TransferProfile};
+pub use suite::{
+    job_shapes, max_in_bytes, prim_suite, FunctionalResult, JobShape, PimWorkload, TransferProfile,
+};

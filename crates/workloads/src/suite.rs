@@ -39,6 +39,69 @@ impl TransferProfile {
     }
 }
 
+/// The transfer-job *shape* of one suite workload: the input/output
+/// footprint a serving runtime samples job sizes from, detached from the
+/// workload's functional machinery (cheap to copy into traffic
+/// generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobShape {
+    /// Workload name ("VA", "BS", ...).
+    pub name: &'static str,
+    /// Paper-scale DRAM→PIM input bytes.
+    pub in_bytes: u64,
+    /// Paper-scale PIM→DRAM output bytes.
+    pub out_bytes: u64,
+}
+
+impl JobShape {
+    /// Per-PIM-core input bytes for a simulation-scale job: the shape's
+    /// paper-scale input is rescaled so the suite's largest input
+    /// (`suite_max` — see [`max_in_bytes`]) maps to `cap_bytes`, split
+    /// over `n_cores`, and quantized to a nonzero multiple of the 64 B
+    /// line — always a valid `size_per_pim`, preserving the suite's
+    /// relative size diversity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suite_max` or `n_cores` is zero.
+    pub fn scaled_per_core(&self, suite_max: u64, cap_bytes: u64, n_cores: u32) -> u64 {
+        assert!(suite_max > 0, "suite_max must be positive");
+        assert!(n_cores > 0, "a job must target at least one PIM core");
+        let scaled = (self.in_bytes as u128 * cap_bytes as u128 / suite_max as u128) as u64;
+        (scaled / n_cores as u64 / 64 * 64).max(64)
+    }
+}
+
+/// The largest input footprint in a shape catalog (the normalization
+/// anchor for [`JobShape::scaled_per_core`]).
+///
+/// # Panics
+///
+/// Panics if `shapes` is empty.
+pub fn max_in_bytes(shapes: &[JobShape]) -> u64 {
+    shapes
+        .iter()
+        .map(|s| s.in_bytes)
+        .max()
+        .expect("non-empty shape catalog")
+}
+
+/// The job-shape catalog of the PrIM suite, in Fig. 16 order — the input
+/// distribution a transfer-queue runtime draws job sizes from.
+pub fn job_shapes() -> Vec<JobShape> {
+    prim_suite()
+        .iter()
+        .map(|w| {
+            let p = w.profile();
+            JobShape {
+                name: w.name(),
+                in_bytes: p.in_bytes,
+                out_bytes: p.out_bytes,
+            }
+        })
+        .collect()
+}
+
 /// A PrIM workload: functional execution plus its paper-scale profile.
 pub trait PimWorkload: Send + Sync {
     /// Short name as it appears in Fig. 16 ("VA", "BS", ...).
@@ -97,6 +160,30 @@ mod tests {
             // More DPUs => faster kernels.
             assert!(p.kernel_ms(512) < p.kernel_ms(64), "{}", w.name());
         }
+    }
+
+    #[test]
+    fn job_shapes_mirror_the_suite_and_scale_validly() {
+        let shapes = job_shapes();
+        assert_eq!(shapes.len(), 16);
+        let max = max_in_bytes(&shapes);
+        assert!(max > 0);
+        for s in &shapes {
+            assert!(s.in_bytes > 0, "{}", s.name);
+            for n_cores in [1u32, 8, 64, 512] {
+                let per_core = s.scaled_per_core(max, 4 << 20, n_cores);
+                assert!(per_core >= 64, "{}", s.name);
+                assert!(per_core.is_multiple_of(64), "{}", s.name);
+            }
+        }
+        // The largest shape maps to (about) the cap; smaller shapes stay
+        // proportionally smaller.
+        let biggest = shapes.iter().find(|s| s.in_bytes == max).unwrap();
+        assert_eq!(biggest.scaled_per_core(max, 4 << 20, 64), (4 << 20) / 64);
+        let smallest = shapes.iter().min_by_key(|s| s.in_bytes).unwrap();
+        assert!(
+            smallest.scaled_per_core(max, 4 << 20, 64) <= biggest.scaled_per_core(max, 4 << 20, 64)
+        );
     }
 
     #[test]

@@ -230,7 +230,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`](fn@vec).
     pub trait SizeRange {
         /// Draw a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -248,7 +248,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,

@@ -1,0 +1,103 @@
+//! Full-system integration tests for the transfer-queue runtime.
+
+use pim_mmu::XferKind;
+use pim_runtime::{
+    ArrivalProcess, Fcfs, JobSizer, Runtime, RuntimeConfig, ServingSystem, TenantSpec,
+};
+use pim_sim::{run_transfer, DesignPoint, SystemConfig, TransferSpec};
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+    cfg.sample_ns = 50_000.0;
+    cfg
+}
+
+/// A single-tenant FCFS runtime given one unchunked job at t = 0 is the
+/// one-shot harness by another name: same descriptor, same submit-then-
+/// run ordering, same driver accounting — the end-to-end latency must be
+/// bit-identical to `run_transfer`'s elapsed time.
+#[test]
+fn single_tenant_fcfs_reproduces_the_transfer_harness_bit_identically() {
+    let cfg = quick_cfg();
+    let total: u64 = 1 << 20;
+    let n_cores = 64;
+    let spec = TransferSpec {
+        n_cores,
+        ..TransferSpec::simple(XferKind::DramToPim, total)
+    };
+    let oneshot = run_transfer(&cfg, &spec);
+
+    let rt_cfg = RuntimeConfig {
+        // One chunk: the whole job is a single pim_mmu_transfer, exactly
+        // like the harness.
+        chunk_bytes: u64::MAX,
+        driver: cfg.driver,
+        open_until_ns: 1.0,
+        ..RuntimeConfig::default()
+    };
+    let tenant = TenantSpec {
+        name: "solo".into(),
+        kind: XferKind::DramToPim,
+        arrival: ArrivalProcess::Trace(vec![0.0]),
+        sizer: JobSizer::Fixed {
+            per_core_bytes: total / n_cores as u64,
+            n_cores,
+        },
+        priority: 0,
+        weight: 1,
+    };
+    let runtime = Runtime::new(rt_cfg, vec![tenant], Box::new(Fcfs));
+    let mut serving = ServingSystem::new(cfg, runtime);
+    assert!(serving.run_until_drained(2e9), "runtime never drained");
+
+    let records = serving.runtime().records();
+    assert_eq!(records.len(), 1);
+    let rec = records[0];
+    assert_eq!(rec.bytes, total);
+    assert_eq!(rec.queue_delay_ns(), 0.0, "no contention, no queueing");
+    assert_eq!(
+        rec.e2e_ns().to_bits(),
+        oneshot.elapsed_ns.to_bits(),
+        "runtime e2e {} ns != harness {} ns",
+        rec.e2e_ns(),
+        oneshot.elapsed_ns
+    );
+}
+
+fn poisson_mix(seed: u64) -> ServingSystem {
+    let rt_cfg = RuntimeConfig {
+        chunk_bytes: 64 << 10,
+        open_until_ns: 40_000.0,
+        seed,
+        ..RuntimeConfig::default()
+    };
+    let tenants = vec![
+        TenantSpec::poisson("a", 6_000.0, 1024, 64),
+        TenantSpec::poisson("b", 9_000.0, 512, 64),
+    ];
+    let runtime = Runtime::new(rt_cfg, tenants, Box::new(Fcfs));
+    ServingSystem::new(quick_cfg(), runtime)
+}
+
+/// Two runs of the same seeded open-loop trace are bit-identical: same
+/// job records (ids, timestamps to the last bit), same fairness index.
+#[test]
+fn seeded_serving_runs_are_bit_identical() {
+    let mut a = poisson_mix(7);
+    let mut b = poisson_mix(7);
+    a.run_for(60_000.0);
+    b.run_for(60_000.0);
+    assert!(
+        !a.runtime().records().is_empty(),
+        "the mix must complete jobs within the horizon"
+    );
+    assert_eq!(a.runtime().records(), b.runtime().records());
+    assert_eq!(
+        a.runtime().jain_by_bytes().to_bits(),
+        b.runtime().jain_by_bytes().to_bits()
+    );
+    // A different seed produces a different trace.
+    let mut c = poisson_mix(8);
+    c.run_for(60_000.0);
+    assert_ne!(a.runtime().records(), c.runtime().records());
+}
