@@ -5,23 +5,34 @@
 //!
 //! ```text
 //! cargo run --release -p pim-bench --bin runtime_serving -- \
-//!     [--tenants N] [--policy fcfs|sjf|drr|prio] [--smoke|--full] \
-//!     [--seed S] [--out PATH]
+//!     [--tenants N] [--policy fcfs|sjf|drr|prio] \
+//!     [--load uniform|skewed|suite-mix] [--depth D] [--coalesce N,T_NS] \
+//!     [--smoke|--full] [--seed S] [--out PATH]
 //! ```
+//!
+//! `--policy`, `--load` and `--depth` pin a single configuration so one
+//! sweep cell can be reproduced without editing code; unset, the bin
+//! sweeps every scenario × policy at the synchronous host interface
+//! (depth 1). `--depth`/`--coalesce` select the async doorbell path
+//! (see `hostq_sweep` for the dedicated depth × coalescing study).
 //!
 //! Everything is seeded and single-threaded: two invocations with the
 //! same flags produce bit-identical output files.
 
 use pim_bench::json::{write_json, Json};
 use pim_runtime::{
-    policy_by_name, ArrivalProcess, JobSizer, Runtime, RuntimeConfig, ServingSystem, TenantSpec,
-    POLICY_NAMES,
+    policy_by_name, ArrivalProcess, HostQueueConfig, JobSizer, Runtime, RuntimeConfig,
+    ServingSystem, TenantSpec, POLICY_NAMES,
 };
 use pim_sim::{DesignPoint, SystemConfig};
+
+const SCENARIOS: [&str; 3] = ["uniform", "skewed", "suite-mix"];
 
 struct Args {
     tenants: usize,
     policy: Option<String>,
+    load: Option<String>,
+    hostq: HostQueueConfig,
     horizon_ns: f64,
     seed: u64,
     out: String,
@@ -43,11 +54,31 @@ fn parse_args() -> Args {
     } else {
         400_000.0
     };
+    let mut hostq = HostQueueConfig::synchronous();
+    if let Some(d) = flag_val("--depth") {
+        hostq.depth = d.parse().expect("--depth requires a positive integer");
+    }
+    if let Some(c) = flag_val("--coalesce") {
+        let (n, t) = c
+            .split_once(',')
+            .expect("--coalesce takes COUNT,TIMEOUT_NS");
+        hostq.coalesce_count = n.parse().expect("coalesce count");
+        hostq.coalesce_timeout_ns = t.parse().expect("coalesce timeout (ns)");
+    }
+    let load = flag_val("--load");
+    if let Some(l) = &load {
+        assert!(
+            SCENARIOS.contains(&l.as_str()),
+            "unknown load {l}; expected one of {SCENARIOS:?}"
+        );
+    }
     Args {
         tenants: flag_val("--tenants").map_or(4, |v| {
             v.parse().expect("--tenants requires a positive integer")
         }),
         policy: flag_val("--policy"),
+        load,
+        hostq,
         horizon_ns,
         seed: flag_val("--seed")
             .map_or(0xD15C0, |v| v.parse().expect("--seed requires an integer")),
@@ -108,6 +139,7 @@ fn run_one(scenario: &'static str, policy: &str, args: &Args) -> RunResult {
         chunk_bytes: 64 << 10,
         open_until_ns: args.horizon_ns,
         seed: args.seed,
+        hostq: args.hostq,
         ..RuntimeConfig::default()
     };
     let runtime = Runtime::new(
@@ -199,14 +231,29 @@ fn main() {
         None => POLICY_NAMES.to_vec(),
     };
 
+    let scenarios: Vec<&'static str> = SCENARIOS
+        .iter()
+        .filter(|s| args.load.as_deref().is_none_or(|l| l == **s))
+        .copied()
+        .collect();
+
     println!(
-        "runtime_serving: {} tenants, horizon {} us, seed {:#x}",
+        "runtime_serving: {} tenants, horizon {} us, seed {:#x}, ring depth {}{}",
         args.tenants,
         args.horizon_ns / 1000.0,
-        args.seed
+        args.seed,
+        args.hostq.depth,
+        if args.hostq.coalescing_enabled() {
+            format!(
+                ", coalesce {}@{} ns",
+                args.hostq.coalesce_count, args.hostq.coalesce_timeout_ns
+            )
+        } else {
+            String::new()
+        }
     );
     let mut runs: Vec<RunResult> = Vec::new();
-    for scenario in ["uniform", "skewed", "suite-mix"] {
+    for scenario in scenarios {
         for p in &policies {
             runs.push(run_one(scenario, p, &args));
         }
@@ -244,6 +291,11 @@ fn main() {
         ("tenants", Json::int(args.tenants as u64)),
         ("horizon_ns", Json::num(args.horizon_ns)),
         ("seed", Json::int(args.seed)),
+        ("queue_depth", Json::int(args.hostq.depth as u64)),
+        (
+            "coalesce_count",
+            Json::int(args.hostq.coalesce_count as u64),
+        ),
         ("job_bytes", Json::num(JOB_BYTES)),
         (
             "runs",

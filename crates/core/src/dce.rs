@@ -11,11 +11,28 @@ use crate::config::{DceConfig, DceMode};
 use crate::op::{OpError, PimMmuOp, XferKind};
 use crate::scheduler::{LinePair, PairScheduler};
 use pim_dram::{Completion, MemRequest, SourceId};
-use pim_mapping::{HetMap, MemSpace, PimAddrSpace};
+use pim_mapping::{HetMap, MemSpace, PimAddrSpace, LINE_BYTES};
 use std::collections::{HashMap, VecDeque};
 
 /// Source id tag for DCE-originated memory traffic.
 pub const DCE_SOURCE: u32 = 0x0DCE;
+
+/// Completion record of one queued descriptor (the async submission
+/// path of [`Dce::enqueue`]). Cycles are engine cycles, directly
+/// comparable to [`Dce::cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DceCompletion {
+    /// Enqueue order (0-based). Descriptors retire strictly in this
+    /// order — the engine is a FIFO.
+    pub seq: u64,
+    /// Engine cycle the descriptor left the pending queue and started
+    /// executing (equals the enqueue cycle when the engine was idle).
+    pub started_at: u64,
+    /// Engine cycle the last write burst completed.
+    pub completed_at: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
 
 /// A memory request leaving the DCE, tagged with the target space.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +72,14 @@ struct Job {
     lines_written: u64,
     total: u64,
     completed_at: Option<u64>,
+    /// Descriptor sequence number (enqueue order).
+    seq: u64,
+    /// Engine cycle execution began.
+    started_at: u64,
+    /// Queued descriptors ([`Dce::enqueue`]) retire themselves into the
+    /// completion ring; one-shot submissions ([`Dce::submit`]) wait for
+    /// the host's explicit [`Dce::retire_job`].
+    auto_retire: bool,
 }
 
 /// The Data Copy Engine (Fig. 9/11).
@@ -69,6 +94,14 @@ pub struct Dce {
     space: PimAddrSpace,
     clock: u64,
     job: Option<Job>,
+    /// Descriptors accepted by [`enqueue`](Self::enqueue) awaiting the
+    /// engine; the engine pops the next one the cycle after the active
+    /// job retires — no host round trip in between.
+    pending: VecDeque<(PimMmuOp, DceMode)>,
+    /// Retired queued descriptors, drained by the host's completion-ring
+    /// poller via [`pop_completion`](Self::pop_completion).
+    completions: VecDeque<DceCompletion>,
+    next_seq: u64,
     outbox: VecDeque<DceRequest>,
     outbox_cap: usize,
     next_id: u64,
@@ -84,6 +117,9 @@ impl Dce {
             space,
             clock: 0,
             job: None,
+            pending: VecDeque::new(),
+            completions: VecDeque::new(),
+            next_seq: 0,
             outbox: VecDeque::new(),
             outbox_cap: 64,
             next_id: 0,
@@ -131,14 +167,56 @@ impl Dce {
     /// # Errors
     ///
     /// Propagates descriptor validation failures and rejects submission
-    /// while a job is active ([`OpError::EngineBusy`]).
+    /// while a job is active or queued descriptors are outstanding
+    /// ([`OpError::EngineBusy`]).
     pub fn submit(&mut self, op: PimMmuOp, mode: DceMode) -> Result<(), OpError> {
-        if self.busy() {
+        if self.busy() || !self.pending.is_empty() {
             return Err(OpError::EngineBusy);
         }
         op.validate(self.cfg.addr_buffer_entries())?;
+        self.install(op, mode, false);
+        Ok(())
+    }
+
+    /// Queue a descriptor on the engine's pending ring (the async
+    /// doorbell path): if the engine is idle the descriptor starts
+    /// executing exactly like [`submit`](Self::submit); otherwise it
+    /// waits device-side and the engine transitions directly from the
+    /// previous descriptor's retirement to this one — no host round trip
+    /// between chunks. Retirement is automatic: the completion surfaces
+    /// through [`pop_completion`](Self::pop_completion) instead of
+    /// [`completed_at`](Self::completed_at)/[`retire_job`](Self::retire_job).
+    ///
+    /// The pending ring is unbounded here; the *host-side* queue pair
+    /// (`pim-hostq`) enforces the ring depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor validation failures, and rejects mixing
+    /// with the synchronous path ([`OpError::EngineBusy`] while a
+    /// [`submit`](Self::submit)-ted job is active): a one-shot job is
+    /// retired by the host, so nothing would ever pop a descriptor
+    /// queued behind it.
+    pub fn enqueue(&mut self, op: PimMmuOp, mode: DceMode) -> Result<(), OpError> {
+        op.validate(self.cfg.addr_buffer_entries())?;
+        if self.job.as_ref().is_some_and(|j| !j.auto_retire) {
+            return Err(OpError::EngineBusy);
+        }
+        if self.job.is_none() {
+            self.install(op, mode, true);
+        } else {
+            self.pending.push_back((op, mode));
+        }
+        Ok(())
+    }
+
+    /// Load a validated descriptor into the engine; it starts scheduling
+    /// on the next engine cycle.
+    fn install(&mut self, op: PimMmuOp, mode: DceMode, auto_retire: bool) {
         let sched = PairScheduler::new(&op, &self.space, mode);
         let total = sched.total_lines();
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.job = Some(Job {
             kind: op.kind,
             sched,
@@ -150,8 +228,26 @@ impl Dce {
             lines_written: 0,
             total,
             completed_at: None,
+            seq,
+            started_at: self.clock,
+            auto_retire,
         });
-        Ok(())
+    }
+
+    /// Oldest un-drained completion of a queued descriptor, if any.
+    pub fn pop_completion(&mut self) -> Option<DceCompletion> {
+        self.completions.pop_front()
+    }
+
+    /// Queued descriptors not yet started (excludes the active job).
+    pub fn pending_descriptors(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Descriptors resident device-side: the active job plus the pending
+    /// ring (retired-but-undrained completions not included).
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.job.is_some()) + self.pending.len()
     }
 
     /// Clear a finished job (after the driver has taken the interrupt).
@@ -248,6 +344,25 @@ impl Dce {
             && job.write_ready.is_empty()
         {
             job.completed_at = Some(now);
+        }
+
+        // Queued descriptors retire themselves and chain to the next
+        // pending one, so back-to-back chunks lose no engine cycles to a
+        // host round trip.
+        if job.auto_retire && job.completed_at.is_some() {
+            let job = self.job.take().expect("checked above");
+            self.completions.push_back(DceCompletion {
+                seq: job.seq,
+                started_at: job.started_at,
+                completed_at: job.completed_at.expect("checked above"),
+                bytes: job.total * LINE_BYTES,
+            });
+            self.stats.jobs_done += 1;
+            if let Some((op, mode)) = self.pending.pop_front() {
+                // `clock` is already `now + 1`: the successor's first
+                // busy cycle is the very next engine cycle.
+                self.install(op, mode, true);
+            }
         }
     }
 
@@ -440,6 +555,136 @@ mod tests {
         let first = dce.outbox_mut().pop_front().unwrap();
         assert_eq!(first.req.kind, AccessKind::Read);
         assert_eq!(first.space, MemSpace::Pim);
+    }
+
+    #[test]
+    fn enqueue_chains_descriptors_without_host_round_trips() {
+        let mut dce = setup();
+        for k in 0..3u64 {
+            let op = PimMmuOp::to_pim(
+                (0..8).map(|i| (PhysAddr(k * (1 << 20) + i * 4096), i as u32)),
+                4096,
+                k * 4096,
+            );
+            dce.enqueue(op, DceMode::PimMs).unwrap();
+        }
+        assert_eq!(dce.occupancy(), 3);
+        assert_eq!(dce.pending_descriptors(), 2);
+        let mut recs = Vec::new();
+        let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+        for now in 0..1_000_000u64 {
+            dce.tick();
+            while let Some(r) = dce.outbox_mut().pop_front() {
+                pending.push_back((
+                    now + 20,
+                    Completion {
+                        id: r.req.id,
+                        kind: r.req.kind,
+                        source: r.req.source,
+                        cycle: now + 20,
+                    },
+                ));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, c) = pending.pop_front().unwrap();
+                dce.on_completion(c);
+            }
+            while let Some(rec) = dce.pop_completion() {
+                recs.push(rec);
+            }
+            if recs.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(recs.len(), 3, "all queued descriptors retire");
+        assert!(!dce.busy());
+        assert_eq!(dce.occupancy(), 0);
+        assert_eq!(dce.stats().jobs_done, 3);
+        for (k, rec) in recs.iter().enumerate() {
+            assert_eq!(rec.seq, k as u64, "FIFO retirement order");
+            assert_eq!(rec.bytes, 8 * 4096);
+            assert!(rec.completed_at > rec.started_at);
+        }
+        // The engine transitions directly: the successor starts on the
+        // cycle right after its predecessor completed.
+        for w in recs.windows(2) {
+            assert_eq!(
+                w[1].started_at,
+                w[0].completed_at + 1,
+                "no host round trip between queued chunks"
+            );
+        }
+    }
+
+    #[test]
+    fn enqueue_on_idle_engine_starts_like_submit() {
+        let mut a = setup();
+        let mut b = setup();
+        let op = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        a.submit(op.clone(), DceMode::PimMs).unwrap();
+        b.enqueue(op, DceMode::PimMs).unwrap();
+        let done_a = run_to_completion(&mut a, 20, 1_000_000);
+        // The queued path retires itself; run until the record appears.
+        let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+        let mut rec = None;
+        for now in 0..1_000_000u64 {
+            b.tick();
+            while let Some(r) = b.outbox_mut().pop_front() {
+                pending.push_back((
+                    now + 20,
+                    Completion {
+                        id: r.req.id,
+                        kind: r.req.kind,
+                        source: r.req.source,
+                        cycle: now + 20,
+                    },
+                ));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, c) = pending.pop_front().unwrap();
+                b.on_completion(c);
+            }
+            if let Some(r) = b.pop_completion() {
+                rec = Some(r);
+                break;
+            }
+        }
+        let rec = rec.expect("queued descriptor completed");
+        assert_eq!(rec.started_at, 0);
+        assert_eq!(
+            rec.completed_at,
+            a.completed_at().unwrap(),
+            "identical engine timing on an idle engine"
+        );
+        assert_eq!(rec.completed_at, done_a);
+    }
+
+    #[test]
+    fn submit_rejects_while_descriptors_are_queued() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 64, 0);
+        dce.enqueue(op.clone(), DceMode::PimMs).unwrap();
+        dce.enqueue(op.clone(), DceMode::PimMs).unwrap();
+        assert_eq!(
+            dce.submit(op.clone(), DceMode::PimMs),
+            Err(OpError::EngineBusy)
+        );
+        // Invalid descriptors are rejected by enqueue too.
+        let bad = PimMmuOp::to_pim([(PhysAddr(0), 0)], 0, 0);
+        assert_eq!(dce.enqueue(bad, DceMode::PimMs), Err(OpError::BadSize(0)));
+        assert_eq!(dce.occupancy(), 2);
+    }
+
+    #[test]
+    fn enqueue_rejects_behind_a_synchronous_job() {
+        // Mixing the paths would strand the queued descriptor: the
+        // host retires a submitted job and nothing pops the pending
+        // ring afterwards.
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 64, 0);
+        dce.submit(op.clone(), DceMode::PimMs).unwrap();
+        assert_eq!(dce.enqueue(op, DceMode::PimMs), Err(OpError::EngineBusy));
+        assert_eq!(dce.pending_descriptors(), 0);
     }
 
     #[test]

@@ -41,6 +41,30 @@ impl DriverModel {
     pub fn round_trip_ns(&self, entries: usize) -> f64 {
         self.submit_ns(entries) + self.interrupt_ns
     }
+
+    /// Cost of one doorbell ring publishing a whole *batch* of
+    /// descriptors carrying `total_entries` per-core entries between
+    /// them, ns.
+    ///
+    /// The fixed syscall + MMIO cost is paid once per ring regardless of
+    /// how many descriptors the batch holds — this is the amortization
+    /// an NVMe-style submission queue buys over per-descriptor
+    /// `pim_mmu_transfer` calls, where every descriptor pays
+    /// [`submit_fixed_ns`](Self::submit_fixed_ns) again. A
+    /// single-descriptor batch costs exactly
+    /// [`submit_ns`](Self::submit_ns).
+    pub fn doorbell_ns(&self, total_entries: usize) -> f64 {
+        self.submit_fixed_ns + self.submit_per_entry_ns * total_entries as f64
+    }
+
+    /// Cost of fielding one completion interrupt, ns — independent of
+    /// how many ring completions it announces. A coalesced interrupt
+    /// (N completions, one wake-up) therefore costs the same as an
+    /// uncoalesced one; the saving is that it is paid once per batch
+    /// instead of once per descriptor.
+    pub fn coalesced_interrupt_ns(&self) -> f64 {
+        self.interrupt_ns
+    }
 }
 
 impl Default for DriverModel {
@@ -66,5 +90,23 @@ mod tests {
         let d = DriverModel::default();
         assert!(d.submit_ns(1024) > d.submit_ns(1));
         assert_eq!(d.round_trip_ns(0), d.submit_fixed_ns + d.interrupt_ns);
+    }
+
+    #[test]
+    fn doorbell_batch_amortizes_the_fixed_cost() {
+        let d = DriverModel::default();
+        // A single-descriptor ring is exactly a synchronous submit.
+        assert_eq!(d.doorbell_ns(64), d.submit_ns(64));
+        // A batch of 8 descriptors x 64 entries pays the fixed cost once
+        // instead of 8 times.
+        let batched = d.doorbell_ns(8 * 64);
+        let serial = 8.0 * d.submit_ns(64);
+        assert_eq!(
+            batched,
+            d.submit_fixed_ns + 8.0 * 64.0 * d.submit_per_entry_ns
+        );
+        assert!(serial - batched == 7.0 * d.submit_fixed_ns);
+        // One coalesced interrupt costs a single wake-up.
+        assert_eq!(d.coalesced_interrupt_ns(), d.interrupt_ns);
     }
 }

@@ -1,0 +1,385 @@
+//! The queue pair: a bounded submission ring published by batched
+//! doorbell writes, and a completion ring drained under interrupt
+//! coalescing.
+
+use crate::coalesce::{FireCause, InterruptCoalescer};
+use crate::config::HostQueueConfig;
+use pim_mmu::DriverModel;
+use std::collections::VecDeque;
+
+/// Who a posted descriptor belongs to (opaque to the ring; the runtime
+/// routes completions with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescriptorTag {
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Owning job id.
+    pub job: u64,
+}
+
+/// One submission-ring entry as written by the host.
+#[derive(Debug, Clone, Copy)]
+pub struct Descriptor {
+    /// Ownership routing tag.
+    pub tag: DescriptorTag,
+    /// Per-core entries the descriptor names (drives the per-entry MMIO
+    /// cost and the analytic driver round trip).
+    pub entries: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// A descriptor after its doorbell rang: in flight device-side.
+#[derive(Debug, Clone, Copy)]
+pub struct Posted {
+    /// The descriptor as written.
+    pub desc: Descriptor,
+    /// Ring sequence number (post order; the device retires FIFO).
+    pub seq: u64,
+    /// Time the doorbell published it, ns.
+    pub posted_ns: f64,
+    /// Engine cycle at the doorbell edge (basis of the analytic
+    /// device-residency latency, exactly like the synchronous
+    /// harness's submit cycle).
+    pub posted_cycle: u64,
+}
+
+/// A completion-ring entry, visible to the host once its interrupt is
+/// fielded.
+#[derive(Debug, Clone, Copy)]
+pub struct RingCompletion {
+    /// The posted descriptor this completes.
+    pub posted: Posted,
+    /// Engine cycle the descriptor started executing.
+    pub started_cycle: u64,
+    /// Engine cycle it finished.
+    pub done_cycle: u64,
+    /// Completion time on the simulation timeline, ns (drives the
+    /// coalescing timer).
+    pub done_ns: f64,
+}
+
+/// Ring errors surfaced to the poster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostQError {
+    /// Every slot is taken by a posted-but-undrained descriptor.
+    RingFull,
+}
+
+impl std::fmt::Display for HostQError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostQError::RingFull => f.write_str("submission ring is full"),
+        }
+    }
+}
+
+impl std::error::Error for HostQError {}
+
+/// Host-interface counters for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostQueueStats {
+    /// Descriptors published by doorbells.
+    pub posted: u64,
+    /// Doorbell MMIO writes (each may publish a batch).
+    pub doorbells: u64,
+    /// Descriptors completed device-side.
+    pub completed: u64,
+    /// Completion interrupts fielded by the host.
+    pub interrupts: u64,
+    /// Interrupts fired because the coalesce count was reached.
+    pub fired_on_count: u64,
+    /// Interrupts fired because the aggregation timer expired.
+    pub fired_on_timer: u64,
+    /// Largest device-side in-flight depth observed at a doorbell.
+    pub max_in_flight: usize,
+    /// Sum of in-flight depths sampled at each doorbell (mean =
+    /// `inflight_sum / doorbells`).
+    pub inflight_sum: u64,
+    /// Host poll edges taken (the ring poller's clock).
+    pub polls: u64,
+}
+
+impl HostQueueStats {
+    /// Mean device-side in-flight depth observed at doorbell rings.
+    pub fn mean_in_flight(&self) -> f64 {
+        if self.doorbells == 0 {
+            0.0
+        } else {
+            self.inflight_sum as f64 / self.doorbells as f64
+        }
+    }
+
+    /// Completion interrupts per completed descriptor (1.0 without
+    /// coalescing, below 1.0 with).
+    pub fn interrupts_per_completion(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.interrupts as f64 / self.completed as f64
+        }
+    }
+}
+
+/// An NVMe-style paired submission/completion ring between the host and
+/// the DCE.
+///
+/// Lifecycle of a descriptor: [`stage`](Self::stage) writes it into the
+/// ring (counted against [`depth`](HostQueueConfig::depth) immediately),
+/// [`ring_doorbell`](Self::ring_doorbell) publishes every staged entry
+/// with one MMIO write, [`on_device_completion`](Self::on_device_completion)
+/// moves it to the completion ring when the engine retires it, and
+/// [`field_interrupt`](Self::field_interrupt) hands the host the whole
+/// completed batch once the [`InterruptCoalescer`] fires. The slot is
+/// free again only after its completion is fielded — so `depth` bounds
+/// posted-plus-uncollected descriptors, which is what makes depth 1
+/// exactly the synchronous one-in-flight handshake.
+#[derive(Debug)]
+pub struct QueuePair {
+    cfg: HostQueueConfig,
+    staged: Vec<Posted>,
+    sq: VecDeque<Posted>,
+    cq: VecDeque<RingCompletion>,
+    coalescer: InterruptCoalescer,
+    next_seq: u64,
+    stats: HostQueueStats,
+}
+
+impl QueuePair {
+    /// An empty queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see
+    /// [`HostQueueConfig::validate`]).
+    pub fn new(cfg: HostQueueConfig) -> Self {
+        cfg.validate();
+        QueuePair {
+            coalescer: InterruptCoalescer::new(cfg.coalesce_count, cfg.coalesce_timeout_ns),
+            cfg,
+            staged: Vec::new(),
+            sq: VecDeque::new(),
+            cq: VecDeque::new(),
+            next_seq: 0,
+            stats: HostQueueStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HostQueueConfig {
+        &self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &HostQueueStats {
+        &self.stats
+    }
+
+    /// Slots occupied: staged + in flight + completed-but-unfielded.
+    pub fn occupancy(&self) -> usize {
+        self.staged.len() + self.sq.len() + self.cq.len()
+    }
+
+    /// Slots still available for [`stage`](Self::stage).
+    pub fn free_slots(&self) -> usize {
+        self.cfg.depth - self.occupancy()
+    }
+
+    /// Descriptors in flight device-side (published, not yet retired).
+    pub fn in_flight(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Whether no descriptor is staged, in flight, or awaiting its
+    /// interrupt.
+    pub fn is_idle(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Write a descriptor into the submission ring at the current edge
+    /// (`now_ns`, engine cycle `cycle`); it is published by the next
+    /// [`ring_doorbell`](Self::ring_doorbell). Returns its ring sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`HostQError::RingFull`] when every slot is occupied.
+    pub fn stage(&mut self, desc: Descriptor, now_ns: f64, cycle: u64) -> Result<u64, HostQError> {
+        if self.free_slots() == 0 {
+            return Err(HostQError::RingFull);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.staged.push(Posted {
+            desc,
+            seq,
+            posted_ns: now_ns,
+            posted_cycle: cycle,
+        });
+        Ok(seq)
+    }
+
+    /// Publish every staged descriptor with one MMIO doorbell write;
+    /// returns the driver-side cost of the write (`None` when nothing is
+    /// staged). The fixed MMIO cost is paid once for the whole batch.
+    pub fn ring_doorbell(&mut self, driver: &DriverModel) -> Option<f64> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let total_entries: usize = self.staged.iter().map(|p| p.desc.entries).sum();
+        self.stats.posted += self.staged.len() as u64;
+        self.stats.doorbells += 1;
+        self.sq.extend(self.staged.drain(..));
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.sq.len());
+        self.stats.inflight_sum += self.sq.len() as u64;
+        Some(driver.doorbell_ns(total_entries))
+    }
+
+    /// The device retired the ring's oldest descriptor at engine cycle
+    /// `done_cycle` (= `done_ns` on the simulation timeline), having
+    /// started it at `started_cycle`. Returns its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight or `seq` is not the oldest posted
+    /// descriptor — the engine is a FIFO, so out-of-order retirement is
+    /// a modeling bug.
+    pub fn on_device_completion(
+        &mut self,
+        seq: u64,
+        started_cycle: u64,
+        done_cycle: u64,
+        done_ns: f64,
+    ) {
+        let posted = self
+            .sq
+            .pop_front()
+            .expect("completion arrived with nothing in flight");
+        assert_eq!(posted.seq, seq, "the engine retires descriptors in order");
+        self.cq.push_back(RingCompletion {
+            posted,
+            started_cycle,
+            done_cycle,
+            done_ns,
+        });
+        self.coalescer.on_completion(done_ns);
+        self.stats.completed += 1;
+    }
+
+    /// Whether the coalescer would deliver an interrupt at `now_ns`.
+    pub fn interrupt_due(&self, now_ns: f64) -> bool {
+        self.coalescer.due(now_ns)
+    }
+
+    /// Field the pending interrupt: drain the completion ring (freeing
+    /// its slots) and return the completed batch in retirement order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interrupt is pending (guard with
+    /// [`interrupt_due`](Self::interrupt_due)).
+    pub fn field_interrupt(&mut self, now_ns: f64) -> Vec<RingCompletion> {
+        let (n, cause) = self.coalescer.fire(now_ns);
+        debug_assert_eq!(n as usize, self.cq.len());
+        self.stats.interrupts += 1;
+        match cause {
+            FireCause::Count => self.stats.fired_on_count += 1,
+            FireCause::Timer => self.stats.fired_on_timer += 1,
+        }
+        self.cq.drain(..).collect()
+    }
+
+    /// One edge of the host-side ring poller's clock domain (the
+    /// `Tickable` adapter in `pim_sim::components` calls this).
+    pub fn tick_poll(&mut self) {
+        self.stats.polls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(bytes: u64) -> Descriptor {
+        Descriptor {
+            tag: DescriptorTag { tenant: 0, job: 0 },
+            entries: 4,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn depth_bounds_posted_plus_unfielded() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(2));
+        assert_eq!(qp.free_slots(), 2);
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        assert_eq!(qp.stage(desc(64), 0.0, 0), Err(HostQError::RingFull));
+        let cost = qp.ring_doorbell(&DriverModel::default()).unwrap();
+        assert_eq!(cost, DriverModel::default().doorbell_ns(8));
+        // Still full: the device has both and nothing was fielded.
+        assert_eq!(qp.stage(desc(64), 1.0, 3), Err(HostQError::RingFull));
+        qp.on_device_completion(0, 0, 100, 31.25);
+        // Completed-but-unfielded still holds the slot.
+        assert_eq!(qp.stage(desc(64), 1.0, 3), Err(HostQError::RingFull));
+        assert!(qp.interrupt_due(31.25));
+        let batch = qp.field_interrupt(32.0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].posted.seq, 0);
+        assert_eq!(qp.free_slots(), 1);
+        qp.stage(desc(64), 2.0, 7).unwrap();
+    }
+
+    #[test]
+    fn doorbell_publishes_batches_and_tracks_depth() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
+        for _ in 0..3 {
+            qp.stage(desc(128), 5.0, 16).unwrap();
+        }
+        assert!(qp.ring_doorbell(&DriverModel::default()).is_some());
+        assert!(qp.ring_doorbell(&DriverModel::default()).is_none());
+        assert_eq!(qp.stats().doorbells, 1);
+        assert_eq!(qp.stats().posted, 3);
+        assert_eq!(qp.in_flight(), 3);
+        assert_eq!(qp.stats().max_in_flight, 3);
+        assert_eq!(qp.stats().mean_in_flight(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_retirement_is_a_bug() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(2));
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        qp.on_device_completion(1, 0, 10, 3.125);
+    }
+
+    #[test]
+    fn coalesced_batch_is_fielded_once() {
+        let mut qp = QueuePair::new(HostQueueConfig {
+            depth: 4,
+            coalesce_count: 3,
+            coalesce_timeout_ns: 1e6,
+            poll_period_ps: 312,
+        });
+        for _ in 0..3 {
+            qp.stage(desc(64), 0.0, 0).unwrap();
+        }
+        qp.ring_doorbell(&DriverModel::default());
+        qp.on_device_completion(0, 0, 10, 3.125);
+        qp.on_device_completion(1, 11, 20, 6.25);
+        assert!(!qp.interrupt_due(7.0), "2 of 3 with a long timer");
+        qp.on_device_completion(2, 21, 30, 9.375);
+        assert!(qp.interrupt_due(9.375));
+        let batch = qp.field_interrupt(9.375);
+        assert_eq!(
+            batch.iter().map(|c| c.posted.seq).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(qp.stats().interrupts, 1);
+        assert_eq!(qp.stats().fired_on_count, 1);
+        assert!((qp.stats().interrupts_per_completion() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(qp.is_idle());
+    }
+}

@@ -14,7 +14,15 @@
 //!   tenant's head job receives the engine's next quantum. Jobs are
 //!   split into chunked [`pim_mmu::PimMmuOp`]s so no tenant can
 //!   monopolize the DCE.
-//! * **Completion path** — DCE `jobs_done` events are routed back to the
+//! * **Host interface** — chunks are posted through an NVMe-style
+//!   doorbell/queue-pair ([`pim_hostq::QueuePair`]): a bounded
+//!   submission ring (configurable depth) published by batched doorbell
+//!   writes, with completion-interrupt coalescing. The default
+//!   [`HostQueueConfig`] (depth 1, coalescing off) is bit-for-bit the
+//!   paper's synchronous `pim_mmu_transfer` handshake; deeper rings
+//!   keep the DCE fed across chunk boundaries via
+//!   [`pim_mmu::Dce::enqueue`].
+//! * **Completion path** — ring retirements are routed back to the
 //!   owning tenant with the driver round-trip latency model applied, and
 //!   recorded as [`JobRecord`]s.
 //! * **Metrics** — per-tenant queueing delay, service time and
@@ -56,7 +64,7 @@ pub mod serving;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
 pub use job::{Job, JobRecord, JobSpec};
-pub use metrics::{jain_index, LogHistogram, TenantStats, HIST_BUCKETS};
+pub use metrics::{jain_index, HostIfaceStats, LogHistogram, TenantStats, HIST_BUCKETS};
 pub use policy::{
     policy_by_name, Drr, Fcfs, HeadView, QueuePolicy, QueueView, Sjf, StrictPriority, POLICY_NAMES,
 };
@@ -67,3 +75,8 @@ pub use serving::ServingSystem;
 // downstream drivers (tests, harnesses) can tick a [`Runtime`] without
 // naming `pim_sim` directly.
 pub use pim_sim::Tickable;
+
+// The host submission path the dispatch loop posts chunks through,
+// re-exported so harnesses can configure ring depth and interrupt
+// coalescing without naming `pim_hostq` directly.
+pub use pim_hostq::{HostQueueConfig, HostQueueStats, QueuePair};

@@ -119,6 +119,35 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     sum * sum / (xs.len() as f64 * sq)
 }
 
+/// Host-interface summary of one serving run: how deep the submission
+/// ring actually ran and how much interrupt/doorbell traffic the jobs
+/// cost. Derived from [`pim_hostq::HostQueueStats`] plus the runtime's
+/// job counters; the interesting ratios are `interrupts_per_job`
+/// (1 × chunks-per-job for the synchronous path, approaching
+/// 1/coalesce-count of that with coalescing) and `mean_in_flight`
+/// (pinned to ≤ 1 at queue depth 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostIfaceStats {
+    /// Doorbell MMIO writes (each publishes a whole staged batch).
+    pub doorbells: u64,
+    /// Descriptors (chunks) published.
+    pub descriptors: u64,
+    /// Completion interrupts fielded by the host.
+    pub interrupts: u64,
+    /// Interrupts delivered by the coalescing timer rather than the
+    /// count threshold.
+    pub fired_on_timer: u64,
+    /// Largest device-side in-flight descriptor depth observed.
+    pub max_in_flight: usize,
+    /// Mean in-flight depth sampled at doorbell rings.
+    pub mean_in_flight: f64,
+    /// Completion interrupts per completed *job*.
+    pub interrupts_per_job: f64,
+    /// Completion interrupts per completed *chunk* (1.0 without
+    /// coalescing).
+    pub interrupts_per_chunk: f64,
+}
+
 /// Cumulative serving statistics for one tenant.
 #[derive(Debug, Clone, Default)]
 pub struct TenantStats {

@@ -1,24 +1,44 @@
 //! The transfer-queue runtime: per-tenant submission queues fed by
-//! arrival generators, a pluggable QoS scheduler dispatching chunked
-//! [`PimMmuOp`](pim_mmu::PimMmuOp)s into the DCE, and the completion
-//! path routing `jobs_done` events back to the owning tenant through
-//! the driver latency model.
+//! arrival generators, a pluggable QoS scheduler posting chunked
+//! [`PimMmuOp`](pim_mmu::PimMmuOp)s through a doorbell/queue-pair host
+//! interface ([`pim_hostq::QueuePair`]), and the completion path
+//! routing ring retirements back to the owning tenant through the
+//! driver latency model.
 //!
 //! The runtime is a [`Tickable`]: [`tick`](Tickable::tick) advances its
 //! decision clock and drains due arrivals into the queues. Interaction
-//! with the engine happens through [`drive`](Runtime::drive), which the
-//! composer (see [`crate::serving`]) calls at every runtime clock edge
-//! *before* the engine's own tick — the same submit-then-run ordering as
-//! the one-shot harness, which is what makes a single-tenant FCFS run
-//! reproduce `pim_sim::run_transfer` bit for bit.
+//! with the engine happens through two host-interface paths the
+//! composer (see [`crate::serving`]) calls at the corresponding clock
+//! edges, always *before* the engine's own tick:
+//!
+//! * [`poll`](Runtime::poll) — the completion-ring poller: drain the
+//!   DCE's retirement records into the queue pair and, once the
+//!   interrupt coalescer fires, field one interrupt for the whole
+//!   completed batch;
+//! * [`dispatch`](Runtime::dispatch) — the submission path: while the
+//!   ring has free slots and the driver is not busy, let the policy
+//!   pick chunks, stage them, and publish the batch with a single
+//!   doorbell write ([`Dce::enqueue`] keeps the engine fed device-side
+//!   with no host round trip between chunks).
+//!
+//! With the identity host-queue configuration (depth 1, coalescing
+//! off — the default) this is exactly the paper's synchronous
+//! `pim_mmu_transfer` handshake: the same submit-then-run ordering and
+//! driver accounting as the one-shot harness, which is what makes a
+//! single-tenant FCFS run reproduce `pim_sim::run_transfer` bit for
+//! bit (pinned by `tests/serving_runtime.rs` and the golden regression
+//! in `tests/hostq_regression.rs`).
 
 use crate::arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
 use crate::job::{Job, JobRecord, JobSpec};
-use crate::metrics::{jain_index, TenantStats};
+use crate::metrics::{jain_index, HostIfaceStats, TenantStats};
 use crate::policy::{HeadView, QueuePolicy, QueueView};
+use pim_hostq::{Descriptor, DescriptorTag, HostQueueConfig, QueuePair};
 use pim_mapping::PhysAddr;
 use pim_mmu::{Dce, DceMode, DriverModel, XferKind};
-use pim_sim::{ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE};
+use pim_sim::{
+    ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE, TICKS_PER_NS,
+};
 use pim_workloads::JobShape;
 use std::collections::VecDeque;
 
@@ -81,6 +101,11 @@ pub struct RuntimeConfig {
     pub dram_stride: u64,
     /// MRAM heap-offset stride between tenants.
     pub heap_stride: u64,
+    /// Host submission-queue shape (ring depth, interrupt coalescing,
+    /// poller cadence). The default is the identity point — depth 1,
+    /// coalescing off — which reproduces the synchronous driver
+    /// bit-for-bit.
+    pub hostq: HostQueueConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -95,6 +120,7 @@ impl Default for RuntimeConfig {
             seed: 0xD15C0,
             dram_stride: 128 << 20,
             heap_stride: 1 << 20,
+            hostq: HostQueueConfig::synchronous(),
         }
     }
 }
@@ -105,14 +131,6 @@ struct TenantState {
     size_rng: Rng,
     queue: VecDeque<Job>,
     stats: TenantStats,
-}
-
-struct ActiveChunk {
-    tenant: usize,
-    bytes: u64,
-    entries: usize,
-    submit_cycle: u64,
-    submit_ns: f64,
 }
 
 /// The multi-tenant transfer-queue runtime.
@@ -128,7 +146,8 @@ pub struct Runtime {
     ticks_taken: u64,
     period_ticks: u64,
     arrivals_scratch: Vec<f64>,
-    active: Option<ActiveChunk>,
+    /// The doorbell/queue-pair host interface all chunks go through.
+    qp: QueuePair,
     driver_ready_ns: f64,
     next_job_id: u64,
     records: Vec<JobRecord>,
@@ -196,7 +215,7 @@ impl Runtime {
             suite_max,
             ticks_taken: 0,
             arrivals_scratch: Vec::new(),
-            active: None,
+            qp: QueuePair::new(cfg.hostq),
             driver_ready_ns: 0.0,
             next_job_id: 0,
             records: Vec::new(),
@@ -271,13 +290,46 @@ impl Runtime {
     }
 
     /// Whether no further work can ever appear or progress: every
-    /// generator is exhausted, every queue empty, nothing in flight.
+    /// generator is exhausted, every queue empty, and the ring holds no
+    /// staged, in-flight, or unfielded descriptor.
     pub fn drained(&self) -> bool {
-        self.active.is_none()
+        self.qp.is_idle()
             && self
                 .tenants
                 .iter()
                 .all(|t| t.queue.is_empty() && t.gen.exhausted(self.cfg.open_until_ns))
+    }
+
+    /// The host-side queue pair (ring state and counters).
+    pub fn queue_pair(&self) -> &QueuePair {
+        &self.qp
+    }
+
+    /// Mutable queue-pair access — the composer ticks it as the ring
+    /// poller's [`Tickable`] clock domain.
+    pub fn queue_pair_mut(&mut self) -> &mut QueuePair {
+        &mut self.qp
+    }
+
+    /// Host-interface summary: ring depth actually used, doorbell and
+    /// interrupt counts, interrupts per job/chunk.
+    pub fn host_stats(&self) -> HostIfaceStats {
+        let s = *self.qp.stats();
+        let jobs: u64 = self.tenants.iter().map(|t| t.stats.completed).sum();
+        HostIfaceStats {
+            doorbells: s.doorbells,
+            descriptors: s.posted,
+            interrupts: s.interrupts,
+            fired_on_timer: s.fired_on_timer,
+            max_in_flight: s.max_in_flight,
+            mean_in_flight: s.mean_in_flight(),
+            interrupts_per_job: if jobs == 0 {
+                0.0
+            } else {
+                s.interrupts as f64 / jobs as f64
+            },
+            interrupts_per_chunk: s.interrupts_per_completion(),
+        }
     }
 
     fn enqueue_arrivals(&mut self, now_ns: f64) {
@@ -325,78 +377,123 @@ impl Runtime {
                 priority: t.spec.priority,
                 weight: t.spec.weight,
                 backlog: t.queue.len(),
-                head: t.queue.front().map(|j| HeadView {
-                    submit_ns: j.submit_ns,
-                    total_bytes: j.total_bytes,
-                    remaining_bytes: j.remaining_bytes(),
-                    next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
-                    in_service: j.in_service(),
-                }),
+                // The dispatch head: the oldest job with undispatched
+                // chunks. A job whose chunks are all in flight ring-side
+                // no longer offers work (with a depth-1 ring this is
+                // always the queue front, as before).
+                head: t
+                    .queue
+                    .iter()
+                    .find(|j| !j.chunks.is_empty())
+                    .map(|j| HeadView {
+                        submit_ns: j.submit_ns,
+                        total_bytes: j.total_bytes,
+                        remaining_bytes: j.remaining_bytes(),
+                        next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
+                        in_service: j.in_service(),
+                    }),
             })
             .collect()
     }
 
-    /// Service the engine at a decision-clock edge: retire a completed
-    /// chunk (routing the completion to the owning tenant), then — if the
-    /// engine and driver are free — dispatch the next chunk chosen by the
-    /// scheduling policy. Call once per edge, after [`tick`](Tickable::tick)
-    /// and before the engine's own tick.
+    /// The completion-ring poller, called at every edge of the `hostq`
+    /// clock domain (before the engine's own tick): drain the DCE's
+    /// retirement records into the queue pair, and once the interrupt
+    /// coalescer fires, field *one* interrupt for the whole completed
+    /// batch — routing each completion to its owning tenant.
     ///
-    /// Driver-latency modeling follows the one-shot harness exactly (the
-    /// basis of the bit-identical equivalence): the engine starts at the
-    /// submit edge, and a chunk's recorded latency charges the full
-    /// submit + interrupt round trip analytically. Between successive
-    /// chunks, only the completion-interrupt cost (plus detection at the
-    /// next decision edge) serializes the engine — the MMIO descriptor
-    /// write is *not* an engine stall, it merely gates how soon the
-    /// driver can submit again.
-    pub fn drive(&mut self, dce: &mut Dce, now_ns: f64) {
-        // Completion path.
-        if let Some(active) = &self.active {
-            if let Some(done_cycle) = dce.completed_at() {
-                let active_tenant = active.tenant;
-                let engine_ns = (done_cycle - active.submit_cycle) as f64
-                    * dce.config().period_ps() as f64
-                    / 1000.0;
-                // The harness's accounting, per chunk: engine cycles plus
-                // the driver round trip (submit + completion interrupt).
-                let finish_ns =
-                    active.submit_ns + engine_ns + self.cfg.driver.round_trip_ns(active.entries);
-                let bytes = active.bytes;
-                dce.retire_job();
-                self.active = None;
-                // The driver fields the interrupt before it can submit
-                // again.
-                self.driver_ready_ns = now_ns + self.cfg.driver.interrupt_ns;
-
-                let t = &mut self.tenants[active_tenant];
-                t.stats.bytes_serviced += bytes;
-                let job = t.queue.front_mut().expect("active job sits at its head");
-                job.bytes_done += bytes;
-                if job.chunks.is_empty() {
-                    let job = t.queue.pop_front().expect("checked above");
-                    debug_assert_eq!(job.bytes_done, job.total_bytes);
-                    let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
-                    t.stats.completed += 1;
-                    t.stats.bytes_completed += job.total_bytes;
-                    t.stats.queue_delay.record(dispatch_ns - job.submit_ns);
-                    t.stats.service.record(finish_ns - dispatch_ns);
-                    t.stats.e2e.record(finish_ns - job.submit_ns);
-                    t.gen.on_complete(finish_ns.max(now_ns));
-                    self.records.push(JobRecord {
-                        id: job.id,
-                        tenant: active_tenant,
-                        submit_ns: job.submit_ns,
-                        dispatch_ns,
-                        complete_ns: finish_ns,
-                        bytes: job.total_bytes,
-                    });
-                }
-            }
+    /// Driver-latency accounting (the basis of the bit-identical
+    /// depth-1 equivalence with the one-shot harness, pinned by
+    /// `tests/driver_accounting.rs`): a chunk's recorded completion
+    /// time charges its *own* submit + interrupt round trip exactly
+    /// once, analytically, on top of its device residency measured in
+    /// engine cycles from the doorbell edge —
+    /// `posted_ns + device_cycles·T + round_trip(entries)`. The
+    /// interrupt additionally occupies the driver
+    /// (`driver_ready_ns = now + interrupt_ns`), which gates the *next*
+    /// doorbell but is never added to the completed chunk's latency
+    /// again. When coalescing delays the interrupt past the analytic
+    /// time, the delivery time (`now + interrupt_ns`) wins — a tenant
+    /// cannot learn of a completion before the interrupt that announces
+    /// it.
+    pub fn poll(&mut self, dce: &mut Dce, now_ns: f64) {
+        // Device → completion ring. The engine's cycle counter maps onto
+        // the simulation timeline through its tick period (for the
+        // coalescer's aggregation timer).
+        let edge_ns =
+            Clock::from_period_ps(dce.config().period_ps()).period as f64 / TICKS_PER_NS as f64;
+        while let Some(rec) = dce.pop_completion() {
+            let done_ns = rec.completed_at as f64 * edge_ns;
+            self.qp
+                .on_device_completion(rec.seq, rec.started_at, rec.completed_at, done_ns);
         }
 
-        // Dispatch path.
-        if self.active.is_some() || dce.busy() || now_ns < self.driver_ready_ns {
+        if !self.qp.interrupt_due(now_ns) {
+            return;
+        }
+        // One interrupt wake-up covers the whole batch; the driver is
+        // busy fielding it before it can ring the next doorbell.
+        let batch = self.qp.field_interrupt(now_ns);
+        self.driver_ready_ns = now_ns + self.cfg.driver.coalesced_interrupt_ns();
+        for c in batch {
+            let tenant_idx = c.posted.desc.tag.tenant;
+            let engine_ns = (c.done_cycle - c.posted.posted_cycle) as f64
+                * dce.config().period_ps() as f64
+                / 1000.0;
+            // The harness's accounting, per chunk: device residency plus
+            // the driver round trip (submit + completion interrupt) —
+            // but never earlier than the interrupt that announces it.
+            let finish_ns = (c.posted.posted_ns
+                + engine_ns
+                + self.cfg.driver.round_trip_ns(c.posted.desc.entries))
+            .max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
+            let bytes = c.posted.desc.bytes;
+
+            let t = &mut self.tenants[tenant_idx];
+            t.stats.bytes_serviced += bytes;
+            // Chunks are dispatched in queue order per tenant and the
+            // ring retires FIFO, so a completion always belongs to the
+            // tenant's oldest incomplete job.
+            let job = t
+                .queue
+                .front_mut()
+                .expect("completions route to the oldest queued job");
+            debug_assert_eq!(job.id, c.posted.desc.tag.job);
+            job.bytes_done += bytes;
+            if job.chunks.is_empty() && job.bytes_done == job.total_bytes {
+                let job = t.queue.pop_front().expect("checked above");
+                let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
+                t.stats.completed += 1;
+                t.stats.bytes_completed += job.total_bytes;
+                t.stats.queue_delay.record(dispatch_ns - job.submit_ns);
+                t.stats.service.record(finish_ns - dispatch_ns);
+                t.stats.e2e.record(finish_ns - job.submit_ns);
+                t.gen.on_complete(finish_ns.max(now_ns));
+                self.records.push(JobRecord {
+                    id: job.id,
+                    tenant: tenant_idx,
+                    submit_ns: job.submit_ns,
+                    dispatch_ns,
+                    complete_ns: finish_ns,
+                    bytes: job.total_bytes,
+                });
+            }
+        }
+    }
+
+    /// The submission path, called at every decision-clock edge (after
+    /// [`poll`](Self::poll) when the edges coincide, before the engine's
+    /// own tick): while the ring has free slots and the driver is not
+    /// busy, let the policy pick chunks, stage their descriptors, and
+    /// hand them to [`Dce::enqueue`]; then publish the whole batch with
+    /// a single doorbell write whose fixed MMIO cost is paid once.
+    ///
+    /// The doorbell occupies the driver
+    /// (`driver_ready_ns = now + doorbell_ns`) but is *not* an engine
+    /// stall: the engine starts the first descriptor at this edge and
+    /// chains through the rest device-side.
+    pub fn dispatch(&mut self, dce: &mut Dce, now_ns: f64) {
+        if now_ns < self.driver_ready_ns || self.qp.free_slots() == 0 {
             return;
         }
         // Idle runtime clock edges are the common case; don't build
@@ -404,40 +501,68 @@ impl Runtime {
         if self.tenants.iter().all(|t| t.queue.is_empty()) {
             return;
         }
-        let views = self.views();
-        let backlog = views.iter().any(|v| v.head.is_some());
-        let Some(pick) = self.policy.pick(&views) else {
-            if backlog {
-                self.missed_dispatches += 1;
+        let mut staged = false;
+        while self.qp.free_slots() > 0 {
+            let views = self.views();
+            if !views.iter().any(|v| v.head.is_some()) {
+                break;
             }
-            return;
-        };
-        let t = &mut self.tenants[pick];
-        let job = t
-            .queue
-            .front_mut()
-            .expect("policies only pick backlogged tenants");
-        let chunk = job.chunks.pop_front().expect("queued jobs have chunks");
-        if job.first_dispatch_ns.is_none() {
-            job.first_dispatch_ns = Some(now_ns);
+            let Some(pick) = self.policy.pick(&views) else {
+                self.missed_dispatches += 1;
+                break;
+            };
+            let t = &mut self.tenants[pick];
+            let job = t
+                .queue
+                .iter_mut()
+                .find(|j| !j.chunks.is_empty())
+                .expect("policies only pick tenants with dispatchable work");
+            let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
+            if job.first_dispatch_ns.is_none() {
+                job.first_dispatch_ns = Some(now_ns);
+            }
+            let bytes = chunk.total_bytes();
+            let entries = chunk.entries.len();
+            self.qp
+                .stage(
+                    Descriptor {
+                        tag: DescriptorTag {
+                            tenant: pick,
+                            job: job.id,
+                        },
+                        entries,
+                        bytes,
+                    },
+                    now_ns,
+                    dce.cycle(),
+                )
+                .expect("free slot checked");
+            dce.enqueue(chunk, self.cfg.mode)
+                .expect("chunk validated at job construction");
+            self.policy.dispatched(pick, bytes);
+            self.chunks_dispatched += 1;
+            staged = true;
         }
-        let bytes = chunk.total_bytes();
-        let entries = chunk.entries.len();
-        let submit_cycle = dce.cycle();
-        dce.submit(chunk, self.cfg.mode)
-            .expect("chunk is valid and the engine is idle");
-        self.policy.dispatched(pick, bytes);
-        self.chunks_dispatched += 1;
-        // The MMIO descriptor write occupies the driver before the next
-        // submission.
-        self.driver_ready_ns = now_ns + self.cfg.driver.submit_ns(entries);
-        self.active = Some(ActiveChunk {
-            tenant: pick,
-            bytes,
-            entries,
-            submit_cycle,
-            submit_ns: now_ns,
-        });
+        if staged {
+            let cost = self
+                .qp
+                .ring_doorbell(&self.cfg.driver)
+                .expect("descriptors were staged");
+            // The MMIO doorbell write occupies the driver before the
+            // next submission.
+            self.driver_ready_ns = now_ns + cost;
+        }
+    }
+
+    /// One host-interface service round at a decision-clock edge:
+    /// [`poll`](Self::poll) then [`dispatch`](Self::dispatch). Call once
+    /// per edge, after [`tick`](Tickable::tick) and before the engine's
+    /// own tick. (The serving composer calls the two halves at their own
+    /// clock domains instead; with the default configuration the edges
+    /// coincide and the ordering is identical.)
+    pub fn drive(&mut self, dce: &mut Dce, now_ns: f64) {
+        self.poll(dce, now_ns);
+        self.dispatch(dce, now_ns);
     }
 }
 

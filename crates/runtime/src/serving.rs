@@ -1,9 +1,17 @@
 //! Composition of a [`Runtime`] with the simulated machine: the runtime
-//! participates in the system's [`ClockDomains`](pim_sim::ClockDomains)
-//! as a registered [`Tickable`] domain, acting at each of its edges
-//! *before* the machine's components tick — so a submission lands ahead
-//! of the engine's cycle at the same edge, exactly like the one-shot
-//! harness's submit-then-run ordering.
+//! and the host-side completion-ring poller participate in the system's
+//! [`ClockDomains`](pim_sim::ClockDomains) as registered [`Tickable`]
+//! domains, acting at each of their edges *before* the machine's
+//! components tick — so a doorbell lands ahead of the engine's cycle at
+//! the same edge, exactly like the one-shot harness's submit-then-run
+//! ordering.
+//!
+//! Two host-side domains fire per step when due, in this order:
+//! `runtime` (arrival generation, then chunk dispatch through the queue
+//! pair) and `hostq` (the ring poller draining device retirements and
+//! fielding coalesced interrupts). With the default configuration both
+//! run at the 312 ps decision clock, and a poll+dispatch pair at one
+//! edge is exactly the synchronous completion-then-submit handshake.
 
 use crate::runtime::Runtime;
 use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable};
@@ -13,6 +21,9 @@ pub struct ServingSystem {
     sys: System,
     runtime: Runtime,
     dom: DomainId,
+    /// The completion-ring poller's clock domain (period
+    /// `hostq.poll_period_ps`).
+    poller: DomainId,
 }
 
 impl ServingSystem {
@@ -30,9 +41,16 @@ impl ServingSystem {
         );
         runtime.set_mode(cfg.design.dce_mode());
         let period_ps = runtime.config().period_ps;
+        let poll_ps = runtime.config().hostq.poll_period_ps;
         let mut sys = System::new(cfg, vec![]);
         let dom = sys.register_domain("runtime", period_ps);
-        ServingSystem { sys, runtime, dom }
+        let poller = sys.register_domain("hostq", poll_ps);
+        ServingSystem {
+            sys,
+            runtime,
+            dom,
+            poller,
+        }
     }
 
     /// The runtime (queues, stats, records).
@@ -50,16 +68,25 @@ impl ServingSystem {
         self.sys.now_ns()
     }
 
-    /// Advance one event: if the runtime's domain fires at the next
-    /// edge, tick it (arrivals) and let it service the DCE, then step
-    /// the machine.
+    /// Advance one event: at the next edge, tick whichever host-side
+    /// domains fire — the runtime (arrivals), the ring poller (drain
+    /// retirements, field interrupts), then the dispatch path — and
+    /// step the machine. Poll-before-dispatch at a shared edge is the
+    /// synchronous handshake's completion-then-submit ordering.
     pub fn step(&mut self) {
         let pending = self.sys.pending();
+        let now_ns = ticks_to_ns(pending.now);
         if pending.contains(self.dom) {
             Tickable::tick(&mut self.runtime);
-            let now_ns = ticks_to_ns(pending.now);
+        }
+        if pending.contains(self.poller) {
+            Tickable::tick(self.runtime.queue_pair_mut());
             let dce = self.sys.dce_mut().expect("checked in new");
-            self.runtime.drive(dce, now_ns);
+            self.runtime.poll(dce, now_ns);
+        }
+        if pending.contains(self.dom) {
+            let dce = self.sys.dce_mut().expect("checked in new");
+            self.runtime.dispatch(dce, now_ns);
         }
         self.sys.step();
     }

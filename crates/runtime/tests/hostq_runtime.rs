@@ -1,0 +1,181 @@
+//! Async-host-interface invariants at the runtime level, over
+//! randomized ring depths, coalescing parameters and tenant traces:
+//! deep rings stay loss-free (every job completes exactly once), the
+//! device never holds more descriptors than the ring depth, and seeded
+//! runs replay bit-for-bit.
+
+use pim_dram::Completion;
+use pim_hostq::HostQueueConfig;
+use pim_mapping::{HetMap, Organization, PimAddrSpace};
+use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
+use pim_runtime::{
+    policy_by_name, ArrivalProcess, JobRecord, JobSizer, Runtime, RuntimeConfig, TenantSpec,
+    Tickable, POLICY_NAMES,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn fresh_dce() -> Dce {
+    let dram = Organization::ddr4_dimm(4, 2);
+    let pim = Organization::upmem_dimm(4, 2);
+    let het = HetMap::pim_mmu(dram, pim);
+    let space = PimAddrSpace::new(het.pim_base(), pim);
+    Dce::new(DceConfig::table1(), het, space)
+}
+
+fn quick_driver() -> DriverModel {
+    DriverModel {
+        submit_fixed_ns: 5.0,
+        submit_per_entry_ns: 0.0,
+        interrupt_ns: 5.0,
+    }
+}
+
+fn trace_tenant(name: &str, times: Vec<f64>, per_core_bytes: u64, n_cores: u32) -> TenantSpec {
+    TenantSpec {
+        name: name.into(),
+        kind: XferKind::DramToPim,
+        arrival: ArrivalProcess::Trace(times),
+        sizer: JobSizer::Fixed {
+            per_core_bytes,
+            n_cores,
+        },
+        priority: 0,
+        weight: 1,
+    }
+}
+
+/// Drive against a perfect memory until drained; return the records.
+fn run_to_drain(rt: &mut Runtime, latency: u64, max_cycles: u64) -> Option<Vec<JobRecord>> {
+    let mut dce = fresh_dce();
+    let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+    for cycle in 0..max_cycles {
+        Tickable::tick(rt);
+        let now_ns = rt.now_ns();
+        rt.drive(&mut dce, now_ns);
+        dce.tick();
+        while let Some(r) = dce.outbox_mut().pop_front() {
+            pending.push_back((
+                cycle + latency,
+                Completion {
+                    id: r.req.id,
+                    kind: r.req.kind,
+                    source: r.req.source,
+                    cycle: cycle + latency,
+                },
+            ));
+        }
+        while pending.front().is_some_and(|&(t, _)| t <= cycle) {
+            let (_, c) = pending.pop_front().unwrap();
+            dce.on_completion(c);
+        }
+        if rt.drained() {
+            return Some(rt.records().to_vec());
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn deep_rings_are_loss_free_and_bounded_for_every_policy(
+        depth in 1usize..9,
+        coalesce_count in 1u32..4,
+        raw_times in proptest::collection::vec(0u64..2_000, 1..8),
+        chunk_sel in 0usize..3,
+    ) {
+        let chunk_bytes = [128u64, 256, 1024][chunk_sel];
+        for policy_name in POLICY_NAMES {
+            let mut traces: Vec<Vec<f64>> = vec![Vec::new(); 2];
+            for (i, &t) in raw_times.iter().enumerate() {
+                traces[i % 2].push(t as f64);
+            }
+            let tenants: Vec<_> = traces
+                .iter()
+                .enumerate()
+                .map(|(i, times)| {
+                    let mut times = times.clone();
+                    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    trace_tenant(&format!("t{i}"), times, 256, 2 + i as u32)
+                })
+                .collect();
+            let cfg = RuntimeConfig {
+                chunk_bytes,
+                driver: quick_driver(),
+                open_until_ns: 3_000.0,
+                hostq: HostQueueConfig {
+                    depth,
+                    coalesce_count,
+                    coalesce_timeout_ns: 200.0,
+                    poll_period_ps: 312,
+                },
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(
+                cfg,
+                tenants,
+                policy_by_name(policy_name, chunk_bytes).unwrap(),
+            );
+            let drained = run_to_drain(&mut rt, 20, 3_000_000);
+            prop_assert!(drained.is_some(), "{policy_name} never drained at depth {depth}");
+
+            // Exactly once: completed ids are exactly the submitted ids.
+            let mut ids: Vec<u64> = rt.records().iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..raw_times.len() as u64).collect::<Vec<_>>());
+            for (_, stats) in rt.tenant_stats() {
+                prop_assert_eq!(stats.completed, stats.submitted);
+                prop_assert_eq!(stats.bytes_completed, stats.bytes_serviced);
+            }
+
+            // The device never saw more than `depth` descriptors.
+            let host = rt.host_stats();
+            prop_assert!(
+                host.max_in_flight <= depth,
+                "{policy_name}: in-flight {} exceeded depth {}",
+                host.max_in_flight,
+                depth
+            );
+            // Coalescing can only reduce interrupts below one per chunk.
+            prop_assert!(host.interrupts <= host.descriptors);
+        }
+    }
+
+    #[test]
+    fn seeded_async_runs_replay_bit_for_bit(
+        depth in 1usize..9,
+        coalesce_count in 1u32..4,
+        seed in 1u64..1_000_000,
+    ) {
+        let build = || {
+            let cfg = RuntimeConfig {
+                chunk_bytes: 512,
+                driver: quick_driver(),
+                open_until_ns: 2_000.0,
+                seed,
+                hostq: HostQueueConfig {
+                    depth,
+                    coalesce_count,
+                    coalesce_timeout_ns: 150.0,
+                    poll_period_ps: 312,
+                },
+                ..RuntimeConfig::default()
+            };
+            let tenants = vec![
+                TenantSpec::poisson("a", 400.0, 256, 4),
+                TenantSpec::poisson("b", 700.0, 128, 2),
+            ];
+            Runtime::new(cfg, tenants, policy_by_name("fcfs", 512).unwrap())
+        };
+        let mut a = build();
+        let mut b = build();
+        let ra = run_to_drain(&mut a, 20, 3_000_000);
+        let rb = run_to_drain(&mut b, 20, 3_000_000);
+        prop_assert!(ra.is_some() && rb.is_some());
+        // JobRecord equality is f64-exact: bit-for-bit replay.
+        prop_assert_eq!(ra.unwrap(), rb.unwrap());
+        prop_assert_eq!(a.host_stats(), b.host_stats());
+    }
+}

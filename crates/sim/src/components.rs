@@ -9,6 +9,7 @@
 use crate::engine::{Output, StatsSnapshot, Tickable};
 use pim_cpu::CpuCluster;
 use pim_dram::MemController;
+use pim_hostq::QueuePair;
 use pim_mmu::Dce;
 
 impl Tickable for CpuCluster {
@@ -75,6 +76,29 @@ impl Tickable for Dce {
     }
 }
 
+/// The host-side ring poller: a [`QueuePair`]'s completion ring is
+/// checked at the edges of its own registered clock domain (its period
+/// is [`poll_period_ps`](pim_hostq::HostQueueConfig::poll_period_ps)).
+/// The pair issues no memory traffic itself — doorbells and interrupts
+/// are latency modeling, not bus transactions — so `drain_outputs` is
+/// empty; the composer (the serving runtime) drains completions at each
+/// poll edge.
+impl Tickable for QueuePair {
+    fn name(&self) -> &'static str {
+        "hostq"
+    }
+
+    fn tick(&mut self) {
+        QueuePair::tick_poll(self);
+    }
+
+    fn drain_outputs(&mut self, _sink: &mut dyn FnMut(Output) -> bool) {}
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
 impl Tickable for MemController {
     fn name(&self) -> &'static str {
         "mem-controller"
@@ -133,6 +157,19 @@ mod tests {
         assert!(matches!(seen.as_slice(), [Output::Done(c)] if c.id == 7));
         assert_eq!(ctrl.stats_snapshot().dram_reads, 1);
         assert_eq!(ctrl.name(), "mem-controller");
+    }
+
+    #[test]
+    fn ring_poller_ticks_count_poll_edges() {
+        use pim_hostq::HostQueueConfig;
+        let mut qp = pim_hostq::QueuePair::new(HostQueueConfig::synchronous());
+        assert_eq!(Tickable::name(&qp), "hostq");
+        for _ in 0..5 {
+            Tickable::tick(&mut qp);
+        }
+        qp.drain_outputs(&mut |_| unreachable!("the poller emits no outputs"));
+        assert_eq!(qp.stats().polls, 5);
+        assert_eq!(qp.stats_snapshot(), StatsSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The async host interface's regression anchor: at queue depth 1 with
+//! interrupt coalescing off (the identity [`HostQueueConfig`]), the
+//! doorbell/queue-pair dispatch path must reproduce the *synchronous*
+//! serving results bit-for-bit.
+//!
+//! The golden values below were captured from the pre-queue-pair
+//! runtime (the synchronous `driver_ready_ns` handshake, PR 2) on the
+//! exact seeded scenario of `tests/serving_runtime.rs`'s determinism
+//! test: every `f64` is pinned to the bit. Any drift in the depth-1
+//! path — timestamp arithmetic, edge ordering, driver gating — fails
+//! here before it can silently re-baseline the serving numbers.
+
+use pim_runtime::{Fcfs, HostQueueConfig, Runtime, RuntimeConfig, ServingSystem, TenantSpec};
+use pim_sim::{DesignPoint, SystemConfig};
+
+fn run(hostq: HostQueueConfig) -> ServingSystem {
+    let rt_cfg = RuntimeConfig {
+        chunk_bytes: 64 << 10,
+        open_until_ns: 40_000.0,
+        seed: 7,
+        hostq,
+        ..RuntimeConfig::default()
+    };
+    let tenants = vec![
+        TenantSpec::poisson("a", 6_000.0, 1024, 64),
+        TenantSpec::poisson("b", 9_000.0, 512, 64),
+    ];
+    let runtime = Runtime::new(rt_cfg, tenants, Box::new(Fcfs));
+    let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+    cfg.sample_ns = 50_000.0;
+    let mut serving = ServingSystem::new(cfg, runtime);
+    serving.run_for(60_000.0);
+    serving
+}
+
+/// `(id, tenant, submit, dispatch, complete, bytes)` with timestamps as
+/// `f64::to_bits`, captured from the synchronous runtime.
+const GOLDEN: [(u64, usize, u64, u64, u64, u64); 9] = [
+    (
+        0,
+        1,
+        4638435053409786461,
+        4638452529493966848,
+        4663863614302870044,
+        32768,
+    ),
+    (
+        1,
+        0,
+        4662768889582079505,
+        4662768985056477184,
+        4669157847178128916,
+        65536,
+    ),
+    (
+        2,
+        1,
+        4665764508129905159,
+        4668197205243330560,
+        4670966221374035591,
+        32768,
+    ),
+    (
+        3,
+        0,
+        4666590976988042528,
+        4670484773544656896,
+        4673063330621931127,
+        65536,
+    ),
+    (
+        4,
+        0,
+        4667959424128605430,
+        4672583208666136576,
+        4674941671072040223,
+        65536,
+    ),
+    (
+        5,
+        0,
+        4671203484735604151,
+        4674666783200772096,
+        4675981743101218652,
+        65536,
+    ),
+    (
+        6,
+        1,
+        4671403999308218130,
+        4675741667486072832,
+        4676621347157037810,
+        32768,
+    ),
+    (
+        7,
+        1,
+        4671861256163513855,
+        4676380629770698752,
+        4677256235751082820,
+        32768,
+    ),
+    (
+        8,
+        0,
+        4672053818819178346,
+        4677015511836393472,
+        4678304790375030587,
+        65536,
+    ),
+];
+
+#[test]
+fn depth1_no_coalescing_reproduces_the_synchronous_results_bit_for_bit() {
+    let serving = run(HostQueueConfig::synchronous());
+    let rt = serving.runtime();
+    assert_eq!(rt.records().len(), GOLDEN.len());
+    for (rec, g) in rt.records().iter().zip(GOLDEN) {
+        assert_eq!(rec.id, g.0);
+        assert_eq!(rec.tenant, g.1);
+        assert_eq!(rec.submit_ns.to_bits(), g.2, "job {} submit drifted", g.0);
+        assert_eq!(
+            rec.dispatch_ns.to_bits(),
+            g.3,
+            "job {} dispatch drifted",
+            g.0
+        );
+        assert_eq!(
+            rec.complete_ns.to_bits(),
+            g.4,
+            "job {} completion drifted",
+            g.0
+        );
+        assert_eq!(rec.bytes, g.5);
+    }
+    assert_eq!(rt.jain_by_bytes().to_bits(), 4605784749950143806);
+    assert_eq!(rt.chunks_dispatched(), 10);
+    let host = rt.host_stats();
+    // The identity ring: one doorbell per chunk and one interrupt per
+    // fielded completion (the 10th chunk is still in flight at the
+    // horizon), never more than one descriptor in flight.
+    assert_eq!(host.doorbells, 10);
+    assert_eq!(host.interrupts, 9);
+    assert_eq!(host.max_in_flight, 1);
+    assert_eq!(host.mean_in_flight, 1.0);
+    assert_eq!(host.interrupts_per_chunk, 1.0);
+}
+
+/// A deeper ring only moves completions *earlier*: the engine stops
+/// idling out the interrupt round trip between chunks, so every job the
+/// synchronous path finished completes no later (and the freed horizon
+/// fits strictly more jobs).
+#[test]
+fn deeper_rings_dominate_the_synchronous_path() {
+    let sync = run(HostQueueConfig::synchronous());
+    let deep = run(HostQueueConfig::with_depth(8));
+    let s = sync.runtime();
+    let d = deep.runtime();
+    assert!(
+        d.records().len() > s.records().len(),
+        "depth 8 should complete more jobs ({} vs {})",
+        d.records().len(),
+        s.records().len()
+    );
+    for a in s.records() {
+        let b = d
+            .records()
+            .iter()
+            .find(|r| r.id == a.id)
+            .expect("every synchronous completion also completes at depth 8");
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(
+            a.submit_ns.to_bits(),
+            b.submit_ns.to_bits(),
+            "same arrivals"
+        );
+        assert!(
+            b.complete_ns <= a.complete_ns + 1e-9,
+            "job {}: depth-8 completion {} ns later than synchronous {} ns",
+            a.id,
+            b.complete_ns,
+            a.complete_ns
+        );
+    }
+    let host = d.host_stats();
+    assert!(
+        host.max_in_flight > 1,
+        "an 8-deep ring should actually pipeline (max in flight {})",
+        host.max_in_flight
+    );
+    assert!(
+        host.doorbells < host.descriptors,
+        "a deep ring should batch some doorbells ({} rings for {} descriptors)",
+        host.doorbells,
+        host.descriptors
+    );
+}
