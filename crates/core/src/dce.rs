@@ -14,7 +14,10 @@ use pim_dram::{Completion, MemRequest, SourceId};
 use pim_mapping::{HetMap, MemSpace, PimAddrSpace, LINE_BYTES};
 use std::collections::{HashMap, VecDeque};
 
-/// Source id tag for DCE-originated memory traffic.
+/// Source id tag for DCE-originated memory traffic. A sharded system
+/// instantiates one engine per shard ([`Dce::with_shard`]); shard `s`
+/// tags its requests `DCE_SOURCE + s`, so memory completions route back
+/// to the engine that issued them by source id alone.
 pub const DCE_SOURCE: u32 = 0x0DCE;
 
 /// Completion record of one queued descriptor (the async submission
@@ -92,6 +95,9 @@ pub struct Dce {
     cfg: DceConfig,
     mapper: HetMap,
     space: PimAddrSpace,
+    /// Shard index of this engine (0 in a single-engine system); the
+    /// source id of every request is `DCE_SOURCE + shard`.
+    shard: u32,
     clock: u64,
     job: Option<Job>,
     /// Descriptors accepted by [`enqueue`](Self::enqueue) awaiting the
@@ -109,12 +115,21 @@ pub struct Dce {
 }
 
 impl Dce {
-    /// Create an idle engine.
+    /// Create an idle engine (shard 0 — the single-engine system).
     pub fn new(cfg: DceConfig, mapper: HetMap, space: PimAddrSpace) -> Self {
+        Dce::with_shard(cfg, mapper, space, 0)
+    }
+
+    /// Create an idle engine for shard `shard` of a multi-DCE system:
+    /// identical hardware, but its memory traffic carries the source id
+    /// `DCE_SOURCE + shard` so the composer can route completions back
+    /// per engine.
+    pub fn with_shard(cfg: DceConfig, mapper: HetMap, space: PimAddrSpace, shard: u32) -> Self {
         Dce {
             cfg,
             mapper,
             space,
+            shard,
             clock: 0,
             job: None,
             pending: VecDeque::new(),
@@ -130,6 +145,17 @@ impl Dce {
     /// Engine configuration.
     pub fn config(&self) -> &DceConfig {
         &self.cfg
+    }
+
+    /// This engine's shard index (0 in a single-engine system).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The source id this engine stamps on its memory requests
+    /// (`DCE_SOURCE + shard`).
+    pub fn source_id(&self) -> SourceId {
+        SourceId(DCE_SOURCE + self.shard)
     }
 
     /// Statistics so far.
@@ -268,6 +294,7 @@ impl Dce {
     pub fn tick(&mut self) {
         let now = self.clock;
         self.clock += 1;
+        let source = self.source_id();
         let Some(job) = &mut self.job else { return };
         if job.completed_at.is_some() {
             return;
@@ -295,7 +322,7 @@ impl Dce {
             self.next_id += 1;
             self.outbox.push_back(DceRequest {
                 space: spaced.space,
-                req: MemRequest::write(id, p.dst, spaced.addr, SourceId(DCE_SOURCE)),
+                req: MemRequest::write(id, p.dst, spaced.addr, source),
             });
             job.inflight_writes += 1;
             self.stats.writes_issued += 1;
@@ -326,7 +353,7 @@ impl Dce {
             self.next_id += 1;
             self.outbox.push_back(DceRequest {
                 space: spaced.space,
-                req: MemRequest::read(id, p.src, spaced.addr, SourceId(DCE_SOURCE)),
+                req: MemRequest::read(id, p.src, spaced.addr, source),
             });
             job.inflight_reads.insert(id, p);
             job.buffer_used += 1;
@@ -457,6 +484,24 @@ mod tests {
         let zero_cores = PimMmuOp::to_pim(std::iter::empty(), 64, 0);
         assert_eq!(dce.submit(zero_cores, DceMode::PimMs), Err(OpError::Empty));
         assert!(!dce.busy(), "rejected submissions must leave the DCE idle");
+    }
+
+    #[test]
+    fn sharded_engines_tag_their_traffic() {
+        let dram = Organization::ddr4_dimm(4, 2);
+        let pim = Organization::upmem_dimm(4, 2);
+        let het = HetMap::pim_mmu(dram, pim);
+        let space = PimAddrSpace::new(het.pim_base(), pim);
+        let mut dce = Dce::with_shard(DceConfig::table1(), het, space, 3);
+        assert_eq!(dce.shard(), 3);
+        assert_eq!(dce.source_id(), SourceId(DCE_SOURCE + 3));
+        // Shard 0 (the plain constructor) keeps the historic tag.
+        assert_eq!(setup().source_id(), SourceId(DCE_SOURCE));
+        let op = PimMmuOp::to_pim([(PhysAddr(0), 0)], 128, 0);
+        dce.submit(op, DceMode::PimMs).unwrap();
+        dce.tick();
+        let req = dce.outbox_mut().pop_front().expect("first read issued");
+        assert_eq!(req.req.source, SourceId(DCE_SOURCE + 3));
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   whichever comes first;
 //! * a **[`HostQueueConfig`]** whose identity point (depth 1,
 //!   coalescing off) degenerates bit-for-bit to the synchronous
-//!   handshake — the regression anchor for everything built on top.
+//!   handshake — the regression anchor for everything built on top;
+//! * a **[`QueuePairSet`]** — one queue pair per engine shard of a
+//!   multi-DCE system, each with its own doorbell path and interrupt
+//!   vector, so per-shard driver costs overlap instead of serializing
+//!   through one ring.
 //!
 //! The device side lives in `pim-mmu`: [`Dce::enqueue`] gives the
 //! engine its own pending-descriptor queue so it transitions directly
@@ -52,9 +56,11 @@
 pub mod coalesce;
 pub mod config;
 pub mod queue;
+pub mod set;
 
 pub use coalesce::{FireCause, InterruptCoalescer};
 pub use config::HostQueueConfig;
 pub use queue::{
     Descriptor, DescriptorTag, HostQError, HostQueueStats, Posted, QueuePair, RingCompletion,
 };
+pub use set::QueuePairSet;

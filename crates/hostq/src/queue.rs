@@ -101,6 +101,23 @@ pub struct HostQueueStats {
 }
 
 impl HostQueueStats {
+    /// Field-wise accumulate `other` into `self` (aggregating the rings
+    /// of a sharded [`QueuePairSet`](crate::QueuePairSet);
+    /// `max_in_flight` takes the max, everything else sums — so the
+    /// aggregate `mean_in_flight` is the doorbell-weighted mean across
+    /// shards).
+    pub fn merge(&mut self, other: &HostQueueStats) {
+        self.posted += other.posted;
+        self.doorbells += other.doorbells;
+        self.completed += other.completed;
+        self.interrupts += other.interrupts;
+        self.fired_on_count += other.fired_on_count;
+        self.fired_on_timer += other.fired_on_timer;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+        self.inflight_sum += other.inflight_sum;
+        self.polls += other.polls;
+    }
+
     /// Mean device-side in-flight depth observed at doorbell rings.
     pub fn mean_in_flight(&self) -> f64 {
         if self.doorbells == 0 {

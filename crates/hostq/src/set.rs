@@ -1,0 +1,184 @@
+//! The per-engine queue-pair set of a sharded host interface.
+//!
+//! A multi-DCE system gives every engine shard its own [`QueuePair`]:
+//! one submission ring, one completion ring and one interrupt coalescer
+//! per shard, exactly like an NVMe device exposing one queue pair per
+//! core. The shards are fully independent host-side — each has its own
+//! doorbell path and interrupt vector, so the per-shard driver costs
+//! overlap instead of serializing through one ring (this is also what
+//! delivers per-tenant queue pairs when tenants are hash-pinned to
+//! shards).
+
+use crate::config::HostQueueConfig;
+use crate::queue::{HostQueueStats, QueuePair};
+
+/// One [`QueuePair`] per engine shard, all built from the same
+/// [`HostQueueConfig`].
+#[derive(Debug)]
+pub struct QueuePairSet {
+    pairs: Vec<QueuePair>,
+}
+
+impl QueuePairSet {
+    /// A set of `shards` identical queue pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or the configuration is invalid (see
+    /// [`HostQueueConfig::validate`]).
+    pub fn new(cfg: HostQueueConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "a queue-pair set needs at least one shard");
+        QueuePairSet {
+            pairs: (0..shards).map(|_| QueuePair::new(cfg)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Always false: the constructor rejects zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Shard `s`'s queue pair.
+    pub fn shard(&self, s: usize) -> &QueuePair {
+        &self.pairs[s]
+    }
+
+    /// Mutable access to shard `s`'s queue pair.
+    pub fn shard_mut(&mut self, s: usize) -> &mut QueuePair {
+        &mut self.pairs[s]
+    }
+
+    /// Iterate the shards in order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuePair> {
+        self.pairs.iter()
+    }
+
+    /// Iterate the shards mutably, in order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueuePair> {
+        self.pairs.iter_mut()
+    }
+
+    /// Whether every shard's rings are idle (nothing staged, in flight,
+    /// or awaiting an interrupt anywhere).
+    pub fn is_idle(&self) -> bool {
+        self.pairs.iter().all(|p| p.is_idle())
+    }
+
+    /// The shard with the shallowest ring among those with at least one
+    /// free slot and passing `eligible` — the least-loaded placement's
+    /// target (ties break toward the lowest shard id, keeping placement
+    /// deterministic). `None` when every eligible ring is full.
+    pub fn shallowest(&self, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        (0..self.pairs.len())
+            .filter(|&s| eligible(s) && self.pairs[s].free_slots() > 0)
+            .min_by_key(|&s| (self.pairs[s].occupancy(), s))
+    }
+
+    /// Counters summed across every shard (see
+    /// [`HostQueueStats::merge`]).
+    pub fn aggregate_stats(&self) -> HostQueueStats {
+        let mut total = HostQueueStats::default();
+        for p in &self.pairs {
+            total.merge(p.stats());
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<HostQueueStats> {
+        self.pairs.iter().map(|p| *p.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{Descriptor, DescriptorTag};
+    use pim_mmu::DriverModel;
+
+    fn desc(bytes: u64) -> Descriptor {
+        Descriptor {
+            tag: DescriptorTag { tenant: 0, job: 0 },
+            entries: 4,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn shards_are_independent_rings() {
+        let mut set = QueuePairSet::new(HostQueueConfig::with_depth(2), 3);
+        assert_eq!(set.len(), 3);
+        assert!(set.is_idle());
+        set.shard_mut(1).stage(desc(64), 0.0, 0).unwrap();
+        set.shard_mut(1).ring_doorbell(&DriverModel::default());
+        assert_eq!(set.shard(1).in_flight(), 1);
+        assert_eq!(set.shard(0).in_flight(), 0);
+        assert!(!set.is_idle());
+        let agg = set.aggregate_stats();
+        assert_eq!(agg.doorbells, 1);
+        assert_eq!(agg.posted, 1);
+        assert_eq!(set.shard_stats()[1].doorbells, 1);
+        assert_eq!(set.shard_stats()[0].doorbells, 0);
+    }
+
+    #[test]
+    fn shallowest_prefers_emptier_rings_and_lower_ids() {
+        let mut set = QueuePairSet::new(HostQueueConfig::with_depth(2), 3);
+        // All empty: lowest id wins.
+        assert_eq!(set.shallowest(|_| true), Some(0));
+        set.shard_mut(0).stage(desc(64), 0.0, 0).unwrap();
+        assert_eq!(set.shallowest(|_| true), Some(1));
+        // Eligibility filters shards out (e.g. a busy driver).
+        assert_eq!(set.shallowest(|s| s != 1), Some(2));
+        // Full rings are never targets.
+        for s in 0..3 {
+            while set.shard(s).free_slots() > 0 {
+                set.shard_mut(s).stage(desc(64), 0.0, 0).unwrap();
+            }
+        }
+        assert_eq!(set.shallowest(|_| true), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        QueuePairSet::new(HostQueueConfig::synchronous(), 0);
+    }
+
+    #[test]
+    fn merged_stats_sum_and_max() {
+        let mut a = HostQueueStats {
+            posted: 3,
+            doorbells: 2,
+            completed: 3,
+            interrupts: 1,
+            fired_on_count: 1,
+            fired_on_timer: 0,
+            max_in_flight: 2,
+            inflight_sum: 4,
+            polls: 10,
+        };
+        let b = HostQueueStats {
+            posted: 1,
+            doorbells: 1,
+            completed: 1,
+            interrupts: 1,
+            fired_on_count: 0,
+            fired_on_timer: 1,
+            max_in_flight: 5,
+            inflight_sum: 5,
+            polls: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.posted, 4);
+        assert_eq!(a.doorbells, 3);
+        assert_eq!(a.max_in_flight, 5);
+        assert_eq!(a.mean_in_flight(), 3.0);
+        assert_eq!(a.polls, 20);
+    }
+}

@@ -231,6 +231,13 @@ pub enum JobSizer {
 }
 
 impl JobSizer {
+    /// Cores every job of this sizer targets (both variants pin it).
+    pub fn n_cores(&self) -> u32 {
+        match *self {
+            JobSizer::Fixed { n_cores, .. } | JobSizer::Suite { n_cores, .. } => n_cores,
+        }
+    }
+
     /// Sample `(per_core_bytes, n_cores)` for the next job.
     pub fn sample(&self, rng: &mut Rng, shapes: &[JobShape], suite_max: u64) -> (u64, u32) {
         match *self {

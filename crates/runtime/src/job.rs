@@ -13,8 +13,14 @@ pub struct JobSpec {
     pub kind: XferKind,
     /// Bytes per targeted PIM core (a nonzero multiple of 64).
     pub per_core_bytes: u64,
-    /// Number of PIM cores targeted (cores `0..n_cores`).
+    /// Number of PIM cores targeted (cores
+    /// `core_base..core_base + n_cores`).
     pub n_cores: u32,
+    /// First PIM core targeted. Core ids are channel-major, so giving
+    /// tenants disjoint core ranges also spreads them over PIM channels
+    /// (0 — all tenants share cores `0..n_cores` — is the historic
+    /// layout).
+    pub core_base: u32,
     /// Base physical address of the host-side staging buffer; core `i`'s
     /// chunk sits at `dram_base + i * per_core_bytes`, matching the
     /// layout of the one-shot transfer harness.
@@ -36,8 +42,12 @@ impl JobSpec {
     /// Propagates the typed construction errors for degenerate shapes
     /// (zero bytes, zero cores).
     pub fn op(&self) -> Result<PimMmuOp, OpError> {
-        let entries =
-            (0..self.n_cores).map(|i| (self.dram_base.offset(i as u64 * self.per_core_bytes), i));
+        let entries = (0..self.n_cores).map(|i| {
+            (
+                self.dram_base.offset(i as u64 * self.per_core_bytes),
+                self.core_base + i,
+            )
+        });
         PimMmuOp::try_new(self.kind, entries, self.per_core_bytes, self.heap_offset)
     }
 }
@@ -141,6 +151,7 @@ mod tests {
             kind: XferKind::DramToPim,
             per_core_bytes: 4096,
             n_cores: 8,
+            core_base: 0,
             dram_base: PhysAddr(1 << 30),
             heap_offset: 0,
         }
@@ -151,6 +162,17 @@ mod tests {
         let op = spec().op().unwrap();
         assert_eq!(op.total_bytes(), 8 * 4096);
         assert_eq!(op.entries[3], (PhysAddr((1 << 30) + 3 * 4096), 3));
+    }
+
+    #[test]
+    fn core_base_offsets_the_targeted_cores() {
+        let mut s = spec();
+        s.core_base = 128;
+        let op = s.op().unwrap();
+        assert_eq!(op.entries[0].1, 128);
+        assert_eq!(op.entries[7].1, 135);
+        // The DRAM staging layout is unchanged by the core placement.
+        assert_eq!(op.entries[3].0, PhysAddr((1 << 30) + 3 * 4096));
     }
 
     #[test]

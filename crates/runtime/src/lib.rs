@@ -22,6 +22,12 @@
 //!   paper's synchronous `pim_mmu_transfer` handshake; deeper rings
 //!   keep the DCE fed across chunk boundaries via
 //!   [`pim_mmu::Dce::enqueue`].
+//! * **Multi-DCE sharding** — the runtime dispatches across an array
+//!   of engines (one queue pair + driver context per shard via
+//!   [`pim_hostq::QueuePairSet`]) under a pluggable [`Placement`]:
+//!   hash-pin (tenant → shard; per-tenant queue pairs) or least-loaded
+//!   work-stealing (each picked chunk goes to the shallowest eligible
+//!   ring). One shard is the single-engine runtime, bit for bit.
 //! * **Completion path** — ring retirements are routed back to the
 //!   owning tenant with the driver round-trip latency model applied, and
 //!   recorded as [`JobRecord`]s.
@@ -64,11 +70,13 @@ pub mod serving;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
 pub use job::{Job, JobRecord, JobSpec};
-pub use metrics::{jain_index, HostIfaceStats, LogHistogram, TenantStats, HIST_BUCKETS};
+pub use metrics::{
+    jain_index, jain_satisfaction, HostIfaceStats, LogHistogram, TenantStats, HIST_BUCKETS,
+};
 pub use policy::{
     policy_by_name, Drr, Fcfs, HeadView, QueuePolicy, QueueView, Sjf, StrictPriority, POLICY_NAMES,
 };
-pub use runtime::{Runtime, RuntimeConfig, TenantSpec};
+pub use runtime::{Placement, Runtime, RuntimeConfig, TenantSpec};
 pub use serving::ServingSystem;
 
 // The engine trait the runtime participates through, re-exported so
@@ -79,4 +87,4 @@ pub use pim_sim::Tickable;
 // The host submission path the dispatch loop posts chunks through,
 // re-exported so harnesses can configure ring depth and interrupt
 // coalescing without naming `pim_hostq` directly.
-pub use pim_hostq::{HostQueueConfig, HostQueueStats, QueuePair};
+pub use pim_hostq::{HostQueueConfig, HostQueueStats, QueuePair, QueuePairSet};

@@ -1,7 +1,8 @@
 //! Serving metrics: fixed-bucket log2 latency histograms, per-tenant
-//! counters, and the Jain fairness index — all dependency-free and
-//! deterministic, so two runs of the same seeded trace produce
-//! bit-identical reports.
+//! counters, and the Jain fairness index — all deterministic, so two
+//! runs of the same seeded trace produce bit-identical reports.
+
+use pim_hostq::HostQueueStats;
 
 /// Number of power-of-two buckets. Bucket `b` holds values whose bit
 /// width is `b` (i.e. `v ∈ [2^(b-1), 2^b)`), bucket 0 holds zero; the
@@ -119,6 +120,23 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     sum * sum / (xs.len() as f64 * sq)
 }
 
+/// Jain's index over *demand-normalized* allocations: each tenant's
+/// share is `serviced / offered` (its satisfaction ratio, in `[0, 1]`),
+/// so tenants with unequal demand are compared on how completely they
+/// were served rather than on raw bytes. This is the standard fairness
+/// measure under heterogeneous demand: raw-byte Jain punishes any
+/// scheduler that serves a heavy tenant's larger backlog, while the
+/// satisfaction form rewards giving every tenant the same fraction of
+/// what it asked for. Tenants that offered nothing are skipped.
+pub fn jain_satisfaction(pairs: &[(u64, u64)]) -> f64 {
+    let xs: Vec<f64> = pairs
+        .iter()
+        .filter(|&&(_, offered)| offered > 0)
+        .map(|&(serviced, offered)| serviced as f64 / offered as f64)
+        .collect();
+    jain_index(&xs)
+}
+
 /// Host-interface summary of one serving run: how deep the submission
 /// ring actually ran and how much interrupt/doorbell traffic the jobs
 /// cost. Derived from [`pim_hostq::HostQueueStats`] plus the runtime's
@@ -148,11 +166,37 @@ pub struct HostIfaceStats {
     pub interrupts_per_chunk: f64,
 }
 
+impl HostIfaceStats {
+    /// Derive the summary from ring counters plus the number of jobs
+    /// whose completion those rings announced. Used both per shard (one
+    /// ring, jobs finished via that shard's interrupts) and in
+    /// aggregate (merged counters, all completed jobs).
+    pub fn from_ring(s: &HostQueueStats, jobs: u64) -> Self {
+        HostIfaceStats {
+            doorbells: s.doorbells,
+            descriptors: s.posted,
+            interrupts: s.interrupts,
+            fired_on_timer: s.fired_on_timer,
+            max_in_flight: s.max_in_flight,
+            mean_in_flight: s.mean_in_flight(),
+            interrupts_per_job: if jobs == 0 {
+                0.0
+            } else {
+                s.interrupts as f64 / jobs as f64
+            },
+            interrupts_per_chunk: s.interrupts_per_completion(),
+        }
+    }
+}
+
 /// Cumulative serving statistics for one tenant.
 #[derive(Debug, Clone, Default)]
 pub struct TenantStats {
     /// Jobs accepted into the tenant's queue.
     pub submitted: u64,
+    /// Payload bytes of accepted jobs (the tenant's offered demand —
+    /// the denominator of its satisfaction ratio).
+    pub bytes_submitted: u64,
     /// Jobs fully completed (all chunks serviced).
     pub completed: u64,
     /// Payload bytes of completed jobs (goodput).
@@ -228,6 +272,44 @@ mod tests {
         h.record(1000.0);
         let q = h.p50();
         assert!((1000.0..=2000.0).contains(&q), "{q}");
+    }
+
+    #[test]
+    fn satisfaction_jain_normalizes_by_demand() {
+        // Everyone fully served: perfectly fair regardless of raw skew.
+        assert!((jain_satisfaction(&[(800, 800), (100, 100)]) - 1.0).abs() < 1e-12);
+        // Equal *ratios* are fair even with unequal raw bytes...
+        assert!((jain_satisfaction(&[(400, 800), (50, 100)]) - 1.0).abs() < 1e-12);
+        // ...which raw-byte Jain would call unfair.
+        assert!(jain_index(&[400.0, 50.0]) < 0.7);
+        // A starved heavy tenant next to satisfied light ones drags the
+        // index down; zero-demand tenants are skipped.
+        let skew = jain_satisfaction(&[(200, 1600), (100, 100), (0, 0)]);
+        let fairer = jain_satisfaction(&[(600, 1600), (100, 100), (0, 0)]);
+        assert!(skew < fairer && fairer < 1.0, "{skew} vs {fairer}");
+        assert_eq!(jain_satisfaction(&[(0, 0)]), 1.0);
+    }
+
+    #[test]
+    fn host_iface_from_ring_matches_counters() {
+        let s = HostQueueStats {
+            posted: 10,
+            doorbells: 4,
+            completed: 10,
+            interrupts: 5,
+            fired_on_count: 3,
+            fired_on_timer: 2,
+            max_in_flight: 3,
+            inflight_sum: 8,
+            polls: 100,
+        };
+        let h = HostIfaceStats::from_ring(&s, 5);
+        assert_eq!(h.doorbells, 4);
+        assert_eq!(h.descriptors, 10);
+        assert_eq!(h.interrupts_per_job, 1.0);
+        assert_eq!(h.interrupts_per_chunk, 0.5);
+        assert_eq!(h.mean_in_flight, 2.0);
+        assert_eq!(HostIfaceStats::from_ring(&s, 0).interrupts_per_job, 0.0);
     }
 
     #[test]

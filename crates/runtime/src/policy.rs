@@ -84,7 +84,20 @@ impl QueuePolicy for Sjf {
     }
 
     fn pick(&mut self, queues: &[QueueView]) -> Option<usize> {
-        if let Some(q) = queues.iter().find(|q| q.head.is_some_and(|h| h.in_service)) {
+        // With a deep ring several tenants can be in service at once
+        // (each has chunks in flight). Picking by `find()` here would
+        // permanently favor the lowest tenant index; serving the oldest
+        // in-service job first keeps SJF starvation-free under deep
+        // rings (and is the unique in-service job's pick at depth 1).
+        if let Some(q) = queues
+            .iter()
+            .filter(|q| q.head.is_some_and(|h| h.in_service))
+            .min_by(|a, b| {
+                let ka = (a.head.expect("filtered").submit_ns, a.tenant);
+                let kb = (b.head.expect("filtered").submit_ns, b.tenant);
+                ka.partial_cmp(&kb).expect("finite times")
+            })
+        {
             return Some(q.tenant);
         }
         queues
@@ -140,9 +153,14 @@ impl QueuePolicy for Drr {
     fn pick(&mut self, queues: &[QueueView]) -> Option<usize> {
         let n = queues.len();
         self.deficit.resize(n, 0);
-        // A queue that has gone idle forfeits its credit (classic DRR).
+        // A queue that has gone *empty* forfeits its credit (classic
+        // DRR). The gate must be `backlog == 0`, not `head.is_none()`:
+        // under a deep ring a backlogged tenant whose chunks are all in
+        // flight ring-side reports no dispatch head, but it is still
+        // busy — zeroing its deficit there forfeits credit the tenant
+        // earned and skews the byte shares.
         for q in queues {
-            if q.head.is_none() {
+            if q.backlog == 0 {
                 self.deficit[q.tenant] = 0;
             }
         }
@@ -314,6 +332,18 @@ mod tests {
         }
     }
 
+    /// A backlogged tenant whose chunks are all in flight ring-side: no
+    /// dispatch head, but the queue is not empty.
+    fn in_flight(tenant: usize) -> QueueView {
+        QueueView {
+            tenant,
+            priority: tenant as u32,
+            weight: 1,
+            backlog: 1,
+            head: None,
+        }
+    }
+
     #[test]
     fn drr_resets_credit_for_idle_queues() {
         let mut p = Drr::new(64);
@@ -322,6 +352,45 @@ mod tests {
         // must not bank credit while idle.
         assert_eq!(p.pick(&qs), Some(0));
         assert_eq!(p.deficit[1], 0);
+    }
+
+    #[test]
+    fn drr_keeps_credit_while_chunks_are_in_flight() {
+        // Regression (deep rings): a busy tenant between dispatch
+        // opportunities — backlog > 0, head None — must keep the
+        // deficit it accrued, or its byte share collapses whenever the
+        // ring briefly holds its whole job.
+        let mut p = Drr::new(64);
+        let qs = [view(0, 0.0, 1 << 20, false), view(1, 1.0, 1 << 20, false)];
+        // Build some credit for tenant 1 (one grant round).
+        assert_eq!(p.pick(&qs), Some(0)); // both granted up to a pick
+        let banked = p.deficit[1];
+        assert!(banked > 0, "tenant 1 accrued credit while waiting");
+        // Tenant 1's chunks all go in flight: head disappears, backlog
+        // stays. Its credit must survive...
+        let qs = [view(0, 0.0, 1 << 20, false), in_flight(1)];
+        p.pick(&qs);
+        assert_eq!(p.deficit[1], banked, "in-flight tenant forfeited credit");
+        // ...but a truly empty queue still forfeits.
+        let qs = [view(0, 0.0, 1 << 20, false), empty(1)];
+        p.pick(&qs);
+        assert_eq!(p.deficit[1], 0);
+    }
+
+    #[test]
+    fn sjf_serves_the_oldest_of_several_in_service_jobs() {
+        // Regression (deep rings): multiple tenants in service at once;
+        // the tie must break by oldest submit time, not tenant index.
+        let mut p = Sjf;
+        let qs = [
+            view(0, 90.0, 64, true),
+            view(1, 10.0, 1 << 20, true),
+            view(2, 50.0, 512, true),
+        ];
+        assert_eq!(p.pick(&qs), Some(1), "oldest in-service job first");
+        // Index only breaks exact submit-time ties.
+        let qs = [view(1, 10.0, 64, true), view(0, 10.0, 64, true)];
+        assert_eq!(p.pick(&qs), Some(0));
     }
 
     #[test]

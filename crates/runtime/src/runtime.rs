@@ -11,14 +11,16 @@
 //! composer (see [`crate::serving`]) calls at the corresponding clock
 //! edges, always *before* the engine's own tick:
 //!
-//! * [`poll`](Runtime::poll) — the completion-ring poller: drain the
-//!   DCE's retirement records into the queue pair and, once the
-//!   interrupt coalescer fires, field one interrupt for the whole
-//!   completed batch;
-//! * [`dispatch`](Runtime::dispatch) — the submission path: while the
-//!   ring has free slots and the driver is not busy, let the policy
-//!   pick chunks, stage them, and publish the batch with a single
-//!   doorbell write ([`Dce::enqueue`] keeps the engine fed device-side
+//! * [`poll_shard`](Runtime::poll_shard) — the completion-ring poller,
+//!   once per shard: drain that engine's retirement records into its
+//!   queue pair and, once the interrupt coalescer fires, field one
+//!   interrupt for the whole completed batch;
+//! * [`dispatch`](Runtime::dispatch) — the shard-aware submission
+//!   path over the whole engine array: while rings have free slots and
+//!   their drivers are not busy, let the policy pick chunks, place
+//!   each on a shard ([`Placement`]: hash-pin or least-loaded
+//!   work-stealing), and publish every shard's batch with one doorbell
+//!   write each ([`Dce::enqueue`] keeps each engine fed device-side
 //!   with no host round trip between chunks).
 //!
 //! With the identity host-queue configuration (depth 1, coalescing
@@ -31,9 +33,9 @@
 
 use crate::arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
 use crate::job::{Job, JobRecord, JobSpec};
-use crate::metrics::{jain_index, HostIfaceStats, TenantStats};
+use crate::metrics::{jain_index, jain_satisfaction, HostIfaceStats, TenantStats};
 use crate::policy::{HeadView, QueuePolicy, QueueView};
-use pim_hostq::{Descriptor, DescriptorTag, HostQueueConfig, QueuePair};
+use pim_hostq::{Descriptor, DescriptorTag, HostQueueConfig, QueuePairSet};
 use pim_mapping::PhysAddr;
 use pim_mmu::{Dce, DceMode, DriverModel, XferKind};
 use pim_sim::{
@@ -41,6 +43,47 @@ use pim_sim::{
 };
 use pim_workloads::JobShape;
 use std::collections::VecDeque;
+
+/// Where a policy-picked chunk is placed in a sharded runtime (which
+/// engine's queue pair receives it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Tenant → shard by hash (`tenant index mod shard count`): every
+    /// tenant's chunks always flow through the same engine, giving each
+    /// tenant-group a private queue pair (per-tenant QoS isolation, and
+    /// with `shards == tenants` literally per-tenant queue pairs). Under
+    /// skewed load a hot tenant cannot use another shard's idle
+    /// bandwidth.
+    HashPin,
+    /// Least-loaded / work-stealing: each policy-picked chunk goes to
+    /// the shallowest eligible ring (free slots, driver not busy; ties
+    /// break toward the lowest shard id). Hot tenants steal idle
+    /// shards' bandwidth, at the cost of spreading a tenant's chunks
+    /// over engines.
+    LeastLoaded,
+}
+
+impl Placement {
+    /// CLI/report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::HashPin => "hash-pin",
+            Placement::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Parse a CLI name (`hash-pin`, `least-loaded`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "hash-pin" => Some(Placement::HashPin),
+            "least-loaded" => Some(Placement::LeastLoaded),
+            _ => None,
+        }
+    }
+
+    /// Both placements, in report order.
+    pub const ALL: [Placement; 2] = [Placement::HashPin, Placement::LeastLoaded];
+}
 
 /// One tenant of the runtime: its traffic model and QoS parameters.
 #[derive(Debug)]
@@ -102,10 +145,23 @@ pub struct RuntimeConfig {
     /// MRAM heap-offset stride between tenants.
     pub heap_stride: u64,
     /// Host submission-queue shape (ring depth, interrupt coalescing,
-    /// poller cadence). The default is the identity point — depth 1,
-    /// coalescing off — which reproduces the synchronous driver
-    /// bit-for-bit.
+    /// poller cadence), instantiated once per shard. The default is the
+    /// identity point — depth 1, coalescing off — which reproduces the
+    /// synchronous driver bit-for-bit.
     pub hostq: HostQueueConfig,
+    /// Number of engine shards (DCEs) the runtime dispatches across;
+    /// each shard gets its own queue pair and driver context. 1 (the
+    /// default) is the single-engine runtime, bit-identical to the
+    /// pre-sharding dispatch path under either placement.
+    pub shards: usize,
+    /// Where policy-picked chunks are placed across shards.
+    pub placement: Placement,
+    /// PIM-core stride between tenants: tenant `i`'s jobs target cores
+    /// `i * core_stride ..`. Core ids are channel-major, so a nonzero
+    /// stride spreads tenants over PIM channels (0 — every tenant on
+    /// cores `0..n_cores` — is the historic layout). The caller must
+    /// keep `core_base + n_cores` within the machine's core count.
+    pub core_stride: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -121,6 +177,9 @@ impl Default for RuntimeConfig {
             dram_stride: 128 << 20,
             heap_stride: 1 << 20,
             hostq: HostQueueConfig::synchronous(),
+            shards: 1,
+            placement: Placement::HashPin,
+            core_stride: 0,
         }
     }
 }
@@ -146,9 +205,17 @@ pub struct Runtime {
     ticks_taken: u64,
     period_ticks: u64,
     arrivals_scratch: Vec<f64>,
-    /// The doorbell/queue-pair host interface all chunks go through.
-    qp: QueuePair,
-    driver_ready_ns: f64,
+    /// The doorbell/queue-pair host interface all chunks go through:
+    /// one ring + coalescer per engine shard.
+    qps: QueuePairSet,
+    /// Per-shard driver context: shard `s`'s next doorbell cannot ring
+    /// before `driver_ready_ns[s]` (its driver is busy with an earlier
+    /// MMIO write or interrupt). Shards' drivers are independent — their
+    /// costs overlap, which is what makes the host path scale with N.
+    driver_ready_ns: Vec<f64>,
+    /// Jobs whose completion was announced by shard `s`'s interrupt
+    /// (the final chunk retired there).
+    completed_via_shard: Vec<u64>,
     next_job_id: u64,
     records: Vec<JobRecord>,
     /// Dispatch opportunities where backlog existed but the policy
@@ -167,6 +234,7 @@ impl Runtime {
     /// here at configuration time so it cannot surface as a mid-
     /// simulation failure. (Suite sizers always produce valid shapes.)
     pub fn new(cfg: RuntimeConfig, tenants: Vec<TenantSpec>, policy: Box<dyn QueuePolicy>) -> Self {
+        assert!(cfg.shards >= 1, "the runtime needs at least one shard");
         for spec in &tenants {
             if let JobSizer::Fixed {
                 per_core_bytes,
@@ -215,8 +283,9 @@ impl Runtime {
             suite_max,
             ticks_taken: 0,
             arrivals_scratch: Vec::new(),
-            qp: QueuePair::new(cfg.hostq),
-            driver_ready_ns: 0.0,
+            qps: QueuePairSet::new(cfg.hostq, cfg.shards),
+            driver_ready_ns: vec![0.0; cfg.shards],
+            completed_via_shard: vec![0; cfg.shards],
             next_job_id: 0,
             records: Vec::new(),
             missed_dispatches: 0,
@@ -289,47 +358,78 @@ impl Runtime {
         jain_index(&xs)
     }
 
+    /// Jain fairness index over per-tenant *satisfaction ratios*
+    /// (serviced bytes / offered bytes) — the demand-normalized form,
+    /// which compares tenants with unequal demand on how completely
+    /// each was served (see [`jain_satisfaction`]).
+    pub fn jain_by_satisfaction(&self) -> f64 {
+        let pairs: Vec<(u64, u64)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.stats.bytes_serviced, t.stats.bytes_submitted))
+            .collect();
+        jain_satisfaction(&pairs)
+    }
+
     /// Whether no further work can ever appear or progress: every
-    /// generator is exhausted, every queue empty, and the ring holds no
-    /// staged, in-flight, or unfielded descriptor.
+    /// generator is exhausted, every queue empty, and no shard's ring
+    /// holds a staged, in-flight, or unfielded descriptor.
     pub fn drained(&self) -> bool {
-        self.qp.is_idle()
+        self.qps.is_idle()
             && self
                 .tenants
                 .iter()
                 .all(|t| t.queue.is_empty() && t.gen.exhausted(self.cfg.open_until_ns))
     }
 
-    /// The host-side queue pair (ring state and counters).
-    pub fn queue_pair(&self) -> &QueuePair {
-        &self.qp
+    /// The per-shard host-side queue pairs (ring state and counters).
+    pub fn queue_pairs(&self) -> &QueuePairSet {
+        &self.qps
     }
 
-    /// Mutable queue-pair access — the composer ticks it as the ring
-    /// poller's [`Tickable`] clock domain.
-    pub fn queue_pair_mut(&mut self) -> &mut QueuePair {
-        &mut self.qp
+    /// Mutable queue-pair access — the composer ticks each shard's pair
+    /// as the ring poller's [`Tickable`] clock domain.
+    pub fn queue_pairs_mut(&mut self) -> &mut QueuePairSet {
+        &mut self.qps
     }
 
-    /// Host-interface summary: ring depth actually used, doorbell and
-    /// interrupt counts, interrupts per job/chunk.
+    /// The shard tenant `t` is pinned to under
+    /// [`Placement::HashPin`].
+    pub fn tenant_shard(&self, tenant: usize) -> usize {
+        tenant % self.cfg.shards
+    }
+
+    /// One past the highest PIM core id any tenant's jobs can target
+    /// (`tenant index × core_stride + n_cores`) — the composer checks
+    /// this against the machine's core count at configuration time so a
+    /// bad stride cannot surface as a mid-simulation panic.
+    pub fn max_core_exclusive(&self) -> u32 {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| i as u32 * self.cfg.core_stride + t.spec.sizer.n_cores())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate host-interface summary across every shard: ring depth
+    /// actually used, doorbell and interrupt counts, interrupts per
+    /// job/chunk.
     pub fn host_stats(&self) -> HostIfaceStats {
-        let s = *self.qp.stats();
         let jobs: u64 = self.tenants.iter().map(|t| t.stats.completed).sum();
-        HostIfaceStats {
-            doorbells: s.doorbells,
-            descriptors: s.posted,
-            interrupts: s.interrupts,
-            fired_on_timer: s.fired_on_timer,
-            max_in_flight: s.max_in_flight,
-            mean_in_flight: s.mean_in_flight(),
-            interrupts_per_job: if jobs == 0 {
-                0.0
-            } else {
-                s.interrupts as f64 / jobs as f64
-            },
-            interrupts_per_chunk: s.interrupts_per_completion(),
-        }
+        HostIfaceStats::from_ring(&self.qps.aggregate_stats(), jobs)
+    }
+
+    /// Per-shard host-interface summaries, in shard order; each shard's
+    /// `interrupts_per_job` counts the jobs whose completing interrupt
+    /// it delivered.
+    pub fn shard_host_stats(&self) -> Vec<HostIfaceStats> {
+        self.qps
+            .shard_stats()
+            .iter()
+            .zip(&self.completed_via_shard)
+            .map(|(s, &jobs)| HostIfaceStats::from_ring(s, jobs))
+            .collect()
     }
 
     fn enqueue_arrivals(&mut self, now_ns: f64) {
@@ -349,6 +449,7 @@ impl Runtime {
                     kind: t.spec.kind,
                     per_core_bytes,
                     n_cores,
+                    core_base: ti as u32 * self.cfg.core_stride,
                     dram_base: PhysAddr(HOST_BUFFER_BASE + ti as u64 * self.cfg.dram_stride),
                     heap_offset: ti as u64 * self.cfg.heap_stride,
                 };
@@ -363,12 +464,18 @@ impl Runtime {
                 .expect("samplers produce valid job shapes");
                 self.next_job_id += 1;
                 t.stats.submitted += 1;
+                t.stats.bytes_submitted += job.total_bytes;
                 t.queue.push_back(job);
             }
         }
     }
 
-    fn views(&self) -> Vec<QueueView> {
+    /// Policy views of every tenant queue. With `pinned_to = Some(s)`
+    /// (hash-pin dispatch for shard `s`), tenants pinned elsewhere are
+    /// masked: they keep their true `backlog` (so DRR does not forfeit
+    /// their credit) but expose no dispatch head — the policy cannot
+    /// pick them for this shard.
+    fn views(&self, pinned_to: Option<usize>) -> Vec<QueueView> {
         self.tenants
             .iter()
             .enumerate()
@@ -381,26 +488,30 @@ impl Runtime {
                 // chunks. A job whose chunks are all in flight ring-side
                 // no longer offers work (with a depth-1 ring this is
                 // always the queue front, as before).
-                head: t
-                    .queue
-                    .iter()
-                    .find(|j| !j.chunks.is_empty())
-                    .map(|j| HeadView {
-                        submit_ns: j.submit_ns,
-                        total_bytes: j.total_bytes,
-                        remaining_bytes: j.remaining_bytes(),
-                        next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
-                        in_service: j.in_service(),
-                    }),
+                head: if pinned_to.is_some_and(|s| self.tenant_shard(i) != s) {
+                    None
+                } else {
+                    t.queue
+                        .iter()
+                        .find(|j| !j.chunks.is_empty())
+                        .map(|j| HeadView {
+                            submit_ns: j.submit_ns,
+                            total_bytes: j.total_bytes,
+                            remaining_bytes: j.remaining_bytes(),
+                            next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
+                            in_service: j.in_service(),
+                        })
+                },
             })
             .collect()
     }
 
-    /// The completion-ring poller, called at every edge of the `hostq`
-    /// clock domain (before the engine's own tick): drain the DCE's
-    /// retirement records into the queue pair, and once the interrupt
-    /// coalescer fires, field *one* interrupt for the whole completed
-    /// batch — routing each completion to its owning tenant.
+    /// The completion-ring poller for one shard, called at every edge
+    /// of the `hostq` clock domain (before the engines' own ticks):
+    /// drain shard `shard`'s engine retirement records into that
+    /// shard's queue pair, and once its interrupt coalescer fires,
+    /// field *one* interrupt for the whole completed batch — routing
+    /// each completion to its owning tenant.
     ///
     /// Driver-latency accounting (the basis of the bit-identical
     /// depth-1 equivalence with the one-shot harness, pinned by
@@ -416,25 +527,31 @@ impl Runtime {
     /// time, the delivery time (`now + interrupt_ns`) wins — a tenant
     /// cannot learn of a completion before the interrupt that announces
     /// it.
-    pub fn poll(&mut self, dce: &mut Dce, now_ns: f64) {
+    pub fn poll_shard(&mut self, shard: usize, dce: &mut Dce, now_ns: f64) {
         // Device → completion ring. The engine's cycle counter maps onto
         // the simulation timeline through its tick period (for the
         // coalescer's aggregation timer).
         let edge_ns =
             Clock::from_period_ps(dce.config().period_ps()).period as f64 / TICKS_PER_NS as f64;
+        let qp = self.qps.shard_mut(shard);
         while let Some(rec) = dce.pop_completion() {
             let done_ns = rec.completed_at as f64 * edge_ns;
-            self.qp
-                .on_device_completion(rec.seq, rec.started_at, rec.completed_at, done_ns);
+            qp.on_device_completion(rec.seq, rec.started_at, rec.completed_at, done_ns);
         }
 
-        if !self.qp.interrupt_due(now_ns) {
+        if !qp.interrupt_due(now_ns) {
             return;
         }
         // One interrupt wake-up covers the whole batch; the driver is
-        // busy fielding it before it can ring the next doorbell.
-        let batch = self.qp.field_interrupt(now_ns);
-        self.driver_ready_ns = now_ns + self.cfg.driver.coalesced_interrupt_ns();
+        // busy fielding it before it can ring the next doorbell on this
+        // shard. `max`, not assignment: a doorbell that published a
+        // large batch at an earlier edge can occupy the driver *past*
+        // this interrupt's service time, and fielding the interrupt
+        // must never hand the driver back early (a deep-ring bug the
+        // delta test in `tests/driver_accounting.rs` pins).
+        let batch = qp.field_interrupt(now_ns);
+        self.driver_ready_ns[shard] =
+            self.driver_ready_ns[shard].max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
         for c in batch {
             let tenant_idx = c.posted.desc.tag.tenant;
             let engine_ns = (c.done_cycle - c.posted.posted_cycle) as f64
@@ -451,17 +568,20 @@ impl Runtime {
 
             let t = &mut self.tenants[tenant_idx];
             t.stats.bytes_serviced += bytes;
-            // Chunks are dispatched in queue order per tenant and the
-            // ring retires FIFO, so a completion always belongs to the
-            // tenant's oldest incomplete job.
-            let job = t
+            // Each shard's ring retires FIFO and a tenant's chunks are
+            // dispatched in queue order, but with work-stealing a
+            // tenant's jobs can span shards and complete out of order —
+            // route by job id, not queue position (under a single shard
+            // the match is always the queue front, as before).
+            let idx = t
                 .queue
-                .front_mut()
-                .expect("completions route to the oldest queued job");
-            debug_assert_eq!(job.id, c.posted.desc.tag.job);
+                .iter()
+                .position(|j| j.id == c.posted.desc.tag.job)
+                .expect("completions route to a queued job");
+            let job = &mut t.queue[idx];
             job.bytes_done += bytes;
             if job.chunks.is_empty() && job.bytes_done == job.total_bytes {
-                let job = t.queue.pop_front().expect("checked above");
+                let job = t.queue.remove(idx).expect("checked above");
                 let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
                 t.stats.completed += 1;
                 t.stats.bytes_completed += job.total_bytes;
@@ -469,6 +589,7 @@ impl Runtime {
                 t.stats.service.record(finish_ns - dispatch_ns);
                 t.stats.e2e.record(finish_ns - job.submit_ns);
                 t.gen.on_complete(finish_ns.max(now_ns));
+                self.completed_via_shard[shard] += 1;
                 self.records.push(JobRecord {
                     id: job.id,
                     tenant: tenant_idx,
@@ -481,29 +602,66 @@ impl Runtime {
         }
     }
 
-    /// The submission path, called at every decision-clock edge (after
-    /// [`poll`](Self::poll) when the edges coincide, before the engine's
-    /// own tick): while the ring has free slots and the driver is not
-    /// busy, let the policy pick chunks, stage their descriptors, and
-    /// hand them to [`Dce::enqueue`]; then publish the whole batch with
-    /// a single doorbell write whose fixed MMIO cost is paid once.
+    /// Single-shard alias of [`poll_shard`](Self::poll_shard) (shard 0),
+    /// kept for standalone harnesses driving one engine.
+    pub fn poll(&mut self, dce: &mut Dce, now_ns: f64) {
+        self.poll_shard(0, dce, now_ns);
+    }
+
+    /// The shard-aware submission path, called at every decision-clock
+    /// edge with the whole engine array (after the shard polls when the
+    /// edges coincide, before the engines' own ticks): while rings have
+    /// free slots and their drivers are not busy, let the policy pick
+    /// chunks, place each on a shard according to
+    /// [`Placement`] — hash-pin dispatches each shard against its
+    /// pinned tenants; least-loaded sends every pick to the shallowest
+    /// eligible ring — and publish each shard's batch with a single
+    /// doorbell write whose fixed MMIO cost is paid once per shard.
     ///
-    /// The doorbell occupies the driver
-    /// (`driver_ready_ns = now + doorbell_ns`) but is *not* an engine
-    /// stall: the engine starts the first descriptor at this edge and
-    /// chains through the rest device-side.
-    pub fn dispatch(&mut self, dce: &mut Dce, now_ns: f64) {
-        if now_ns < self.driver_ready_ns || self.qp.free_slots() == 0 {
-            return;
-        }
+    /// A doorbell occupies its shard's driver
+    /// (`driver_ready_ns[s] = now + doorbell_ns`) but is *not* an
+    /// engine stall: the engine starts the first descriptor at this
+    /// edge and chains through the rest device-side.
+    pub fn dispatch(&mut self, dces: &mut [Dce], now_ns: f64) {
+        assert_eq!(
+            dces.len(),
+            self.cfg.shards,
+            "dispatch needs one engine per shard"
+        );
         // Idle runtime clock edges are the common case; don't build
         // policy views (allocating) when there is nothing to dispatch.
         if self.tenants.iter().all(|t| t.queue.is_empty()) {
             return;
         }
+        match self.cfg.placement {
+            Placement::HashPin => {
+                for (s, dce) in dces.iter_mut().enumerate() {
+                    self.dispatch_pinned(s, dce, now_ns);
+                }
+            }
+            Placement::LeastLoaded => self.dispatch_least_loaded(dces, now_ns),
+        }
+    }
+
+    /// Hash-pin dispatch for one shard: the policy sees only tenants
+    /// pinned to this shard (others are masked to `head: None` with
+    /// their true backlog) and the batch goes out with this shard's
+    /// doorbell.
+    fn dispatch_pinned(&mut self, shard: usize, dce: &mut Dce, now_ns: f64) {
+        if now_ns < self.driver_ready_ns[shard] || self.qps.shard(shard).free_slots() == 0 {
+            return;
+        }
+        // Cheap pre-check before building (allocating) policy views:
+        // most edges most shards have no pinned dispatchable work.
+        let has_work = self.tenants.iter().enumerate().any(|(i, t)| {
+            self.tenant_shard(i) == shard && t.queue.iter().any(|j| !j.chunks.is_empty())
+        });
+        if !has_work {
+            return;
+        }
         let mut staged = false;
-        while self.qp.free_slots() > 0 {
-            let views = self.views();
+        while self.qps.shard(shard).free_slots() > 0 {
+            let views = self.views(Some(shard));
             if !views.iter().any(|v| v.head.is_some()) {
                 break;
             }
@@ -511,47 +669,84 @@ impl Runtime {
                 self.missed_dispatches += 1;
                 break;
             };
-            let t = &mut self.tenants[pick];
-            let job = t
-                .queue
-                .iter_mut()
-                .find(|j| !j.chunks.is_empty())
-                .expect("policies only pick tenants with dispatchable work");
-            let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
-            if job.first_dispatch_ns.is_none() {
-                job.first_dispatch_ns = Some(now_ns);
-            }
-            let bytes = chunk.total_bytes();
-            let entries = chunk.entries.len();
-            self.qp
-                .stage(
-                    Descriptor {
-                        tag: DescriptorTag {
-                            tenant: pick,
-                            job: job.id,
-                        },
-                        entries,
-                        bytes,
-                    },
-                    now_ns,
-                    dce.cycle(),
-                )
-                .expect("free slot checked");
-            dce.enqueue(chunk, self.cfg.mode)
-                .expect("chunk validated at job construction");
-            self.policy.dispatched(pick, bytes);
-            self.chunks_dispatched += 1;
+            self.stage_chunk(pick, shard, dce, now_ns);
             staged = true;
         }
         if staged {
-            let cost = self
-                .qp
-                .ring_doorbell(&self.cfg.driver)
-                .expect("descriptors were staged");
-            // The MMIO doorbell write occupies the driver before the
-            // next submission.
-            self.driver_ready_ns = now_ns + cost;
+            self.ring_shard_doorbell(shard, now_ns);
         }
+    }
+
+    /// Least-loaded / work-stealing dispatch: the policy picks over
+    /// every tenant's queue and each picked chunk goes to the shallowest
+    /// eligible ring (free slots, driver not busy); every shard that
+    /// staged work rings its own doorbell once at the end of the edge.
+    fn dispatch_least_loaded(&mut self, dces: &mut [Dce], now_ns: f64) {
+        let mut staged = vec![false; self.cfg.shards];
+        while let Some(target) = self.qps.shallowest(|s| now_ns >= self.driver_ready_ns[s]) {
+            let views = self.views(None);
+            if !views.iter().any(|v| v.head.is_some()) {
+                break;
+            }
+            let Some(pick) = self.policy.pick(&views) else {
+                self.missed_dispatches += 1;
+                break;
+            };
+            self.stage_chunk(pick, target, &mut dces[target], now_ns);
+            staged[target] = true;
+        }
+        for (s, &st) in staged.iter().enumerate() {
+            if st {
+                self.ring_shard_doorbell(s, now_ns);
+            }
+        }
+    }
+
+    /// Pop the picked tenant's next chunk, stage its descriptor on
+    /// `shard`'s ring and hand it to that shard's engine.
+    fn stage_chunk(&mut self, pick: usize, shard: usize, dce: &mut Dce, now_ns: f64) {
+        let t = &mut self.tenants[pick];
+        let job = t
+            .queue
+            .iter_mut()
+            .find(|j| !j.chunks.is_empty())
+            .expect("policies only pick tenants with dispatchable work");
+        let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
+        if job.first_dispatch_ns.is_none() {
+            job.first_dispatch_ns = Some(now_ns);
+        }
+        let bytes = chunk.total_bytes();
+        let entries = chunk.entries.len();
+        self.qps
+            .shard_mut(shard)
+            .stage(
+                Descriptor {
+                    tag: DescriptorTag {
+                        tenant: pick,
+                        job: job.id,
+                    },
+                    entries,
+                    bytes,
+                },
+                now_ns,
+                dce.cycle(),
+            )
+            .expect("free slot checked");
+        dce.enqueue(chunk, self.cfg.mode)
+            .expect("chunk validated at job construction");
+        self.policy.dispatched(pick, bytes);
+        self.chunks_dispatched += 1;
+    }
+
+    /// Publish `shard`'s staged batch with one MMIO doorbell write,
+    /// which occupies that shard's driver before its next submission.
+    fn ring_shard_doorbell(&mut self, shard: usize, now_ns: f64) {
+        let cost = self
+            .qps
+            .shard_mut(shard)
+            .ring_doorbell(&self.cfg.driver)
+            .expect("descriptors were staged");
+        self.driver_ready_ns[shard] = now_ns + cost;
     }
 
     /// One host-interface service round at a decision-clock edge:
@@ -559,10 +754,16 @@ impl Runtime {
     /// per edge, after [`tick`](Tickable::tick) and before the engine's
     /// own tick. (The serving composer calls the two halves at their own
     /// clock domains instead; with the default configuration the edges
-    /// coincide and the ordering is identical.)
+    /// coincide and the ordering is identical.) Single-shard runtimes
+    /// only — a sharded composer drives each shard's poll and a whole-
+    /// array dispatch itself.
     pub fn drive(&mut self, dce: &mut Dce, now_ns: f64) {
-        self.poll(dce, now_ns);
-        self.dispatch(dce, now_ns);
+        assert_eq!(
+            self.cfg.shards, 1,
+            "drive() is the single-shard convenience path"
+        );
+        self.poll_shard(0, dce, now_ns);
+        self.dispatch(std::slice::from_mut(dce), now_ns);
     }
 }
 

@@ -8,10 +8,16 @@
 //!
 //! Two host-side domains fire per step when due, in this order:
 //! `runtime` (arrival generation, then chunk dispatch through the queue
-//! pair) and `hostq` (the ring poller draining device retirements and
-//! fielding coalesced interrupts). With the default configuration both
-//! run at the 312 ps decision clock, and a poll+dispatch pair at one
-//! edge is exactly the synchronous completion-then-submit handshake.
+//! pairs) and `hostq` (the ring pollers draining each shard's device
+//! retirements and fielding coalesced interrupts). With the default
+//! configuration both run at the 312 ps decision clock, and a
+//! poll+dispatch pair at one edge is exactly the synchronous
+//! completion-then-submit handshake.
+//!
+//! Sharding: the machine instantiates one DCE (with its own clock
+//! domain and shard-tagged memory traffic) per runtime shard, and the
+//! composer polls every shard's completion ring at the poller edge
+//! before the shard-aware dispatch runs over the whole engine array.
 
 use crate::runtime::Runtime;
 use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable};
@@ -21,25 +27,40 @@ pub struct ServingSystem {
     sys: System,
     runtime: Runtime,
     dom: DomainId,
-    /// The completion-ring poller's clock domain (period
-    /// `hostq.poll_period_ps`).
+    /// The completion-ring pollers' clock domain (period
+    /// `hostq.poll_period_ps`; every shard's ring is polled at its
+    /// edges).
     poller: DomainId,
 }
 
 impl ServingSystem {
     /// Compose `runtime` with the machine described by `cfg`. The
-    /// runtime's DCE mode is aligned with the design point's, so the
-    /// ablation switch stays the single source of truth.
+    /// runtime's DCE mode is aligned with the design point's (the
+    /// ablation switch stays the single source of truth), and the
+    /// machine instantiates one engine per runtime shard.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.design` has no DCE to serve transfers with.
-    pub fn new(cfg: SystemConfig, mut runtime: Runtime) -> Self {
+    /// Panics if `cfg.design` has no DCE to serve transfers with, or if
+    /// the tenant core placement (`core_stride` × tenant count +
+    /// `n_cores`) overruns the machine's PIM core count — caught here
+    /// at configuration time so it cannot surface as a mid-simulation
+    /// address-space panic.
+    pub fn new(mut cfg: SystemConfig, mut runtime: Runtime) -> Self {
         assert!(
             cfg.design.uses_dce(),
             "a serving runtime needs a DCE design point"
         );
+        assert!(
+            runtime.max_core_exclusive() <= cfg.pim_org.total_banks(),
+            "tenant core placement targets core {} but the machine has {} PIM cores",
+            runtime.max_core_exclusive().saturating_sub(1),
+            cfg.pim_org.total_banks()
+        );
         runtime.set_mode(cfg.design.dce_mode());
+        // One engine per shard: the runtime's shard count is the single
+        // source of truth for the serving machine.
+        cfg.dce_count = runtime.config().shards;
         let period_ps = runtime.config().period_ps;
         let poll_ps = runtime.config().hostq.poll_period_ps;
         let mut sys = System::new(cfg, vec![]);
@@ -69,9 +90,10 @@ impl ServingSystem {
     }
 
     /// Advance one event: at the next edge, tick whichever host-side
-    /// domains fire — the runtime (arrivals), the ring poller (drain
-    /// retirements, field interrupts), then the dispatch path — and
-    /// step the machine. Poll-before-dispatch at a shared edge is the
+    /// domains fire — the runtime (arrivals), the ring pollers (drain
+    /// each shard's retirements, field interrupts), then the
+    /// shard-aware dispatch over the whole engine array — and step the
+    /// machine. Poll-before-dispatch at a shared edge is the
     /// synchronous handshake's completion-then-submit ordering.
     pub fn step(&mut self) {
         let pending = self.sys.pending();
@@ -80,13 +102,14 @@ impl ServingSystem {
             Tickable::tick(&mut self.runtime);
         }
         if pending.contains(self.poller) {
-            Tickable::tick(self.runtime.queue_pair_mut());
-            let dce = self.sys.dce_mut().expect("checked in new");
-            self.runtime.poll(dce, now_ns);
+            for s in 0..self.runtime.config().shards {
+                Tickable::tick(self.runtime.queue_pairs_mut().shard_mut(s));
+                let dce = self.sys.engine_mut(s).expect("one engine per shard");
+                self.runtime.poll_shard(s, dce, now_ns);
+            }
         }
         if pending.contains(self.dom) {
-            let dce = self.sys.dce_mut().expect("checked in new");
-            self.runtime.dispatch(dce, now_ns);
+            self.runtime.dispatch(self.sys.engines_mut(), now_ns);
         }
         self.sys.step();
     }
@@ -163,5 +186,29 @@ mod tests {
     fn baseline_designs_cannot_serve() {
         let runtime = Runtime::new(RuntimeConfig::default(), vec![], Box::new(Fcfs));
         ServingSystem::new(SystemConfig::table1(DesignPoint::Baseline), runtime);
+    }
+
+    #[test]
+    #[should_panic(expected = "PIM cores")]
+    fn core_placement_overrunning_the_machine_is_rejected_at_composition() {
+        // 8 tenants x stride 64 + 64 cores = core 512 exclusive bound
+        // is fine on the 512-core Table-I machine; a 9th tenant is not.
+        let cfg = RuntimeConfig {
+            core_stride: 64,
+            ..RuntimeConfig::default()
+        };
+        let tenants: Vec<TenantSpec> = (0..9)
+            .map(|i| {
+                let mut t = tiny_tenant(vec![0.0]);
+                t.name = format!("t{i}");
+                if let crate::arrival::JobSizer::Fixed { n_cores, .. } = &mut t.sizer {
+                    *n_cores = 64;
+                }
+                t
+            })
+            .collect();
+        let runtime = Runtime::new(cfg, tenants, Box::new(Fcfs));
+        assert_eq!(runtime.max_core_exclusive(), 8 * 64 + 64);
+        ServingSystem::new(SystemConfig::table1(DesignPoint::BaseDHP), runtime);
     }
 }

@@ -27,6 +27,7 @@
 //! across runs and the deltas are exact.
 
 use pim_dram::Completion;
+use pim_hostq::HostQueueConfig;
 use pim_mapping::{HetMap, Organization, PimAddrSpace};
 use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
 use pim_runtime::{ArrivalProcess, Fcfs, JobSizer, Runtime, RuntimeConfig, TenantSpec, Tickable};
@@ -165,6 +166,97 @@ fn two_synchronous_chunks_charge_submit_once_and_interrupt_per_chunk() {
         (e_irq - e_base - 2.0 * DELTA_NS).abs() < EPS,
         "interrupt charged {}x across 2 chunks, expected exactly 2x",
         (e_irq - e_base) / DELTA_NS
+    );
+}
+
+/// Regression (deep rings): fielding a completion interrupt must never
+/// hand the driver back *early*. A doorbell that published a large
+/// batch occupies the driver until `t_doorbell + doorbell_ns(batch)`;
+/// when the engine retires the first chunk quickly, the interrupt
+/// fielded mid-window used to overwrite `driver_ready_ns` backwards
+/// (`now + interrupt_ns` < the doorbell's own busy horizon), letting
+/// the next doorbell ring while the driver was still busy with the
+/// previous MMIO write. `poll` must take the max of the two horizons.
+#[test]
+fn interrupt_fielding_cannot_shorten_the_doorbell_busy_window() {
+    // 16 cores x 2 KiB at a 512 B chunk budget -> 32 chunks of 16
+    // entries (one 64 B line per core each); an 8-deep ring stages the
+    // first 8 in one batch. Per-entry MMIO dominates: that batch's
+    // doorbell costs 100 + 128 x 500 = 64 100 ns, while the engine
+    // retires a 1 KiB chunk (and its 50 ns interrupt) within a few
+    // hundred ns.
+    let driver = DriverModel {
+        submit_fixed_ns: 100.0,
+        submit_per_entry_ns: 500.0,
+        interrupt_ns: 50.0,
+    };
+    let cfg = RuntimeConfig {
+        chunk_bytes: 512,
+        driver,
+        open_until_ns: 1.0,
+        hostq: HostQueueConfig::with_depth(8),
+        ..RuntimeConfig::default()
+    };
+    let tenant = TenantSpec {
+        name: "t".into(),
+        kind: XferKind::DramToPim,
+        arrival: ArrivalProcess::Trace(vec![0.0]),
+        sizer: JobSizer::Fixed {
+            per_core_bytes: 2048,
+            n_cores: 16,
+        },
+        priority: 0,
+        weight: 1,
+    };
+    let mut rt = Runtime::new(cfg, vec![tenant], Box::new(Fcfs));
+    let mut dce = fresh_dce();
+    let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+    let mut doorbell_times: Vec<f64> = Vec::new();
+    let mut doorbells_seen = 0;
+    for cycle in 0..40_000_000u64 {
+        Tickable::tick(&mut rt);
+        let now_ns = rt.now_ns();
+        rt.drive(&mut dce, now_ns);
+        let db = rt.host_stats().doorbells;
+        if db > doorbells_seen {
+            doorbells_seen = db;
+            doorbell_times.push(now_ns);
+        }
+        dce.tick();
+        while let Some(r) = dce.outbox_mut().pop_front() {
+            pending.push_back((
+                cycle + 20,
+                Completion {
+                    id: r.req.id,
+                    kind: r.req.kind,
+                    source: r.req.source,
+                    cycle: cycle + 20,
+                },
+            ));
+        }
+        while pending.front().is_some_and(|&(t, _)| t <= cycle) {
+            let (_, c) = pending.pop_front().unwrap();
+            dce.on_completion(c);
+        }
+        if rt.drained() {
+            break;
+        }
+    }
+    assert!(rt.drained(), "run never drained");
+    assert!(
+        doorbell_times.len() >= 2,
+        "the 32-chunk job must need more than one 8-deep batch"
+    );
+    // Interrupts field well inside the first doorbell's busy window
+    // (the engine is far faster than 64 µs here) — the second doorbell
+    // must still wait the window out.
+    let first_batch_busy_until = doorbell_times[0] + driver.doorbell_ns(8 * 16);
+    assert!(
+        doorbell_times[1] >= first_batch_busy_until - 1e-9,
+        "doorbell 2 at {} ns rang inside doorbell 1's busy window (until {} ns): \
+         the interrupt handed the driver back early",
+        doorbell_times[1],
+        first_batch_busy_until
     );
 }
 

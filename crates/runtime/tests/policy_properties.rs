@@ -9,10 +9,12 @@
 //! tests and the `runtime_serving` harness.
 
 use pim_dram::Completion;
+use pim_hostq::HostQueueConfig;
 use pim_mapping::{HetMap, Organization, PimAddrSpace};
 use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
 use pim_runtime::{
-    policy_by_name, ArrivalProcess, JobSizer, Runtime, RuntimeConfig, Tickable, POLICY_NAMES,
+    jain_index, policy_by_name, ArrivalProcess, Drr, HeadView, JobSizer, QueuePolicy, QueueView,
+    Runtime, RuntimeConfig, Tickable, POLICY_NAMES,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -239,6 +241,128 @@ fn closed_loop_tenant_drains_with_every_policy() {
         assert!(stats[0].1.completed >= 2, "{policy_name}");
         assert_eq!(stats[1].1.completed, 2, "{policy_name}");
         assert_eq!(rt.missed_dispatches(), 0);
+    }
+}
+
+/// Regression for the deep-ring deficit bug: `Drr::pick` used to zero a
+/// tenant's deficit whenever its view showed `head: None` — but under a
+/// deep ring a *busy* tenant looks exactly like that whenever all its
+/// queued chunks are in flight ring-side (`backlog > 0`, no dispatch
+/// head). Classic DRR only forfeits credit when the queue is truly
+/// empty. This drives the policy with the view sequence a depth ≥ 2
+/// ring produces — T0's head flickers off while its 4-chunk jobs are in
+/// flight, T1 is an always-backlogged competitor — and checks the fixed
+/// DRR holds a perfect Jain index where the buggy reset bled T0's
+/// carried credit into T1's share (jain ~0.90 at this in-flight
+/// latency).
+#[test]
+fn drr_holds_jain_when_deep_rings_hide_a_busy_tenants_head() {
+    const CHUNK: u64 = 3072;
+    const LAT: usize = 4; // picks a dispatched chunk stays in flight
+    let mut p = Drr::new(8192);
+    let mut served = [0u64; 2];
+    let mut t0_pending = 4u32; // undispatched chunks of T0's current job
+    let mut t0_inflight: Vec<usize> = Vec::new(); // return times
+    for now in 0..20_000 {
+        t0_inflight.retain(|&t| t > now);
+        if t0_pending == 0 && t0_inflight.is_empty() {
+            t0_pending = 4; // the next job arrives as the last completes
+        }
+        // T0: backlog 1 always; head only while chunks are undispatched.
+        let head0 = (t0_pending > 0).then(|| HeadView {
+            submit_ns: now as f64,
+            total_bytes: 4 * CHUNK,
+            remaining_bytes: t0_pending as u64 * CHUNK,
+            next_chunk_bytes: CHUNK,
+            in_service: true,
+        });
+        let views = [
+            QueueView {
+                tenant: 0,
+                priority: 0,
+                weight: 1,
+                backlog: 1,
+                head: head0,
+            },
+            QueueView {
+                tenant: 1,
+                priority: 0,
+                weight: 1,
+                backlog: 1000,
+                head: Some(HeadView {
+                    submit_ns: 0.0,
+                    total_bytes: CHUNK,
+                    remaining_bytes: CHUNK,
+                    next_chunk_bytes: CHUNK,
+                    in_service: true,
+                }),
+            },
+        ];
+        let t = p.pick(&views).expect("backlogged queues");
+        served[t] += CHUNK;
+        p.dispatched(t, CHUNK);
+        if t == 0 {
+            t0_pending -= 1;
+            t0_inflight.push(now + LAT);
+        }
+    }
+    let jain = jain_index(&[served[0] as f64, served[1] as f64]);
+    assert!(
+        jain > 0.999,
+        "fixed DRR must split two backlogged tenants evenly under a deep \
+         ring (jain {jain:.4}, shares {served:?})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SJF under deep rings is starvation-free regardless of tenant
+    /// index order: with several jobs in service at once the tie-break
+    /// is oldest-first (not lowest-index-first), so every ordering of
+    /// the same workload drains with every job completed exactly once.
+    #[test]
+    fn sjf_under_deep_rings_is_starvation_free_across_tenant_orderings(
+        n_tenants in 2usize..5,
+        rotation in 0usize..5,
+        depth in 2usize..9,
+        raw_times in proptest::collection::vec(0u64..1_500, 4..10),
+    ) {
+        // The same workload assigned to tenant slots in every rotation:
+        // tenant (i + rotation) % n gets what tenant i got at rotation 0.
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); n_tenants];
+        for (i, &t) in raw_times.iter().enumerate() {
+            traces[(i + rotation) % n_tenants].push(t as f64);
+        }
+        let tenants: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, times)| {
+                let mut times = times.clone();
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                trace_tenant(&format!("t{i}"), times, 256, 2)
+            })
+            .collect();
+        let cfg = RuntimeConfig {
+            chunk_bytes: 256,
+            driver: quick_driver(),
+            open_until_ns: 2_000.0,
+            hostq: HostQueueConfig::with_depth(depth),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(cfg, tenants, policy_by_name("sjf", 256).unwrap());
+        let drained = run_to_drain(&mut rt, 20, 3_000_000);
+        prop_assert!(
+            drained.is_some(),
+            "sjf starved someone at depth {depth} rotation {rotation}"
+        );
+        let mut ids: Vec<u64> = rt.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..raw_times.len() as u64).collect::<Vec<_>>());
+        for (_, stats) in rt.tenant_stats() {
+            prop_assert_eq!(stats.completed, stats.submitted);
+        }
+        prop_assert_eq!(rt.missed_dispatches(), 0);
     }
 }
 

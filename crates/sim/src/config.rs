@@ -93,6 +93,10 @@ pub struct SystemConfig {
     pub power: PowerParams,
     /// Design point under test.
     pub design: DesignPoint,
+    /// Number of DCE engines instantiated when the design uses one
+    /// (multi-DCE sharding; the paper's DCE is per-channel-replicable
+    /// hardware). 1 is the paper's single-engine machine.
+    pub dce_count: usize,
     /// Baseline software-thread count (8 transfer threads in §V).
     pub sw_threads: usize,
     /// Chunk-to-thread distribution.
@@ -114,6 +118,7 @@ impl SystemConfig {
             driver: DriverModel::default(),
             power: PowerParams::nm32(),
             design,
+            dce_count: 1,
             sw_threads: 8,
             assignment: ThreadAssignment::RankBlocked,
             sample_ns: 100_000.0,

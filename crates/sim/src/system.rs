@@ -19,13 +19,14 @@ use pim_mmu::Dce;
 
 /// [`DomainId`] handles for the registered clock domains (the clocks
 /// themselves live in [`ClockDomains`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Domains {
     cpu: DomainId,
     dram: DomainId,
     pim: DomainId,
-    /// Present iff the design instantiates a DCE.
-    dce: Option<DomainId>,
+    /// One domain per instantiated engine (empty iff the design has no
+    /// DCE); engine `s` ticks at `dce[s]`'s edges.
+    dce: Vec<DomainId>,
     sample: DomainId,
 }
 
@@ -35,7 +36,9 @@ pub struct System {
     pub cfg: SystemConfig,
     mapper: HetMap,
     cluster: CpuCluster,
-    dce: Option<Dce>,
+    /// The DCE engine array: `cfg.dce_count` shards when the design uses
+    /// a DCE, each with its own clock domain and shard-tagged source id.
+    engines: Vec<Dce>,
     dram: Vec<MemController>,
     pim: Vec<MemController>,
     t: u64,
@@ -61,10 +64,14 @@ impl System {
     pub fn new(cfg: SystemConfig, threads: Vec<Thread>) -> Self {
         let mapper = cfg.mapper();
         let cluster = CpuCluster::new(cfg.cpu, mapper.clone(), threads);
-        let dce = cfg.design.uses_dce().then(|| {
+        let engines: Vec<Dce> = if cfg.design.uses_dce() {
             let space = PimAddrSpace::new(mapper.pim_base(), cfg.pim_org);
-            Dce::new(cfg.dce, mapper.clone(), space)
-        });
+            (0..cfg.dce_count.max(1))
+                .map(|s| Dce::with_shard(cfg.dce, mapper.clone(), space, s as u32))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let ctrl_cfg = cfg.controller_config();
         let dram = (0..cfg.dram_org.channels)
             .map(|_| MemController::with_config(cfg.dram_org, cfg.dram_timing, ctrl_cfg))
@@ -78,15 +85,16 @@ impl System {
             cpu: clocks.add_period_ps("cpu", cfg.cpu.period_ps()),
             dram: clocks.add_period_ps("dram", cfg.dram_timing.t_ck_ps),
             pim: clocks.add_period_ps("pim", cfg.pim_timing.t_ck_ps),
-            dce: dce
-                .is_some()
-                .then(|| clocks.add_period_ps("dce", cfg.dce.period_ps())),
+            dce: engines
+                .iter()
+                .map(|_| clocks.add_period_ps("dce", cfg.dce.period_ps()))
+                .collect(),
             sample: clocks.add_period_ticks("sample", (cfg.sample_ns * TICKS_PER_NS as f64) as u64),
         };
         System {
             mapper,
             cluster,
-            dce,
+            engines,
             dram,
             pim,
             t: 0,
@@ -109,14 +117,32 @@ impl System {
         &self.cluster
     }
 
-    /// The DCE, when present.
+    /// The first DCE engine, when present (the single-engine view; the
+    /// one-shot harness and every pre-sharding caller use this).
     pub fn dce(&self) -> Option<&Dce> {
-        self.dce.as_ref()
+        self.engines.first()
     }
 
-    /// Mutable DCE access (for job submission).
+    /// Mutable access to the first DCE engine (for job submission).
     pub fn dce_mut(&mut self) -> Option<&mut Dce> {
-        self.dce.as_mut()
+        self.engines.first_mut()
+    }
+
+    /// The full engine array (empty iff the design has no DCE); engine
+    /// `s` is shard `s`.
+    pub fn engines(&self) -> &[Dce] {
+        &self.engines
+    }
+
+    /// Mutable access to the whole engine array (a sharded runtime
+    /// dispatches across every shard at once).
+    pub fn engines_mut(&mut self) -> &mut [Dce] {
+        &mut self.engines
+    }
+
+    /// Mutable access to one shard's engine.
+    pub fn engine_mut(&mut self, shard: usize) -> Option<&mut Dce> {
+        self.engines.get_mut(shard)
     }
 
     /// DRAM-side controllers.
@@ -199,7 +225,7 @@ impl System {
     /// queue slots, or after a source ticked).
     fn refill_controller_queues(&mut self) {
         Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
-        if let Some(dce) = &mut self.dce {
+        for dce in &mut self.engines {
             Self::drain_requests(dce, &mut self.dram, &mut self.pim);
         }
     }
@@ -223,10 +249,11 @@ impl System {
             let Output::Done(c) = o else {
                 unreachable!("controllers only emit completions")
             };
-            if c.source.0 == DCE_SOURCE {
-                if let Some(dce) = &mut self.dce {
-                    dce.on_completion(c);
-                }
+            // Engine traffic is tagged DCE_SOURCE + shard: route the
+            // completion back to the shard that issued the request.
+            let shard = c.source.0.wrapping_sub(DCE_SOURCE) as usize;
+            if c.source.0 >= DCE_SOURCE && shard < self.engines.len() {
+                self.engines[shard].on_completion(c);
             } else {
                 self.cluster.on_completion(c);
             }
@@ -245,9 +272,9 @@ impl System {
             Tickable::tick(&mut self.cluster);
             Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
         }
-        if let Some(dce_dom) = self.domains.dce {
-            if fired.contains(dce_dom) {
-                let dce = self.dce.as_mut().expect("domain registered iff present");
+        for s in 0..self.engines.len() {
+            if fired.contains(self.domains.dce[s]) {
+                let dce = &mut self.engines[s];
                 Tickable::tick(dce);
                 Self::drain_requests(dce, &mut self.dram, &mut self.pim);
             }
@@ -283,7 +310,7 @@ impl System {
     /// Cumulative counters summed over every component.
     fn totals(&self) -> Snapshot {
         let mut counters = self.cluster.stats_snapshot();
-        if let Some(dce) = &self.dce {
+        for dce in &self.engines {
             counters.merge(&dce.stats_snapshot());
         }
         for c in self.dram.iter().chain(self.pim.iter()) {
@@ -312,7 +339,7 @@ impl System {
             dram_writes: d.dram_writes,
             dram_refreshes: d.dram_refreshes,
             dce_lines: d.dce_lines,
-            pimmmu_present: self.dce.is_some(),
+            pimmmu_present: !self.engines.is_empty(),
         }
     }
 
@@ -430,6 +457,25 @@ mod tests {
         let full = System::new(SystemConfig::table1(DesignPoint::BaseDHP), vec![]);
         assert_eq!(full.clock_domains().len(), 5);
         assert_eq!(full.clock_domains().label(full.domains.cpu), "cpu");
+    }
+
+    #[test]
+    fn engine_array_follows_dce_count() {
+        let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+        cfg.dce_count = 4;
+        let sys = System::new(cfg, vec![]);
+        assert_eq!(sys.engines().len(), 4);
+        // cpu + dram + pim + sample + one domain per engine.
+        assert_eq!(sys.clock_domains().len(), 8);
+        for (s, e) in sys.engines().iter().enumerate() {
+            assert_eq!(e.shard(), s as u32);
+        }
+        // The single-engine accessors alias shard 0.
+        assert_eq!(sys.dce().unwrap().shard(), 0);
+        // Designs without a DCE ignore the count.
+        let mut base = SystemConfig::table1(DesignPoint::Baseline);
+        base.dce_count = 4;
+        assert!(System::new(base, vec![]).engines().is_empty());
     }
 
     #[test]

@@ -10,15 +10,19 @@
 //! path — timestamp arithmetic, edge ordering, driver gating — fails
 //! here before it can silently re-baseline the serving numbers.
 
-use pim_runtime::{Fcfs, HostQueueConfig, Runtime, RuntimeConfig, ServingSystem, TenantSpec};
+use pim_runtime::{
+    Fcfs, HostQueueConfig, Placement, Runtime, RuntimeConfig, ServingSystem, TenantSpec,
+};
 use pim_sim::{DesignPoint, SystemConfig};
 
-fn run(hostq: HostQueueConfig) -> ServingSystem {
+fn run_sharded(hostq: HostQueueConfig, shards: usize, placement: Placement) -> ServingSystem {
     let rt_cfg = RuntimeConfig {
         chunk_bytes: 64 << 10,
         open_until_ns: 40_000.0,
         seed: 7,
         hostq,
+        shards,
+        placement,
         ..RuntimeConfig::default()
     };
     let tenants = vec![
@@ -31,6 +35,10 @@ fn run(hostq: HostQueueConfig) -> ServingSystem {
     let mut serving = ServingSystem::new(cfg, runtime);
     serving.run_for(60_000.0);
     serving
+}
+
+fn run(hostq: HostQueueConfig) -> ServingSystem {
+    run_sharded(hostq, 1, Placement::HashPin)
 }
 
 /// `(id, tenant, submit, dispatch, complete, bytes)` with timestamps as
@@ -144,6 +152,99 @@ fn depth1_no_coalescing_reproduces_the_synchronous_results_bit_for_bit() {
     assert_eq!(host.max_in_flight, 1);
     assert_eq!(host.mean_in_flight, 1.0);
     assert_eq!(host.interrupts_per_chunk, 1.0);
+}
+
+/// The shard layer's identity anchor: a single-shard sharded run —
+/// under *either* placement — is the same dispatch loop as before the
+/// shard refactor, so it must reproduce the synchronous goldens to the
+/// bit too (one shard is always both the hash target and the shallowest
+/// ring).
+#[test]
+fn single_shard_sharded_runs_reproduce_the_goldens_under_both_placements() {
+    for placement in Placement::ALL {
+        let serving = run_sharded(HostQueueConfig::synchronous(), 1, placement);
+        let rt = serving.runtime();
+        assert_eq!(
+            rt.records().len(),
+            GOLDEN.len(),
+            "{} drifted",
+            placement.name()
+        );
+        for (rec, g) in rt.records().iter().zip(GOLDEN) {
+            assert_eq!(rec.id, g.0, "{}", placement.name());
+            assert_eq!(rec.tenant, g.1, "{}", placement.name());
+            assert_eq!(rec.submit_ns.to_bits(), g.2, "{}", placement.name());
+            assert_eq!(rec.dispatch_ns.to_bits(), g.3, "{}", placement.name());
+            assert_eq!(rec.complete_ns.to_bits(), g.4, "{}", placement.name());
+            assert_eq!(rec.bytes, g.5, "{}", placement.name());
+        }
+        assert_eq!(rt.jain_by_bytes().to_bits(), 4605784749950143806);
+        // The aggregate host view of one shard is the old single-ring
+        // view.
+        let host = rt.host_stats();
+        assert_eq!(host.doorbells, 10);
+        assert_eq!(host.interrupts, 9);
+        assert_eq!(host.max_in_flight, 1);
+        let shards = rt.shard_host_stats();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], host);
+    }
+}
+
+/// Sharding the same scenario across two engines completes every job
+/// the single-engine run completed (plus more within the horizon),
+/// exactly once, with lower mean queueing delay and mean end-to-end
+/// latency — and under hash-pin the two tenants land on different
+/// shards, each with its own doorbell/interrupt stream. (Unlike a
+/// deeper ring on one engine, per-job dominance is *not* guaranteed:
+/// the engines share memory channels, so a job served concurrently can
+/// take slightly longer device-side than it did when the single engine
+/// serialized everything.)
+#[test]
+fn two_shards_improve_on_one_and_split_the_tenants_under_hash_pin() {
+    let one = run_sharded(HostQueueConfig::synchronous(), 1, Placement::HashPin);
+    let two = run_sharded(HostQueueConfig::synchronous(), 2, Placement::HashPin);
+    let (r1, r2) = (one.runtime(), two.runtime());
+    assert!(r2.records().len() > r1.records().len());
+    let mut q1 = 0.0;
+    let mut q2 = 0.0;
+    let mut e1 = 0.0;
+    let mut e2 = 0.0;
+    for a in r1.records() {
+        let b = r2
+            .records()
+            .iter()
+            .find(|r| r.id == a.id)
+            .expect("every single-engine completion also completes sharded");
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(
+            a.submit_ns.to_bits(),
+            b.submit_ns.to_bits(),
+            "same arrivals"
+        );
+        q1 += a.queue_delay_ns();
+        q2 += b.queue_delay_ns();
+        e1 += a.e2e_ns();
+        e2 += b.e2e_ns();
+    }
+    assert!(
+        q2 < q1 && e2 < e1,
+        "sharding should cut queueing ({q1:.0} -> {q2:.0} ns) and e2e ({e1:.0} -> {e2:.0} ns)"
+    );
+    // Exactly-once across shards.
+    let mut ids: Vec<u64> = r2.records().iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), r2.records().len(), "duplicate completions");
+    // Both shards actually carried traffic (tenant 0 -> shard 0,
+    // tenant 1 -> shard 1), with independent rings.
+    let shards = r2.shard_host_stats();
+    assert_eq!(shards.len(), 2);
+    assert!(shards[0].doorbells > 0 && shards[1].doorbells > 0);
+    assert_eq!(
+        shards[0].doorbells + shards[1].doorbells,
+        r2.host_stats().doorbells
+    );
 }
 
 /// A deeper ring only moves completions *earlier*: the engine stops
