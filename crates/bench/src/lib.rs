@@ -6,6 +6,7 @@
 //! `cargo run --release -p pim-bench --bin <experiment>`; pass `--full`
 //! for the paper-scale transfer sizes (slower).
 
+pub mod goldens;
 pub mod json;
 
 use pim_sim::{DesignPoint, SystemConfig};

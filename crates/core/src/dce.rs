@@ -31,10 +31,59 @@ pub struct DceCompletion {
     /// Engine cycle the descriptor left the pending queue and started
     /// executing (equals the enqueue cycle when the engine was idle).
     pub started_at: u64,
-    /// Engine cycle the last write burst completed.
+    /// Engine cycle the last write burst completed (for a suspension,
+    /// the cycle the pipeline quiesced).
     pub completed_at: u64,
-    /// Payload bytes moved.
+    /// Payload bytes moved *by this descriptor activation* — for a
+    /// partial retirement ([`resumable`](Self::resumable)) only the
+    /// bytes transferred before the suspension; a later resumed
+    /// activation reports the rest, so the per-seq records always sum
+    /// to the job's total.
     pub bytes: u64,
+    /// `true` when this record is a *partial* retirement: the
+    /// descriptor was suspended mid-transfer and its remainder is
+    /// waiting in [`Dce::take_suspended`] as a [`SuspendedTransfer`].
+    pub resumable: bool,
+}
+
+/// The captured state of a mid-transfer job extracted by
+/// [`Dce::request_suspend`]: the live [`PairScheduler`] (per-core
+/// offsets, per-channel round-robin cursors, lines-emitted count), the
+/// transfer direction, and the byte progress. Feeding it back through
+/// [`Dce::resume`] continues the channel sweep exactly where it
+/// stopped — no line is re-emitted and none is skipped.
+#[derive(Debug)]
+pub struct SuspendedTransfer {
+    kind: XferKind,
+    sched: PairScheduler,
+    /// Lines fully written (across every activation of this job).
+    lines_written: u64,
+    /// Total lines of the original descriptor.
+    total: u64,
+}
+
+impl SuspendedTransfer {
+    /// Transfer direction of the suspended job.
+    pub fn kind(&self) -> XferKind {
+        self.kind
+    }
+
+    /// Bytes the job still has to move.
+    pub fn remaining_bytes(&self) -> u64 {
+        (self.total - self.lines_written) * LINE_BYTES
+    }
+
+    /// Bytes moved before the suspension (across all activations).
+    pub fn bytes_done(&self) -> u64 {
+        self.lines_written * LINE_BYTES
+    }
+
+    /// Per-core entries of the original descriptor — a resume reloads
+    /// the address-buffer context, so its driver cost is priced like a
+    /// submission naming this many cores.
+    pub fn entries(&self) -> usize {
+        self.sched.core_count()
+    }
 }
 
 /// A memory request leaving the DCE, tagged with the target space.
@@ -61,6 +110,14 @@ pub struct DceStats {
     pub buffer_stall_cycles: u64,
     /// Jobs completed.
     pub jobs_done: u64,
+    /// Jobs suspended mid-transfer (partial retirements).
+    pub suspensions: u64,
+    /// Suspended transfers re-installed via [`Dce::resume`].
+    pub resumes: u64,
+    /// Cycles spent quiescing the pipeline between a suspend request
+    /// and the partial retirement (read issue stopped, in-flight lines
+    /// draining).
+    pub drain_cycles: u64,
 }
 
 #[derive(Debug)]
@@ -83,6 +140,21 @@ struct Job {
     /// completion ring; one-shot submissions ([`Dce::submit`]) wait for
     /// the host's explicit [`Dce::retire_job`].
     auto_retire: bool,
+    /// Lines already credited by earlier activations' (partial)
+    /// retirement records — 0 for a fresh descriptor; a resumed job
+    /// reports only `lines_written - base_lines` in its next record.
+    base_lines: u64,
+    /// A suspension is pending: read issue has stopped and the job is
+    /// extracted as soon as the in-flight pipeline drains.
+    suspend_requested: bool,
+}
+
+/// A descriptor waiting on the engine's pending ring: either a fresh
+/// op or a suspended transfer being resumed in FIFO order.
+#[derive(Debug)]
+enum PendingDesc {
+    Fresh(PimMmuOp, DceMode),
+    Resumed(SuspendedTransfer),
 }
 
 /// The Data Copy Engine (Fig. 9/11).
@@ -100,13 +172,18 @@ pub struct Dce {
     shard: u32,
     clock: u64,
     job: Option<Job>,
-    /// Descriptors accepted by [`enqueue`](Self::enqueue) awaiting the
-    /// engine; the engine pops the next one the cycle after the active
-    /// job retires — no host round trip in between.
-    pending: VecDeque<(PimMmuOp, DceMode)>,
+    /// Descriptors accepted by [`enqueue`](Self::enqueue) (or resumes
+    /// queued by [`resume`](Self::resume)) awaiting the engine; the
+    /// engine pops the next one the cycle after the active job retires
+    /// — no host round trip in between.
+    pending: VecDeque<PendingDesc>,
     /// Retired queued descriptors, drained by the host's completion-ring
     /// poller via [`pop_completion`](Self::pop_completion).
     completions: VecDeque<DceCompletion>,
+    /// Mid-transfer state of suspended jobs awaiting the host's
+    /// [`take_suspended`](Self::take_suspended), keyed by descriptor
+    /// sequence number.
+    suspended: VecDeque<(u64, SuspendedTransfer)>,
     next_seq: u64,
     outbox: VecDeque<DceRequest>,
     outbox_cap: usize,
@@ -134,6 +211,7 @@ impl Dce {
             job: None,
             pending: VecDeque::new(),
             completions: VecDeque::new(),
+            suspended: VecDeque::new(),
             next_seq: 0,
             outbox: VecDeque::new(),
             outbox_cap: 64,
@@ -231,7 +309,31 @@ impl Dce {
         if self.job.is_none() {
             self.install(op, mode, true);
         } else {
-            self.pending.push_back((op, mode));
+            self.pending.push_back(PendingDesc::Fresh(op, mode));
+        }
+        Ok(())
+    }
+
+    /// Re-install a suspended transfer: the channel sweep continues from
+    /// the captured cursor instead of restarting. Ordering mirrors
+    /// [`enqueue`](Self::enqueue) — an idle engine starts it on the next
+    /// cycle; otherwise it waits its FIFO turn on the pending ring. The
+    /// resumed activation gets a fresh descriptor sequence number and
+    /// retires with only the bytes it moves (the pre-suspension bytes
+    /// were credited by the partial record).
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::EngineBusy`] while a [`submit`](Self::submit)-ted
+    /// (host-retired) job is active, exactly like `enqueue`.
+    pub fn resume(&mut self, st: SuspendedTransfer) -> Result<(), OpError> {
+        if self.job.as_ref().is_some_and(|j| !j.auto_retire) {
+            return Err(OpError::EngineBusy);
+        }
+        if self.job.is_none() {
+            self.install_resumed(st);
+        } else {
+            self.pending.push_back(PendingDesc::Resumed(st));
         }
         Ok(())
     }
@@ -257,12 +359,110 @@ impl Dce {
             seq,
             started_at: self.clock,
             auto_retire,
+            base_lines: 0,
+            suspend_requested: false,
         });
+    }
+
+    /// Load a suspended transfer back into the engine under a fresh
+    /// sequence number; its scheduler cursor and byte progress persist.
+    fn install_resumed(&mut self, st: SuspendedTransfer) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.resumes += 1;
+        self.job = Some(Job {
+            kind: st.kind,
+            sched: st.sched,
+            transpose_q: VecDeque::new(),
+            write_ready: VecDeque::new(),
+            inflight_reads: HashMap::new(),
+            inflight_writes: 0,
+            buffer_used: 0,
+            lines_written: st.lines_written,
+            total: st.total,
+            completed_at: None,
+            seq,
+            started_at: self.clock,
+            auto_retire: true,
+            base_lines: st.lines_written,
+            suspend_requested: false,
+        });
+    }
+
+    fn install_pending(&mut self, desc: PendingDesc) {
+        match desc {
+            PendingDesc::Fresh(op, mode) => self.install(op, mode, true),
+            PendingDesc::Resumed(st) => self.install_resumed(st),
+        }
     }
 
     /// Oldest un-drained completion of a queued descriptor, if any.
     pub fn pop_completion(&mut self) -> Option<DceCompletion> {
         self.completions.pop_front()
+    }
+
+    /// Ask the engine to suspend the active queued descriptor
+    /// mid-transfer. Read issue stops immediately; the in-flight
+    /// pipeline (reads awaiting data, the transpose queue, pending
+    /// write bursts) drains organically, and once quiesced the job is
+    /// extracted: a *partial* retirement record
+    /// ([`DceCompletion::resumable`]) surfaces on the completion ring
+    /// with the bytes moved so far, and the remainder becomes a
+    /// [`SuspendedTransfer`] claimable via
+    /// [`take_suspended`](Self::take_suspended). A job that finishes
+    /// its last lines while draining completes normally instead — the
+    /// request is absorbed.
+    ///
+    /// Returns `true` if a suspension was armed; `false` when the
+    /// engine is idle, the active job is a host-retired
+    /// [`submit`](Self::submit) (the synchronous path has no completion
+    /// ring to carry the partial record), the job has already
+    /// completed, or a suspension is already pending.
+    pub fn request_suspend(&mut self) -> bool {
+        match &mut self.job {
+            Some(j) if j.auto_retire && j.completed_at.is_none() && !j.suspend_requested => {
+                j.suspend_requested = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the active job is draining toward a suspension.
+    pub fn suspending(&self) -> bool {
+        self.job.as_ref().is_some_and(|j| j.suspend_requested)
+    }
+
+    /// Claim the mid-transfer state of the suspended descriptor `seq`
+    /// (the sequence number of its partial retirement record).
+    pub fn take_suspended(&mut self, seq: u64) -> Option<SuspendedTransfer> {
+        let idx = self.suspended.iter().position(|(s, _)| *s == seq)?;
+        self.suspended.remove(idx).map(|(_, st)| st)
+    }
+
+    /// Engine cycle the active descriptor's current activation started,
+    /// if one is executing — `cycle() - active_since()` is its
+    /// residency, the quantity a time-slice (quantum) preemption policy
+    /// bounds.
+    pub fn active_since(&self) -> Option<u64> {
+        self.job
+            .as_ref()
+            .filter(|j| j.completed_at.is_none())
+            .map(|j| j.started_at)
+    }
+
+    /// Sequence number of the descriptor currently executing, if any.
+    /// A host-side preemption layer compares this against its ring's
+    /// oldest in-flight descriptor before arming a suspension: when the
+    /// completion-ring poller runs slower than the dispatch clock, the
+    /// ring view can lag the engine (the engine already chained to the
+    /// next descriptor), and kicking on the stale view would suspend
+    /// the wrong chunk.
+    pub fn active_seq(&self) -> Option<u64> {
+        self.job
+            .as_ref()
+            .filter(|j| j.completed_at.is_none())
+            .map(|j| j.seq)
     }
 
     /// Queued descriptors not yet started (excludes the active job).
@@ -328,49 +528,54 @@ impl Dce {
             self.stats.writes_issued += 1;
         }
 
-        // (1)-(3) Issue reads while the data buffer has room.
-        let max_inflight = match job.sched.mode() {
-            DceMode::Coarse => self.cfg.coarse_inflight_lines as usize,
-            DceMode::PimMs => self.cfg.data_buffer_lines() as usize,
-        };
-        let mut stalled_on_buffer = false;
-        for _ in 0..self.cfg.issue_width {
-            if self.outbox.len() >= self.outbox_cap {
-                break;
-            }
-            if job.buffer_used >= self.cfg.data_buffer_lines() {
-                stalled_on_buffer = true;
-                break;
-            }
-            if job.inflight_reads.len() >= max_inflight {
-                break;
-            }
-            let Some(p) = job.sched.next_pair() else {
-                break;
+        // (1)-(3) Issue reads while the data buffer has room. A pending
+        // suspension stops read issue cold — the drain is what bounds
+        // the preemption latency to the in-flight pipeline depth.
+        if !job.suspend_requested {
+            let max_inflight = match job.sched.mode() {
+                DceMode::Coarse => self.cfg.coarse_inflight_lines as usize,
+                DceMode::PimMs => self.cfg.data_buffer_lines() as usize,
             };
-            let spaced = self.mapper.map(p.src);
-            let id = self.next_id;
-            self.next_id += 1;
-            self.outbox.push_back(DceRequest {
-                space: spaced.space,
-                req: MemRequest::read(id, p.src, spaced.addr, source),
-            });
-            job.inflight_reads.insert(id, p);
-            job.buffer_used += 1;
-            self.stats.reads_issued += 1;
-        }
-        if stalled_on_buffer {
-            self.stats.buffer_stall_cycles += 1;
+            let mut stalled_on_buffer = false;
+            for _ in 0..self.cfg.issue_width {
+                if self.outbox.len() >= self.outbox_cap {
+                    break;
+                }
+                if job.buffer_used >= self.cfg.data_buffer_lines() {
+                    stalled_on_buffer = true;
+                    break;
+                }
+                if job.inflight_reads.len() >= max_inflight {
+                    break;
+                }
+                let Some(p) = job.sched.next_pair() else {
+                    break;
+                };
+                let spaced = self.mapper.map(p.src);
+                let id = self.next_id;
+                self.next_id += 1;
+                self.outbox.push_back(DceRequest {
+                    space: spaced.space,
+                    req: MemRequest::read(id, p.src, spaced.addr, source),
+                });
+                job.inflight_reads.insert(id, p);
+                job.buffer_used += 1;
+                self.stats.reads_issued += 1;
+            }
+            if stalled_on_buffer {
+                self.stats.buffer_stall_cycles += 1;
+            }
         }
 
         // Completion check: every line written and nothing in flight.
-        if job.lines_written == job.total
-            && job.inflight_reads.is_empty()
+        let pipeline_empty = job.inflight_reads.is_empty()
             && job.inflight_writes == 0
             && job.transpose_q.is_empty()
-            && job.write_ready.is_empty()
-        {
+            && job.write_ready.is_empty();
+        if job.lines_written == job.total && pipeline_empty {
             job.completed_at = Some(now);
+        } else if job.suspend_requested {
+            self.stats.drain_cycles += 1;
         }
 
         // Queued descriptors retire themselves and chain to the next
@@ -382,13 +587,42 @@ impl Dce {
                 seq: job.seq,
                 started_at: job.started_at,
                 completed_at: job.completed_at.expect("checked above"),
-                bytes: job.total * LINE_BYTES,
+                bytes: (job.total - job.base_lines) * LINE_BYTES,
+                resumable: false,
             });
             self.stats.jobs_done += 1;
-            if let Some((op, mode)) = self.pending.pop_front() {
+            if let Some(desc) = self.pending.pop_front() {
                 // `clock` is already `now + 1`: the successor's first
                 // busy cycle is the very next engine cycle.
-                self.install(op, mode, true);
+                self.install_pending(desc);
+            }
+        } else if job.suspend_requested && pipeline_empty {
+            // Quiesced mid-transfer: partial retirement. The record
+            // credits only the bytes this activation moved; the live
+            // scheduler (cursor and all) is parked for the host to
+            // claim, and the engine chains straight to the next pending
+            // descriptor — a suspension frees the engine exactly like a
+            // retirement.
+            let job = self.job.take().expect("suspending job is active");
+            self.completions.push_back(DceCompletion {
+                seq: job.seq,
+                started_at: job.started_at,
+                completed_at: now,
+                bytes: (job.lines_written - job.base_lines) * LINE_BYTES,
+                resumable: true,
+            });
+            self.suspended.push_back((
+                job.seq,
+                SuspendedTransfer {
+                    kind: job.kind,
+                    sched: job.sched,
+                    lines_written: job.lines_written,
+                    total: job.total,
+                },
+            ));
+            self.stats.suspensions += 1;
+            if let Some(desc) = self.pending.pop_front() {
+                self.install_pending(desc);
             }
         }
     }
@@ -739,5 +973,120 @@ mod tests {
         dce.submit(PimMmuOp::to_pim([(PhysAddr(0), 0)], 64, 0), DceMode::PimMs)
             .unwrap();
         dce.retire_job();
+    }
+
+    /// A perfect-memory drive loop that also honors a one-shot
+    /// suspension request at cycle `suspend_at`: runs until `n`
+    /// completion records have been drained or `max_cycles` elapse.
+    fn drive_until_records(
+        dce: &mut Dce,
+        latency: u64,
+        max_cycles: u64,
+        n: usize,
+        suspend_at: Option<u64>,
+    ) -> Vec<DceCompletion> {
+        let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
+        let mut recs = Vec::new();
+        for now in 0..max_cycles {
+            if suspend_at == Some(now) {
+                assert!(dce.request_suspend(), "suspension must arm at {now}");
+                assert!(dce.suspending());
+                assert!(!dce.request_suspend(), "double-arm is rejected");
+            }
+            dce.tick();
+            while let Some(r) = dce.outbox_mut().pop_front() {
+                pending.push_back((
+                    now + latency,
+                    Completion {
+                        id: r.req.id,
+                        kind: r.req.kind,
+                        source: r.req.source,
+                        cycle: now + latency,
+                    },
+                ));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, c) = pending.pop_front().unwrap();
+                dce.on_completion(c);
+            }
+            while let Some(rec) = dce.pop_completion() {
+                recs.push(rec);
+            }
+            if recs.len() >= n {
+                break;
+            }
+        }
+        recs
+    }
+
+    #[test]
+    fn suspend_partially_retires_and_resume_finishes_the_job() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim((0..16).map(|i| (PhysAddr(i * 8192), i as u32)), 8192, 0);
+        let total_bytes = op.total_bytes();
+        dce.enqueue(op, DceMode::PimMs).unwrap();
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, 1, Some(40));
+        assert_eq!(recs.len(), 1);
+        let partial = recs[0];
+        assert!(partial.resumable);
+        assert!(partial.bytes < total_bytes, "suspension is mid-transfer");
+        assert!(!dce.busy(), "suspension frees the engine");
+        assert_eq!(dce.stats().suspensions, 1);
+        assert!(dce.stats().drain_cycles > 0);
+
+        let st = dce.take_suspended(partial.seq).expect("state claimable");
+        assert_eq!(st.bytes_done(), partial.bytes);
+        assert_eq!(st.remaining_bytes(), total_bytes - partial.bytes);
+        assert_eq!(st.entries(), 16);
+
+        dce.resume(st).unwrap();
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, 1, None);
+        assert_eq!(recs.len(), 1);
+        let fin = recs[0];
+        assert!(!fin.resumable);
+        assert_eq!(fin.seq, partial.seq + 1, "resume is a fresh descriptor");
+        assert_eq!(
+            partial.bytes + fin.bytes,
+            total_bytes,
+            "records across activations conserve bytes"
+        );
+        assert_eq!(dce.stats().resumes, 1);
+        // Every line read and written exactly once across activations.
+        assert_eq!(dce.stats().lines_done, total_bytes / 64);
+        assert_eq!(dce.stats().reads_issued, total_bytes / 64);
+    }
+
+    #[test]
+    fn suspend_is_refused_on_the_synchronous_path_and_idle_engines() {
+        let mut dce = setup();
+        assert!(!dce.request_suspend(), "idle engine has nothing to kick");
+        dce.submit(PimMmuOp::to_pim([(PhysAddr(0), 0)], 128, 0), DceMode::PimMs)
+            .unwrap();
+        assert!(
+            !dce.request_suspend(),
+            "host-retired submissions have no completion ring for the partial record"
+        );
+    }
+
+    #[test]
+    fn suspension_chains_to_the_next_pending_descriptor() {
+        let mut dce = setup();
+        let big = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        let small = PimMmuOp::to_pim([(PhysAddr(1 << 24), 100)], 128, 0);
+        dce.enqueue(big, DceMode::PimMs).unwrap();
+        dce.enqueue(small, DceMode::PimMs).unwrap();
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, 2, Some(20));
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].resumable, "big job suspended first");
+        assert!(!recs[1].resumable, "small pending descriptor ran next");
+        assert_eq!(recs[1].bytes, 128);
+        // The engine moved straight on: the successor starts the cycle
+        // after the quiesce.
+        assert_eq!(recs[1].started_at, recs[0].completed_at + 1);
+        // The suspended remainder resumes cleanly afterwards.
+        let st = dce.take_suspended(recs[0].seq).unwrap();
+        dce.resume(st).unwrap();
+        let recs2 = drive_until_records(&mut dce, 10, 1_000_000, 1, None);
+        assert_eq!(recs2[0].bytes + recs[0].bytes, 8 * 65536);
     }
 }

@@ -49,7 +49,7 @@ pub mod op;
 pub mod scheduler;
 
 pub use config::{DceConfig, DceMode};
-pub use dce::{Dce, DceStats};
+pub use dce::{Dce, DceCompletion, DceStats, SuspendedTransfer};
 pub use driver::DriverModel;
 pub use op::{OpError, PimMmuOp, XferKind};
 pub use scheduler::{LinePair, PairScheduler};

@@ -190,6 +190,28 @@ impl PairScheduler {
         self.total_lines - self.yielded
     }
 
+    /// Pairs yielded so far — the resumable cursor's position. A
+    /// scheduler carried across a [`Dce`](crate::Dce) suspend/resume
+    /// continues from exactly this point: per-core offsets, per-channel
+    /// round-robin positions and the channel cursor all persist, so the
+    /// channel sweep picks up where it left off instead of restarting
+    /// (the property the serving-aware PIM-MS work builds on).
+    pub fn yielded(&self) -> u64 {
+        self.yielded
+    }
+
+    /// Per-core address-buffer entries this schedule was built from
+    /// (the descriptor's core count, used to price a resume's context
+    /// reload like the original submission).
+    pub fn core_count(&self) -> usize {
+        match self.mode {
+            // PIM-MS splits the cores across channel queues.
+            DceMode::PimMs => self.channels.iter().map(|c| c.cores.len()).sum(),
+            // Coarse keeps every core in one logical queue.
+            DceMode::Coarse => self.channels.first().map_or(0, |c| c.cores.len()),
+        }
+    }
+
     /// Yield the next pair.
     ///
     /// * [`DceMode::PimMs`]: round-robin across PIM channels (line 28's

@@ -52,11 +52,21 @@ pub struct RingCompletion {
     pub posted: Posted,
     /// Engine cycle the descriptor started executing.
     pub started_cycle: u64,
-    /// Engine cycle it finished.
+    /// Engine cycle it finished (for a recall, quiesced).
     pub done_cycle: u64,
     /// Completion time on the simulation timeline, ns (drives the
     /// coalescing timer).
     pub done_ns: f64,
+    /// Bytes the device actually moved for this descriptor — equal to
+    /// `posted.desc.bytes` for a full retirement, less for a recall
+    /// ([`resumable`](Self::resumable)): the engine suspended the
+    /// descriptor mid-transfer and handed its remainder back to the
+    /// host.
+    pub bytes_moved: u64,
+    /// `true` when this entry is a partial retirement (an engine-side
+    /// suspension recalled the descriptor's remainder); the host
+    /// re-submits the rest as a resumed transfer.
+    pub resumable: bool,
 }
 
 /// Ring errors surfaced to the poster.
@@ -91,6 +101,9 @@ pub struct HostQueueStats {
     pub fired_on_count: u64,
     /// Interrupts fired because the aggregation timer expired.
     pub fired_on_timer: u64,
+    /// Descriptors recalled by an engine-side suspension (partial
+    /// retirements; their remainders re-enter the host queues).
+    pub recalled: u64,
     /// Largest device-side in-flight depth observed at a doorbell.
     pub max_in_flight: usize,
     /// Sum of in-flight depths sampled at each doorbell (mean =
@@ -113,6 +126,7 @@ impl HostQueueStats {
         self.interrupts += other.interrupts;
         self.fired_on_count += other.fired_on_count;
         self.fired_on_timer += other.fired_on_timer;
+        self.recalled += other.recalled;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
         self.inflight_sum += other.inflight_sum;
         self.polls += other.polls;
@@ -254,33 +268,71 @@ impl QueuePair {
 
     /// The device retired the ring's oldest descriptor at engine cycle
     /// `done_cycle` (= `done_ns` on the simulation timeline), having
-    /// started it at `started_cycle`. Returns its sequence number.
+    /// started it at `started_cycle` and moved `bytes_moved` payload
+    /// bytes. `resumable` marks a *partial* retirement (recall): the
+    /// engine suspended the descriptor mid-transfer, so `bytes_moved`
+    /// is below the posted byte count and the host owns the remainder.
+    /// Either way the slot follows the normal completion path — it
+    /// frees when the batch's interrupt is fielded.
     ///
     /// # Panics
     ///
     /// Panics if nothing is in flight or `seq` is not the oldest posted
     /// descriptor — the engine is a FIFO, so out-of-order retirement is
-    /// a modeling bug.
+    /// a modeling bug. Also panics if `bytes_moved` exceeds the posted
+    /// descriptor's bytes, or if a full retirement moved fewer.
     pub fn on_device_completion(
         &mut self,
         seq: u64,
         started_cycle: u64,
         done_cycle: u64,
         done_ns: f64,
+        bytes_moved: u64,
+        resumable: bool,
     ) {
         let posted = self
             .sq
             .pop_front()
             .expect("completion arrived with nothing in flight");
         assert_eq!(posted.seq, seq, "the engine retires descriptors in order");
+        assert!(
+            bytes_moved <= posted.desc.bytes,
+            "descriptor moved more bytes than it named"
+        );
+        assert!(
+            resumable || bytes_moved == posted.desc.bytes,
+            "a full retirement moves every posted byte"
+        );
         self.cq.push_back(RingCompletion {
             posted,
             started_cycle,
             done_cycle,
             done_ns,
+            bytes_moved,
+            resumable,
         });
         self.coalescer.on_completion(done_ns);
         self.stats.completed += 1;
+        if resumable {
+            self.stats.recalled += 1;
+        }
+    }
+
+    /// The oldest posted-and-unretired descriptor — the one the engine
+    /// is executing (or about to). A preemption layer reads its tag to
+    /// decide whether the in-service work should be kicked.
+    pub fn oldest_in_flight(&self) -> Option<&Posted> {
+        self.sq.front()
+    }
+
+    /// The posted-and-unretired descriptors *behind* the oldest, in
+    /// ring order: work already accepted device-side that the engine
+    /// will only reach after the active descriptor. A deep-ring
+    /// preemption layer treats an urgent descriptor stuck here like a
+    /// waiting queue head — the engine is a FIFO, so only kicking the
+    /// active descriptor lets it through.
+    pub fn posted_behind_oldest(&self) -> impl Iterator<Item = &Posted> {
+        self.sq.iter().skip(1)
     }
 
     /// Whether the coalescer would deliver an interrupt at `now_ns`.
@@ -336,7 +388,7 @@ mod tests {
         assert_eq!(cost, DriverModel::default().doorbell_ns(8));
         // Still full: the device has both and nothing was fielded.
         assert_eq!(qp.stage(desc(64), 1.0, 3), Err(HostQError::RingFull));
-        qp.on_device_completion(0, 0, 100, 31.25);
+        qp.on_device_completion(0, 0, 100, 31.25, 64, false);
         // Completed-but-unfielded still holds the slot.
         assert_eq!(qp.stage(desc(64), 1.0, 3), Err(HostQError::RingFull));
         assert!(qp.interrupt_due(31.25));
@@ -363,13 +415,42 @@ mod tests {
     }
 
     #[test]
+    fn recalls_surface_as_partial_retirements() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(2));
+        qp.stage(desc(4096), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        assert_eq!(qp.oldest_in_flight().unwrap().desc.bytes, 4096);
+        // The engine suspends the descriptor after 1 KiB: a recall.
+        qp.on_device_completion(0, 0, 50, 15.6, 1024, true);
+        assert!(qp.interrupt_due(15.6));
+        let batch = qp.field_interrupt(16.0);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].resumable);
+        assert_eq!(batch[0].bytes_moved, 1024);
+        assert_eq!(batch[0].posted.desc.bytes, 4096, "posted bytes unchanged");
+        assert_eq!(qp.stats().recalled, 1);
+        assert_eq!(qp.stats().completed, 1);
+        // The slot is free again — the remainder can be re-posted.
+        assert_eq!(qp.free_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every posted byte")]
+    fn full_retirements_must_move_every_byte() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(1));
+        qp.stage(desc(4096), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        qp.on_device_completion(0, 0, 50, 15.6, 1024, false);
+    }
+
+    #[test]
     #[should_panic(expected = "in order")]
     fn out_of_order_retirement_is_a_bug() {
         let mut qp = QueuePair::new(HostQueueConfig::with_depth(2));
         qp.stage(desc(64), 0.0, 0).unwrap();
         qp.stage(desc(64), 0.0, 0).unwrap();
         qp.ring_doorbell(&DriverModel::default());
-        qp.on_device_completion(1, 0, 10, 3.125);
+        qp.on_device_completion(1, 0, 10, 3.125, 64, false);
     }
 
     #[test]
@@ -384,10 +465,10 @@ mod tests {
             qp.stage(desc(64), 0.0, 0).unwrap();
         }
         qp.ring_doorbell(&DriverModel::default());
-        qp.on_device_completion(0, 0, 10, 3.125);
-        qp.on_device_completion(1, 11, 20, 6.25);
+        qp.on_device_completion(0, 0, 10, 3.125, 64, false);
+        qp.on_device_completion(1, 11, 20, 6.25, 64, false);
         assert!(!qp.interrupt_due(7.0), "2 of 3 with a long timer");
-        qp.on_device_completion(2, 21, 30, 9.375);
+        qp.on_device_completion(2, 21, 30, 9.375, 64, false);
         assert!(qp.interrupt_due(9.375));
         let batch = qp.field_interrupt(9.375);
         assert_eq!(

@@ -159,6 +159,7 @@ mod tests {
             interrupts: 1,
             fired_on_count: 1,
             fired_on_timer: 0,
+            recalled: 0,
             max_in_flight: 2,
             inflight_sum: 4,
             polls: 10,
@@ -170,6 +171,7 @@ mod tests {
             interrupts: 1,
             fired_on_count: 0,
             fired_on_timer: 1,
+            recalled: 1,
             max_in_flight: 5,
             inflight_sum: 5,
             polls: 10,

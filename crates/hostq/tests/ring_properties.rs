@@ -45,7 +45,8 @@ fn drive(cfg: HostQueueConfig, steps: &[u8], entries: &[usize]) -> (Vec<String>,
             }
             1 => {
                 if qp.in_flight() > 0 {
-                    qp.on_device_completion(next_done, cycle - 100, cycle, now_ns);
+                    let bytes = qp.oldest_in_flight().expect("in flight").desc.bytes;
+                    qp.on_device_completion(next_done, cycle - 100, cycle, now_ns, bytes, false);
                     log.push(format!("done {next_done} @{now_ns}"));
                     next_done += 1;
                 }
@@ -69,7 +70,8 @@ fn drive(cfg: HostQueueConfig, steps: &[u8], entries: &[usize]) -> (Vec<String>,
         now_ns += 20_000.0;
         cycle += 64_000;
         if qp.in_flight() > 0 {
-            qp.on_device_completion(next_done, cycle - 100, cycle, now_ns);
+            let bytes = qp.oldest_in_flight().expect("in flight").desc.bytes;
+            qp.on_device_completion(next_done, cycle - 100, cycle, now_ns, bytes, false);
             next_done += 1;
         }
         if qp.interrupt_due(now_ns) {

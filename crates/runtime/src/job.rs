@@ -2,7 +2,7 @@
 //! [`PimMmuOp`]s, and the per-job completion record.
 
 use pim_mapping::PhysAddr;
-use pim_mmu::{OpError, PimMmuOp, XferKind};
+use pim_mmu::{OpError, PimMmuOp, SuspendedTransfer, XferKind};
 use std::collections::VecDeque;
 
 /// A tenant-level transfer request: move `per_core_bytes` to/from each of
@@ -66,6 +66,14 @@ pub struct Job {
     pub total_bytes: u64,
     /// Chunked descriptors awaiting dispatch.
     pub chunks: VecDeque<PimMmuOp>,
+    /// Recalled remainders of preempted chunks awaiting re-dispatch,
+    /// each with the time its recall interrupt was fielded (the start
+    /// of its suspended-state residency). They run *ahead* of the
+    /// remaining fresh chunks (each holds an engine-side scheduler
+    /// cursor), so dispatch always drains them first. A queue, not an
+    /// option: with a deep ring two chunks of the same job can be in
+    /// flight and *both* be recalled before either resumes.
+    pub resume: VecDeque<(SuspendedTransfer, f64)>,
     /// When the first chunk entered the engine (None while queued).
     pub first_dispatch_ns: Option<f64>,
     /// Bytes whose chunks have completed.
@@ -95,6 +103,7 @@ impl Job {
             submit_ns,
             total_bytes: op.total_bytes(),
             chunks,
+            resume: VecDeque::new(),
             first_dispatch_ns: None,
             bytes_done: 0,
         })
@@ -109,6 +118,21 @@ impl Job {
     /// yet complete.
     pub fn in_service(&self) -> bool {
         self.first_dispatch_ns.is_some()
+    }
+
+    /// Whether a dispatch could hand this job work right now: either a
+    /// recalled remainder waiting to resume or an undispatched chunk.
+    pub fn has_dispatchable(&self) -> bool {
+        !self.resume.is_empty() || !self.chunks.is_empty()
+    }
+
+    /// Bytes the next dispatch would submit: the oldest suspended
+    /// remainder if one is pending, else the front chunk.
+    pub fn next_dispatch_bytes(&self) -> u64 {
+        match self.resume.front() {
+            Some((st, _)) => st.remaining_bytes(),
+            None => self.chunks.front().map_or(0, |c| c.total_bytes()),
+        }
     }
 }
 

@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod policy;
 pub mod runtime;
 pub mod serving;
+pub mod testkit;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
 pub use job::{Job, JobRecord, JobSpec};
@@ -76,7 +77,7 @@ pub use metrics::{
 pub use policy::{
     policy_by_name, Drr, Fcfs, HeadView, QueuePolicy, QueueView, Sjf, StrictPriority, POLICY_NAMES,
 };
-pub use runtime::{Placement, Runtime, RuntimeConfig, TenantSpec};
+pub use runtime::{Placement, Preemption, Runtime, RuntimeConfig, TenantSpec};
 pub use serving::ServingSystem;
 
 // The engine trait the runtime participates through, re-exported so

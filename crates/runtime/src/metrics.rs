@@ -155,6 +155,9 @@ pub struct HostIfaceStats {
     /// Interrupts delivered by the coalescing timer rather than the
     /// count threshold.
     pub fired_on_timer: u64,
+    /// Descriptors recalled mid-transfer by an engine-side suspension
+    /// (their remainders re-entered the tenant queues).
+    pub recalls: u64,
     /// Largest device-side in-flight descriptor depth observed.
     pub max_in_flight: usize,
     /// Mean in-flight depth sampled at doorbell rings.
@@ -177,6 +180,7 @@ impl HostIfaceStats {
             descriptors: s.posted,
             interrupts: s.interrupts,
             fired_on_timer: s.fired_on_timer,
+            recalls: s.recalled,
             max_in_flight: s.max_in_flight,
             mean_in_flight: s.mean_in_flight(),
             interrupts_per_job: if jobs == 0 {
@@ -211,6 +215,16 @@ pub struct TenantStats {
     pub service: LogHistogram,
     /// End-to-end latency: arrival → completion interrupt.
     pub e2e: LogHistogram,
+    /// Chunks of this tenant preempted mid-transfer (engine-side
+    /// suspensions whose remainder re-entered the queue).
+    pub preemptions: u64,
+    /// Suspended remainders re-dispatched (resumed). Trails
+    /// [`preemptions`](Self::preemptions) by at most the number of
+    /// currently-suspended chunks.
+    pub resumes: u64,
+    /// Suspended-state residency: time between a chunk's recall
+    /// (preemption interrupt) and its resume dispatch.
+    pub suspended: LogHistogram,
 }
 
 impl TenantStats {
@@ -299,6 +313,7 @@ mod tests {
             interrupts: 5,
             fired_on_count: 3,
             fired_on_timer: 2,
+            recalled: 1,
             max_in_flight: 3,
             inflight_sum: 8,
             polls: 100,
@@ -306,6 +321,7 @@ mod tests {
         let h = HostIfaceStats::from_ring(&s, 5);
         assert_eq!(h.doorbells, 4);
         assert_eq!(h.descriptors, 10);
+        assert_eq!(h.recalls, 1);
         assert_eq!(h.interrupts_per_job, 1.0);
         assert_eq!(h.interrupts_per_chunk, 0.5);
         assert_eq!(h.mean_in_flight, 2.0);

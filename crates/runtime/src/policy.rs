@@ -50,6 +50,25 @@ pub trait QueuePolicy: Send {
 
     /// Bookkeeping hook: `bytes` of `tenant`'s head job were dispatched.
     fn dispatched(&mut self, _tenant: usize, _bytes: u64) {}
+
+    /// How urgently this tenant's work needs the engine — *lower is
+    /// more urgent*, mirroring the strict-priority convention. The
+    /// runtime's `PriorityKick` preemption compares the urgency of a
+    /// waiting head against the chunk in service and kicks the engine
+    /// only when the waiter is *strictly* more urgent. The default
+    /// ranks every tenant equally, so policies without a class notion
+    /// (FCFS, SJF, DRR) never trigger a kick — under them
+    /// `PriorityKick` degenerates to `Off`.
+    fn urgency(&self, _queue: &QueueView) -> u32 {
+        0
+    }
+
+    /// Bookkeeping hook: a previously dispatched chunk of `tenant` was
+    /// recalled with `bytes` of it *undelivered* (an engine-side
+    /// suspension). Byte-accounting policies refund the credit they
+    /// charged at dispatch; the remainder is re-charged when its resume
+    /// dispatches.
+    fn recalled(&mut self, _tenant: usize, _bytes: u64) {}
 }
 
 /// First-come-first-served across tenants: global arrival order, jobs
@@ -199,6 +218,16 @@ impl QueuePolicy for Drr {
             *d = d.saturating_sub(bytes);
         }
     }
+
+    fn recalled(&mut self, tenant: usize, bytes: u64) {
+        // The tenant paid for the whole chunk at dispatch but only part
+        // was delivered before the preemption: hand the undelivered
+        // credit back so the byte shares stay exact across kicks (the
+        // resume re-charges it through `dispatched`).
+        if let Some(d) = self.deficit.get_mut(tenant) {
+            *d = d.saturating_add(bytes);
+        }
+    }
 }
 
 /// Strict priority: the most important backlogged class always wins;
@@ -217,6 +246,12 @@ impl QueuePolicy for StrictPriority {
             .filter_map(|q| q.head.map(|h| (q.priority, h.submit_ns, q.tenant)))
             .min_by(|a, b| a.partial_cmp(b).expect("finite keys"))
             .map(|(_, _, t)| t)
+    }
+
+    fn urgency(&self, queue: &QueueView) -> u32 {
+        // The priority class *is* the urgency: a waiting class-0 head
+        // kicks an in-service class-1 chunk off the engine.
+        queue.priority
     }
 }
 
@@ -391,6 +426,35 @@ mod tests {
         // Index only breaks exact submit-time ties.
         let qs = [view(1, 10.0, 64, true), view(0, 10.0, 64, true)];
         assert_eq!(p.pick(&qs), Some(0));
+    }
+
+    #[test]
+    fn urgency_is_the_priority_class_only_under_strict_priority() {
+        let q0 = view(0, 0.0, 64, false); // priority = tenant id
+        let q1 = view(1, 0.0, 64, false);
+        let prio = StrictPriority;
+        assert!(prio.urgency(&q0) < prio.urgency(&q1));
+        // Class-less policies rank everyone equally: no kick is ever
+        // strictly more urgent.
+        for name in ["fcfs", "sjf", "drr"] {
+            let p = policy_by_name(name, 4096).unwrap();
+            assert_eq!(p.urgency(&q0), p.urgency(&q1), "{name}");
+        }
+    }
+
+    #[test]
+    fn drr_refunds_undelivered_bytes_on_recall() {
+        let mut p = Drr::new(4096);
+        let qs = [view(0, 0.0, 1 << 20, false), view(1, 1.0, 1 << 20, false)];
+        let t = p.pick(&qs).unwrap();
+        let before = p.deficit[t];
+        p.dispatched(t, 4096);
+        assert_eq!(p.deficit[t], before - 4096);
+        // The engine kicked the chunk after delivering only 1 KiB:
+        // 3 KiB of credit comes back, so across the kick the tenant
+        // paid for exactly what it received.
+        p.recalled(t, 4096 - 1024);
+        assert_eq!(p.deficit[t], before - 1024);
     }
 
     #[test]

@@ -37,12 +37,12 @@ use crate::metrics::{jain_index, jain_satisfaction, HostIfaceStats, TenantStats}
 use crate::policy::{HeadView, QueuePolicy, QueueView};
 use pim_hostq::{Descriptor, DescriptorTag, HostQueueConfig, QueuePairSet};
 use pim_mapping::PhysAddr;
-use pim_mmu::{Dce, DceMode, DriverModel, XferKind};
+use pim_mmu::{Dce, DceMode, DriverModel, SuspendedTransfer, XferKind};
 use pim_sim::{
     ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE, TICKS_PER_NS,
 };
 use pim_workloads::JobShape;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Where a policy-picked chunk is placed in a sharded runtime (which
 /// engine's queue pair receives it).
@@ -83,6 +83,70 @@ impl Placement {
 
     /// Both placements, in report order.
     pub const ALL: [Placement; 2] = [Placement::HashPin, Placement::LeastLoaded];
+}
+
+/// Whether (and when) the runtime preempts a chunk *mid-transfer* by
+/// suspending the engine ([`Dce::request_suspend`]). Chunk-boundary
+/// preemption — the policy interleaving different tenants' chunks — is
+/// always on; this knob adds the engine-side kick that bounds the top
+/// class's wait below one chunk's service time, which is what keeps its
+/// tail latency flat as `chunk_bytes` grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preemption {
+    /// Never suspend: a dispatched chunk runs to retirement (the PR 4
+    /// behavior, bit-for-bit — the golden regression anchor).
+    Off,
+    /// Engine time-slicing: suspend the in-service chunk once its
+    /// activation has held the engine for `device_cycles` engine cycles
+    /// *and* another tenant has dispatchable work. Bounds any tenant's
+    /// monopoly of the engine regardless of `chunk_bytes`.
+    Quantum {
+        /// Max engine cycles one activation may hold the engine while
+        /// others wait (3.2 GHz ⇒ 3200 cycles = 1 µs).
+        device_cycles: u64,
+    },
+    /// Urgency-driven kick: when a waiting head is *strictly more
+    /// urgent* than the chunk in service (per
+    /// [`QueuePolicy::urgency`] — under [`StrictPriority`], a more
+    /// important class), suspend the in-service chunk. Policies without
+    /// an urgency notion never kick, so this degenerates to
+    /// [`Preemption::Off`]
+    /// under FCFS/SJF/DRR.
+    ///
+    /// [`QueuePolicy::urgency`]: crate::QueuePolicy::urgency
+    /// [`StrictPriority`]: crate::StrictPriority
+    PriorityKick,
+}
+
+impl Preemption {
+    /// CLI/report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preemption::Off => "off",
+            Preemption::Quantum { .. } => "quantum",
+            Preemption::PriorityKick => "kick",
+        }
+    }
+
+    /// Parse a CLI name (`off`, `quantum`, `kick`); `device_cycles`
+    /// parameterizes the quantum.
+    pub fn by_name(name: &str, device_cycles: u64) -> Option<Self> {
+        match name {
+            "off" => Some(Preemption::Off),
+            "quantum" => Some(Preemption::Quantum { device_cycles }),
+            "kick" => Some(Preemption::PriorityKick),
+            _ => None,
+        }
+    }
+
+    /// The three modes in report order, with the given quantum.
+    pub fn modes(device_cycles: u64) -> [Preemption; 3] {
+        [
+            Preemption::Off,
+            Preemption::Quantum { device_cycles },
+            Preemption::PriorityKick,
+        ]
+    }
 }
 
 /// One tenant of the runtime: its traffic model and QoS parameters.
@@ -156,6 +220,9 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// Where policy-picked chunks are placed across shards.
     pub placement: Placement,
+    /// Engine-side mid-chunk preemption mode ([`Preemption::Off`] — no
+    /// suspensions, the golden-pinned PR 4 behavior — is the default).
+    pub preemption: Preemption,
     /// PIM-core stride between tenants: tenant `i`'s jobs target cores
     /// `i * core_stride ..`. Core ids are channel-major, so a nonzero
     /// stride spreads tenants over PIM channels (0 — every tenant on
@@ -179,6 +246,7 @@ impl Default for RuntimeConfig {
             hostq: HostQueueConfig::synchronous(),
             shards: 1,
             placement: Placement::HashPin,
+            preemption: Preemption::Off,
             core_stride: 0,
         }
     }
@@ -216,6 +284,10 @@ pub struct Runtime {
     /// Jobs whose completion was announced by shard `s`'s interrupt
     /// (the final chunk retired there).
     completed_via_shard: Vec<u64>,
+    /// Mid-transfer state claimed from a suspending engine at the ring
+    /// drain, held until the recall's interrupt is fielded and the
+    /// remainder re-attaches to its job. Keyed by `(shard, ring seq)`.
+    suspended: HashMap<(usize, u64), SuspendedTransfer>,
     next_job_id: u64,
     records: Vec<JobRecord>,
     /// Dispatch opportunities where backlog existed but the policy
@@ -286,6 +358,7 @@ impl Runtime {
             qps: QueuePairSet::new(cfg.hostq, cfg.shards),
             driver_ready_ns: vec![0.0; cfg.shards],
             completed_via_shard: vec![0; cfg.shards],
+            suspended: HashMap::new(),
             next_job_id: 0,
             records: Vec::new(),
             missed_dispatches: 0,
@@ -343,6 +416,18 @@ impl Runtime {
     /// 0 for every work-conserving policy.
     pub fn missed_dispatches(&self) -> u64 {
         self.missed_dispatches
+    }
+
+    /// Chunks preempted mid-transfer (engine suspensions), across every
+    /// tenant.
+    pub fn preemptions(&self) -> u64 {
+        self.tenants.iter().map(|t| t.stats.preemptions).sum()
+    }
+
+    /// Suspended remainders re-dispatched, across every tenant. On a
+    /// drained run this equals [`preemptions`](Self::preemptions).
+    pub fn resumes(&self) -> u64 {
+        self.tenants.iter().map(|t| t.stats.resumes).sum()
     }
 
     /// Jain fairness index over per-tenant *serviced* bytes (chunk
@@ -485,20 +570,21 @@ impl Runtime {
                 weight: t.spec.weight,
                 backlog: t.queue.len(),
                 // The dispatch head: the oldest job with undispatched
-                // chunks. A job whose chunks are all in flight ring-side
-                // no longer offers work (with a depth-1 ring this is
-                // always the queue front, as before).
+                // work — a recalled remainder waiting to resume or a
+                // fresh chunk. A job whose chunks are all in flight
+                // ring-side no longer offers work (with a depth-1 ring
+                // this is always the queue front, as before).
                 head: if pinned_to.is_some_and(|s| self.tenant_shard(i) != s) {
                     None
                 } else {
                     t.queue
                         .iter()
-                        .find(|j| !j.chunks.is_empty())
+                        .find(|j| j.has_dispatchable())
                         .map(|j| HeadView {
                             submit_ns: j.submit_ns,
                             total_bytes: j.total_bytes,
                             remaining_bytes: j.remaining_bytes(),
-                            next_chunk_bytes: j.chunks.front().map_or(0, |c| c.total_bytes()),
+                            next_chunk_bytes: j.next_dispatch_bytes(),
                             in_service: j.in_service(),
                         })
                 },
@@ -533,12 +619,28 @@ impl Runtime {
         // coalescer's aggregation timer).
         let edge_ns =
             Clock::from_period_ps(dce.config().period_ps()).period as f64 / TICKS_PER_NS as f64;
-        let qp = self.qps.shard_mut(shard);
         while let Some(rec) = dce.pop_completion() {
             let done_ns = rec.completed_at as f64 * edge_ns;
-            qp.on_device_completion(rec.seq, rec.started_at, rec.completed_at, done_ns);
+            if rec.resumable {
+                // A recall: claim the mid-transfer state now (the engine
+                // parks it only until drained) and hold it until the
+                // partial record's interrupt routes it to its job.
+                let st = dce
+                    .take_suspended(rec.seq)
+                    .expect("a resumable record parks its suspended state");
+                self.suspended.insert((shard, rec.seq), st);
+            }
+            self.qps.shard_mut(shard).on_device_completion(
+                rec.seq,
+                rec.started_at,
+                rec.completed_at,
+                done_ns,
+                rec.bytes,
+                rec.resumable,
+            );
         }
 
+        let qp = self.qps.shard_mut(shard);
         if !qp.interrupt_due(now_ns) {
             return;
         }
@@ -564,7 +666,10 @@ impl Runtime {
                 + engine_ns
                 + self.cfg.driver.round_trip_ns(c.posted.desc.entries))
             .max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
-            let bytes = c.posted.desc.bytes;
+            // Credit what the engine actually moved — the full posted
+            // payload for a retirement, the pre-suspension progress for
+            // a recall.
+            let bytes = c.bytes_moved;
 
             let t = &mut self.tenants[tenant_idx];
             t.stats.bytes_serviced += bytes;
@@ -578,9 +683,32 @@ impl Runtime {
                 .iter()
                 .position(|j| j.id == c.posted.desc.tag.job)
                 .expect("completions route to a queued job");
+            t.queue[idx].bytes_done += bytes;
+            if c.resumable {
+                // A preempted chunk: re-attach the recalled remainder to
+                // its job so the next dispatch of this tenant resumes it
+                // (ahead of any fresh chunks), and start the suspended-
+                // state residency clock at this interrupt.
+                let st = self
+                    .suspended
+                    .remove(&(shard, c.posted.seq))
+                    .expect("a recall's suspended state was claimed at the drain");
+                debug_assert_eq!(st.remaining_bytes(), c.posted.desc.bytes - bytes);
+                let t = &mut self.tenants[tenant_idx];
+                // push_back, never overwrite: with a deep ring a second
+                // chunk of the same job can be recalled before the
+                // first remainder re-dispatches.
+                t.queue[idx].resume.push_back((st, now_ns));
+                t.stats.preemptions += 1;
+                // Refund the undelivered credit (DRR stays byte-exact
+                // across kicks); the resume re-charges it at dispatch.
+                self.policy
+                    .recalled(tenant_idx, c.posted.desc.bytes - bytes);
+                continue;
+            }
+            let t = &mut self.tenants[tenant_idx];
             let job = &mut t.queue[idx];
-            job.bytes_done += bytes;
-            if job.chunks.is_empty() && job.bytes_done == job.total_bytes {
+            if job.chunks.is_empty() && job.resume.is_empty() && job.bytes_done == job.total_bytes {
                 let job = t.queue.remove(idx).expect("checked above");
                 let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
                 t.stats.completed += 1;
@@ -633,6 +761,7 @@ impl Runtime {
         if self.tenants.iter().all(|t| t.queue.is_empty()) {
             return;
         }
+        self.maybe_preempt(dces);
         match self.cfg.placement {
             Placement::HashPin => {
                 for (s, dce) in dces.iter_mut().enumerate() {
@@ -640,6 +769,200 @@ impl Runtime {
                 }
             }
             Placement::LeastLoaded => self.dispatch_least_loaded(dces, now_ns),
+        }
+    }
+
+    /// Whether a tenant other than `victim` has dispatchable work that
+    /// shard `shard` could serve (under hash-pin, only tenants pinned
+    /// there count).
+    fn other_waiter_exists(&self, shard: usize, victim: usize) -> bool {
+        self.tenants.iter().enumerate().any(|(i, t)| {
+            i != victim
+                && (self.cfg.placement == Placement::LeastLoaded || self.tenant_shard(i) == shard)
+                && t.queue.iter().any(|j| j.has_dispatchable())
+        })
+    }
+
+    /// The mid-chunk preemption decision, taken at every dispatch edge
+    /// before placement: arm an engine suspension
+    /// ([`Dce::request_suspend`]) wherever the configured
+    /// [`Preemption`] mode says the in-service chunk should yield. The
+    /// suspension itself is asynchronous — the engine quiesces its
+    /// pipeline over the following cycles and the recalled remainder
+    /// comes back through the completion ring like any retirement.
+    /// The kickable victim on shard `s`: the tenant of the ring's
+    /// oldest in-flight descriptor, provided the engine is actually
+    /// still executing that descriptor (`active_seq` match — when the
+    /// poller domain runs slower than the dispatch clock the ring view
+    /// can lag the engine, and kicking on the stale view would suspend
+    /// the *next* chunk, possibly the urgent one), a suspension is not
+    /// already pending, and a remainder of the victim's current job is
+    /// not still waiting to resume (kicking chunk k+1 while chunk k's
+    /// remainder is parked just multiplies recalls without freeing
+    /// anything sooner).
+    fn kickable_victim(&self, s: usize, dce: &Dce) -> Option<usize> {
+        let oldest = self.qps.shard(s).oldest_in_flight()?;
+        if dce.suspending() || dce.active_seq() != Some(oldest.seq) {
+            return None;
+        }
+        let victim = oldest.desc.tag.tenant;
+        let job = oldest.desc.tag.job;
+        if self.tenants[victim]
+            .queue
+            .iter()
+            .any(|j| j.id == job && !j.resume.is_empty())
+        {
+            return None;
+        }
+        Some(victim)
+    }
+
+    /// Whether some shard's ring is completely empty: under work
+    /// stealing the dispatch running right after this check will place
+    /// a *queued* waiting chunk there, so suspending a busy engine for
+    /// that waiter would pay the whole drain/recall/resume round trip
+    /// for nothing. (A waiter already posted in a busy shard's FIFO
+    /// ring is different — no idle shard can free it; only kicking the
+    /// descriptor ahead of it can.)
+    fn idle_shard_exists(&self) -> bool {
+        self.qps.iter().any(|qp| qp.occupancy() == 0)
+    }
+
+    fn maybe_preempt(&mut self, dces: &mut [Dce]) {
+        // Under work stealing, queued heads only justify a kick when no
+        // idle engine could take them at this very edge.
+        let consider_queued = self.cfg.placement == Placement::HashPin || !self.idle_shard_exists();
+        match self.cfg.preemption {
+            Preemption::Off => {}
+            Preemption::Quantum { device_cycles } => {
+                for (s, dce) in dces.iter_mut().enumerate() {
+                    let Some(victim) = self.kickable_victim(s, dce) else {
+                        continue;
+                    };
+                    let Some(since) = dce.active_since() else {
+                        continue;
+                    };
+                    if dce.cycle().saturating_sub(since) < device_cycles {
+                        continue;
+                    }
+                    // Waiting work can be a queued head *or* a chunk
+                    // already posted behind the active descriptor in
+                    // this shard's FIFO ring — with a deep ring the
+                    // latter is exactly what an engine monopoly starves.
+                    if (consider_queued && self.other_waiter_exists(s, victim))
+                        || self.ring_waiter_exists(s, victim)
+                    {
+                        dce.request_suspend();
+                    }
+                }
+            }
+            Preemption::PriorityKick => {
+                match self.cfg.placement {
+                    // One kick per shard per edge: each shard's policy
+                    // view is masked to its pinned tenants.
+                    Placement::HashPin => {
+                        for (s, dce) in dces.iter_mut().enumerate() {
+                            let Some(victim) = self.kickable_victim(s, dce) else {
+                                continue;
+                            };
+                            // Cheap pre-check before building
+                            // (allocating) policy views: no potential
+                            // waiter, no kick to evaluate.
+                            if !self.other_waiter_exists(s, victim)
+                                && !self.ring_waiter_exists(s, victim)
+                            {
+                                continue;
+                            }
+                            let views = self.views(Some(s));
+                            self.kick_if_outranked(s, dce, victim, &views, true);
+                        }
+                    }
+                    // Under work-stealing, at most one shard per edge:
+                    // one urgent waiter needs one engine, and the next
+                    // edge — 312 ps later — can kick another if more
+                    // urgent work is still waiting. Target the shard
+                    // whose active chunk is least urgent (ties toward
+                    // the lowest shard id — deterministic).
+                    Placement::LeastLoaded => {
+                        let candidates: Vec<(usize, usize)> = (0..self.cfg.shards)
+                            .filter_map(|s| Some((s, self.kickable_victim(s, &dces[s])?)))
+                            .filter(|&(s, v)| {
+                                (consider_queued && self.other_waiter_exists(s, v))
+                                    || self.ring_waiter_exists(s, v)
+                            })
+                            .collect();
+                        if candidates.is_empty() {
+                            return;
+                        }
+                        let views = self.views(None);
+                        if let Some((s, victim)) = candidates.into_iter().max_by_key(|&(s, v)| {
+                            (self.policy.urgency(&views[v]), std::cmp::Reverse(s))
+                        }) {
+                            self.kick_if_outranked(
+                                s,
+                                &mut dces[s],
+                                victim,
+                                &views,
+                                consider_queued,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a descriptor from a tenant other than `victim` is
+    /// already posted behind the active one in shard `s`'s FIFO ring.
+    fn ring_waiter_exists(&self, s: usize, victim: usize) -> bool {
+        self.qps
+            .shard(s)
+            .posted_behind_oldest()
+            .any(|p| p.desc.tag.tenant != victim)
+    }
+
+    /// Kick shard `s`'s in-service chunk (owned by `victim`, already
+    /// vetted by [`kickable_victim`](Self::kickable_victim)) if
+    /// strictly more urgent work is stuck behind it — either a waiting
+    /// queue head or a descriptor already posted *behind* the active
+    /// one in this shard's FIFO ring (with a deep ring, an urgent
+    /// chunk can be accepted device-side and still be hostage to the
+    /// bulk chunk ahead of it). Urgency per the policy's
+    /// [`QueuePolicy::urgency`] ranking over the caller's `views`.
+    ///
+    /// [`QueuePolicy::urgency`]: crate::QueuePolicy::urgency
+    /// `consider_queued` is false when an idle shard could serve
+    /// queued heads at this edge (work stealing) — only ring waiters
+    /// justify a kick then.
+    fn kick_if_outranked(
+        &mut self,
+        s: usize,
+        dce: &mut Dce,
+        victim: usize,
+        views: &[QueueView],
+        consider_queued: bool,
+    ) {
+        let active_urgency = self.policy.urgency(&views[victim]);
+        let queued_waiter = views
+            .iter()
+            .filter(|_| consider_queued)
+            .filter(|v| v.tenant != victim && v.head.is_some())
+            .map(|v| self.policy.urgency(v))
+            .min();
+        let ring_waiter = self
+            .qps
+            .shard(s)
+            .posted_behind_oldest()
+            .map(|p| p.desc.tag.tenant)
+            .filter(|&t| t != victim)
+            .map(|t| self.policy.urgency(&views[t]))
+            .min();
+        let waiter = match (queued_waiter, ring_waiter) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if waiter.is_some_and(|u| u < active_urgency) {
+            dce.request_suspend();
         }
     }
 
@@ -654,7 +977,7 @@ impl Runtime {
         // Cheap pre-check before building (allocating) policy views:
         // most edges most shards have no pinned dispatchable work.
         let has_work = self.tenants.iter().enumerate().any(|(i, t)| {
-            self.tenant_shard(i) == shard && t.queue.iter().any(|j| !j.chunks.is_empty())
+            self.tenant_shard(i) == shard && t.queue.iter().any(|j| j.has_dispatchable())
         });
         if !has_work {
             return;
@@ -702,28 +1025,48 @@ impl Runtime {
         }
     }
 
-    /// Pop the picked tenant's next chunk, stage its descriptor on
+    /// Pop the picked tenant's next unit of work — a recalled remainder
+    /// first, else the next fresh chunk — stage its descriptor on
     /// `shard`'s ring and hand it to that shard's engine.
     fn stage_chunk(&mut self, pick: usize, shard: usize, dce: &mut Dce, now_ns: f64) {
         let t = &mut self.tenants[pick];
         let job = t
             .queue
             .iter_mut()
-            .find(|j| !j.chunks.is_empty())
+            .find(|j| j.has_dispatchable())
             .expect("policies only pick tenants with dispatchable work");
-        let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
         if job.first_dispatch_ns.is_none() {
             job.first_dispatch_ns = Some(now_ns);
         }
-        let bytes = chunk.total_bytes();
-        let entries = chunk.entries.len();
+        let job_id = job.id;
+        let (bytes, entries) = if let Some((st, recalled_at)) = job.resume.pop_front() {
+            // Resume the preempted chunk: the engine continues the
+            // suspended channel sweep from its cursor. The descriptor
+            // re-posts the remainder (a resume reloads the address-
+            // buffer context, so the driver prices its entries like a
+            // fresh submission).
+            let bytes = st.remaining_bytes();
+            let entries = st.entries();
+            t.stats.suspended.record(now_ns - recalled_at);
+            t.stats.resumes += 1;
+            dce.resume(st)
+                .expect("suspended transfers re-install cleanly");
+            (bytes, entries)
+        } else {
+            let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
+            let bytes = chunk.total_bytes();
+            let entries = chunk.entries.len();
+            dce.enqueue(chunk, self.cfg.mode)
+                .expect("chunk validated at job construction");
+            (bytes, entries)
+        };
         self.qps
             .shard_mut(shard)
             .stage(
                 Descriptor {
                     tag: DescriptorTag {
                         tenant: pick,
-                        job: job.id,
+                        job: job_id,
                     },
                     entries,
                     bytes,
@@ -732,8 +1075,6 @@ impl Runtime {
                 dce.cycle(),
             )
             .expect("free slot checked");
-        dce.enqueue(chunk, self.cfg.mode)
-            .expect("chunk validated at job construction");
         self.policy.dispatched(pick, bytes);
         self.chunks_dispatched += 1;
     }

@@ -1,80 +1,13 @@
-//! Async-host-interface invariants at the runtime level, over
-//! randomized ring depths, coalescing parameters and tenant traces:
-//! deep rings stay loss-free (every job completes exactly once), the
+//! Async-host-interface invariants at the runtime level over the
+//! *coalescing* axis (which the conformance suite's matrix does not
+//! sweep): deep rings with interrupt coalescing stay loss-free, the
 //! device never holds more descriptors than the ring depth, and seeded
-//! runs replay bit-for-bit.
+//! runs replay bit-for-bit across coalescing parameters.
 
-use pim_dram::Completion;
 use pim_hostq::HostQueueConfig;
-use pim_mapping::{HetMap, Organization, PimAddrSpace};
-use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
-use pim_runtime::{
-    policy_by_name, ArrivalProcess, JobRecord, JobSizer, Runtime, RuntimeConfig, TenantSpec,
-    Tickable, POLICY_NAMES,
-};
+use pim_runtime::testkit::{quick_driver, run_to_drain_sharded, trace_tenant};
+use pim_runtime::{policy_by_name, Runtime, RuntimeConfig, TenantSpec, POLICY_NAMES};
 use proptest::prelude::*;
-use std::collections::VecDeque;
-
-fn fresh_dce() -> Dce {
-    let dram = Organization::ddr4_dimm(4, 2);
-    let pim = Organization::upmem_dimm(4, 2);
-    let het = HetMap::pim_mmu(dram, pim);
-    let space = PimAddrSpace::new(het.pim_base(), pim);
-    Dce::new(DceConfig::table1(), het, space)
-}
-
-fn quick_driver() -> DriverModel {
-    DriverModel {
-        submit_fixed_ns: 5.0,
-        submit_per_entry_ns: 0.0,
-        interrupt_ns: 5.0,
-    }
-}
-
-fn trace_tenant(name: &str, times: Vec<f64>, per_core_bytes: u64, n_cores: u32) -> TenantSpec {
-    TenantSpec {
-        name: name.into(),
-        kind: XferKind::DramToPim,
-        arrival: ArrivalProcess::Trace(times),
-        sizer: JobSizer::Fixed {
-            per_core_bytes,
-            n_cores,
-        },
-        priority: 0,
-        weight: 1,
-    }
-}
-
-/// Drive against a perfect memory until drained; return the records.
-fn run_to_drain(rt: &mut Runtime, latency: u64, max_cycles: u64) -> Option<Vec<JobRecord>> {
-    let mut dce = fresh_dce();
-    let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
-    for cycle in 0..max_cycles {
-        Tickable::tick(rt);
-        let now_ns = rt.now_ns();
-        rt.drive(&mut dce, now_ns);
-        dce.tick();
-        while let Some(r) = dce.outbox_mut().pop_front() {
-            pending.push_back((
-                cycle + latency,
-                Completion {
-                    id: r.req.id,
-                    kind: r.req.kind,
-                    source: r.req.source,
-                    cycle: cycle + latency,
-                },
-            ));
-        }
-        while pending.front().is_some_and(|&(t, _)| t <= cycle) {
-            let (_, c) = pending.pop_front().unwrap();
-            dce.on_completion(c);
-        }
-        if rt.drained() {
-            return Some(rt.records().to_vec());
-        }
-    }
-    None
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -118,7 +51,7 @@ proptest! {
                 tenants,
                 policy_by_name(policy_name, chunk_bytes).unwrap(),
             );
-            let drained = run_to_drain(&mut rt, 20, 3_000_000);
+            let drained = run_to_drain_sharded(&mut rt, 20, 3_000_000);
             prop_assert!(drained.is_some(), "{policy_name} never drained at depth {depth}");
 
             // Exactly once: completed ids are exactly the submitted ids.
@@ -171,8 +104,8 @@ proptest! {
         };
         let mut a = build();
         let mut b = build();
-        let ra = run_to_drain(&mut a, 20, 3_000_000);
-        let rb = run_to_drain(&mut b, 20, 3_000_000);
+        let ra = run_to_drain_sharded(&mut a, 20, 3_000_000);
+        let rb = run_to_drain_sharded(&mut b, 20, 3_000_000);
         prop_assert!(ra.is_some() && rb.is_some());
         // JobRecord equality is f64-exact: bit-for-bit replay.
         prop_assert_eq!(ra.unwrap(), rb.unwrap());

@@ -1,207 +1,72 @@
-//! Scheduling-policy invariants, checked over randomized tenant mixes:
-//! every policy is work-conserving and loss-free (each submitted job
-//! completes exactly once), and FCFS preserves per-tenant order.
+//! Policy-specific behavior tests: ordering guarantees and fairness
+//! regressions that go beyond the shared contract.
 //!
-//! The runtime is driven against a *perfect-memory* DCE (fixed-latency
-//! completions, as in the engine's own unit tests) rather than the full
-//! simulated machine, so hundreds of randomized cases run in sensible
-//! time; the full-system path is exercised by the serving integration
-//! tests and the `runtime_serving` harness.
+//! The cross-policy invariants (exactly-once, loss-free, work
+//! conservation, byte conservation, seeded replay) live in the
+//! parameterized conformance suite (`tests/conformance.rs`),
+//! instantiated over every policy × placement × preemption mode; this
+//! file keeps what is *specific* to one policy — FCFS order
+//! preservation, DRR's deficit accounting under deep rings, SJF's
+//! tie-break starvation-freedom, DRR-vs-FCFS fairness under skew.
+//!
+//! All runs use the shared perfect-memory harness
+//! ([`pim_runtime::testkit`]).
 
-use pim_dram::Completion;
 use pim_hostq::HostQueueConfig;
-use pim_mapping::{HetMap, Organization, PimAddrSpace};
-use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
+use pim_runtime::testkit::{quick_driver, run_cycles_sharded, run_to_drain_sharded, trace_tenant};
 use pim_runtime::{
     jain_index, policy_by_name, ArrivalProcess, Drr, HeadView, JobSizer, QueuePolicy, QueueView,
-    Runtime, RuntimeConfig, Tickable, POLICY_NAMES,
+    Runtime, RuntimeConfig, POLICY_NAMES,
 };
 use proptest::prelude::*;
-use std::collections::VecDeque;
-
-fn fresh_dce() -> Dce {
-    let dram = Organization::ddr4_dimm(4, 2);
-    let pim = Organization::upmem_dimm(4, 2);
-    let het = HetMap::pim_mmu(dram, pim);
-    let space = PimAddrSpace::new(het.pim_base(), pim);
-    Dce::new(DceConfig::table1(), het, space)
-}
-
-/// A fast driver model so queues drain in few simulated microseconds.
-fn quick_driver() -> DriverModel {
-    DriverModel {
-        submit_fixed_ns: 5.0,
-        submit_per_entry_ns: 0.0,
-        interrupt_ns: 5.0,
-    }
-}
-
-/// Drive `runtime` against a perfect memory completing every request
-/// `latency` engine cycles after issue. Returns the cycle the runtime
-/// drained at, or None if it never did.
-fn run_to_drain(runtime: &mut Runtime, latency: u64, max_cycles: u64) -> Option<u64> {
-    let mut dce = fresh_dce();
-    let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
-    for cycle in 0..max_cycles {
-        Tickable::tick(runtime);
-        let now_ns = runtime.now_ns();
-        runtime.drive(&mut dce, now_ns);
-        dce.tick();
-        while let Some(r) = dce.outbox_mut().pop_front() {
-            pending.push_back((
-                cycle + latency,
-                Completion {
-                    id: r.req.id,
-                    kind: r.req.kind,
-                    source: r.req.source,
-                    cycle: cycle + latency,
-                },
-            ));
-        }
-        while pending.front().is_some_and(|&(t, _)| t <= cycle) {
-            let (_, c) = pending.pop_front().unwrap();
-            dce.on_completion(c);
-        }
-        if runtime.drained() {
-            return Some(cycle);
-        }
-    }
-    None
-}
-
-/// Same harness, but run for a fixed cycle budget (overload scenarios).
-fn run_cycles(runtime: &mut Runtime, latency: u64, cycles: u64) {
-    let mut dce = fresh_dce();
-    let mut pending: VecDeque<(u64, Completion)> = VecDeque::new();
-    for cycle in 0..cycles {
-        Tickable::tick(runtime);
-        let now_ns = runtime.now_ns();
-        runtime.drive(&mut dce, now_ns);
-        dce.tick();
-        while let Some(r) = dce.outbox_mut().pop_front() {
-            pending.push_back((
-                cycle + latency,
-                Completion {
-                    id: r.req.id,
-                    kind: r.req.kind,
-                    source: r.req.source,
-                    cycle: cycle + latency,
-                },
-            ));
-        }
-        while pending.front().is_some_and(|&(t, _)| t <= cycle) {
-            let (_, c) = pending.pop_front().unwrap();
-            dce.on_completion(c);
-        }
-    }
-}
-
-fn trace_tenant(
-    name: &str,
-    times: Vec<f64>,
-    per_core_bytes: u64,
-    n_cores: u32,
-) -> pim_runtime::TenantSpec {
-    pim_runtime::TenantSpec {
-        name: name.into(),
-        kind: XferKind::DramToPim,
-        arrival: ArrivalProcess::Trace(times),
-        sizer: JobSizer::Fixed {
-            per_core_bytes,
-            n_cores,
-        },
-        priority: 0,
-        weight: 1,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// FCFS preserves per-tenant submission order at the synchronous
+    /// depth: ids are assigned in arrival order, so each tenant's
+    /// completions must be ascending.
     #[test]
-    fn every_policy_is_work_conserving_and_loss_free(
+    fn fcfs_preserves_per_tenant_order(
         n_tenants in 1usize..4,
         raw_times in proptest::collection::vec(0u64..2_000, 1..10),
-        size_sel in proptest::collection::vec(0usize..4, 10),
         chunk_kib in 0usize..3,
     ) {
         let chunk_bytes = [64u64, 256, 1024][chunk_kib];
-        let sizes = [64u64, 128, 192, 256];
-        for policy_name in POLICY_NAMES {
-            // Distribute arrivals round-robin over tenants; each tenant's
-            // trace is ascending.
-            let mut traces: Vec<Vec<f64>> = vec![Vec::new(); n_tenants];
-            for (i, &t) in raw_times.iter().enumerate() {
-                traces[i % n_tenants].push(t as f64);
-            }
-            let mut expected_per_tenant = vec![0u64; n_tenants];
-            let tenants: Vec<_> = traces
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); n_tenants];
+        for (i, &t) in raw_times.iter().enumerate() {
+            traces[i % n_tenants].push(t as f64);
+        }
+        let tenants: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, times)| {
+                let mut times = times.clone();
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                trace_tenant(&format!("t{i}"), times, 128, 1 + (i as u32 % 4))
+            })
+            .collect();
+        let cfg = RuntimeConfig {
+            chunk_bytes,
+            driver: quick_driver(),
+            open_until_ns: 3_000.0,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(cfg, tenants, policy_by_name("fcfs", chunk_bytes).unwrap());
+        prop_assert!(run_to_drain_sharded(&mut rt, 20, 3_000_000).is_some());
+        for tenant in 0..n_tenants {
+            let seq: Vec<u64> = rt
+                .records()
                 .iter()
-                .enumerate()
-                .map(|(i, times)| {
-                    let mut times = times.clone();
-                    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    let per_core = sizes[size_sel[i % size_sel.len()]];
-                    let n_cores = 1 + (i as u32 % 4);
-                    expected_per_tenant[i] =
-                        times.len() as u64 * per_core * n_cores as u64;
-                    trace_tenant(&format!("t{i}"), times, per_core, n_cores)
-                })
+                .filter(|r| r.tenant == tenant)
+                .map(|r| r.id)
                 .collect();
-            let total_jobs: usize = raw_times.len();
-
-            let cfg = RuntimeConfig {
-                chunk_bytes,
-                driver: quick_driver(),
-                open_until_ns: 3_000.0,
-                ..RuntimeConfig::default()
-            };
-            let mut rt = Runtime::new(
-                cfg,
-                tenants,
-                policy_by_name(policy_name, chunk_bytes).unwrap(),
+            prop_assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "fcfs reordered tenant {}: {:?}",
+                tenant,
+                seq
             );
-            let drained = run_to_drain(&mut rt, 20, 3_000_000);
-            prop_assert!(drained.is_some(), "{policy_name} never drained");
-
-            // Loss-free, exactly-once: the completed ids are exactly the
-            // submitted ids.
-            let mut ids: Vec<u64> = rt.records().iter().map(|r| r.id).collect();
-            ids.sort_unstable();
-            prop_assert_eq!(ids.len(), total_jobs, "{} lost jobs", policy_name);
-            prop_assert_eq!(ids, (0..total_jobs as u64).collect::<Vec<_>>());
-
-            // Every byte accounted to its owning tenant.
-            for (i, (_, stats)) in rt.tenant_stats().iter().enumerate() {
-                prop_assert_eq!(stats.bytes_completed, expected_per_tenant[i]);
-                prop_assert_eq!(
-                    stats.bytes_serviced, expected_per_tenant[i],
-                    "drained runs service exactly the submitted bytes"
-                );
-                prop_assert_eq!(stats.completed, stats.submitted);
-            }
-
-            // Work conservation: the policy never declined with backlog.
-            prop_assert_eq!(rt.missed_dispatches(), 0, "{} idled", policy_name);
-
-            // FCFS preserves per-tenant submission order (ids are
-            // assigned in arrival order).
-            if policy_name == "fcfs" {
-                for tenant in 0..n_tenants {
-                    let seq: Vec<u64> = rt
-                        .records()
-                        .iter()
-                        .filter(|r| r.tenant == tenant)
-                        .map(|r| r.id)
-                        .collect();
-                    prop_assert!(
-                        seq.windows(2).all(|w| w[0] < w[1]),
-                        "fcfs reordered tenant {}: {:?}",
-                        tenant,
-                        seq
-                    );
-                }
-            }
         }
     }
 }
@@ -212,7 +77,7 @@ fn closed_loop_tenant_drains_with_every_policy() {
         let tenants = vec![
             pim_runtime::TenantSpec {
                 name: "closed".into(),
-                kind: XferKind::DramToPim,
+                kind: pim_mmu::XferKind::DramToPim,
                 arrival: ArrivalProcess::ClosedLoop {
                     inflight: 2,
                     think_ns: 50.0,
@@ -234,7 +99,7 @@ fn closed_loop_tenant_drains_with_every_policy() {
         };
         let mut rt = Runtime::new(cfg, tenants, policy_by_name(policy_name, 256).unwrap());
         assert!(
-            run_to_drain(&mut rt, 10, 3_000_000).is_some(),
+            run_to_drain_sharded(&mut rt, 10, 3_000_000).is_some(),
             "{policy_name} never drained a closed-loop tenant"
         );
         let stats = rt.tenant_stats();
@@ -351,7 +216,7 @@ proptest! {
             ..RuntimeConfig::default()
         };
         let mut rt = Runtime::new(cfg, tenants, policy_by_name("sjf", 256).unwrap());
-        let drained = run_to_drain(&mut rt, 20, 3_000_000);
+        let drained = run_to_drain_sharded(&mut rt, 20, 3_000_000);
         prop_assert!(
             drained.is_some(),
             "sjf starved someone at depth {depth} rotation {rotation}"
@@ -393,8 +258,8 @@ fn drr_is_fairer_than_fcfs_under_skewed_backlog() {
     let mut drr = build("drr");
     // Stop long before the backlog drains so the share under contention
     // is what's measured.
-    run_cycles(&mut fcfs, 20, 60_000);
-    run_cycles(&mut drr, 20, 60_000);
+    run_cycles_sharded(&mut fcfs, 20, 60_000);
+    run_cycles_sharded(&mut drr, 20, 60_000);
     let (jf, jd) = (fcfs.jain_by_bytes(), drr.jain_by_bytes());
     assert!(
         jd > jf + 0.1,

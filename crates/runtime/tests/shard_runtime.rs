@@ -1,217 +1,16 @@
-//! Shard-layer invariants for the multi-DCE runtime, driven against an
-//! array of perfect-memory engines: exactly-once completion across
-//! shards for every policy under both placements, and bit-for-bit
-//! seeded replay with work-stealing enabled.
+//! Shard-layer behavior beyond the shared contract.
 //!
-//! (The N = 1 bit-identity anchor against the pre-sharding goldens
-//! lives in `tests/hostq_regression.rs`; the full-machine composition
-//! is exercised there and by `shard_sweep`.)
+//! The cross-shard invariants (exactly-once for every policy under
+//! both placements, bounded rings, bit-identical seeded replay with
+//! work-stealing) are asserted by the parameterized conformance suite
+//! (`tests/conformance.rs`); the N = 1 bit-identity anchor against the
+//! pre-sharding goldens lives in `tests/hostq_regression.rs`. This
+//! file keeps the placement-specific behavior: hash-pin's per-tenant
+//! queue-pair isolation.
 
-use pim_dram::Completion;
 use pim_hostq::HostQueueConfig;
-use pim_mapping::{HetMap, Organization, PimAddrSpace};
-use pim_mmu::{Dce, DceConfig, DriverModel, XferKind};
-use pim_runtime::{
-    policy_by_name, ArrivalProcess, JobRecord, JobSizer, Placement, Runtime, RuntimeConfig,
-    TenantSpec, Tickable, POLICY_NAMES,
-};
-use proptest::prelude::*;
-use std::collections::VecDeque;
-
-fn fresh_dce(shard: u32) -> Dce {
-    let dram = Organization::ddr4_dimm(4, 2);
-    let pim = Organization::upmem_dimm(4, 2);
-    let het = HetMap::pim_mmu(dram, pim);
-    let space = PimAddrSpace::new(het.pim_base(), pim);
-    Dce::with_shard(DceConfig::table1(), het, space, shard)
-}
-
-fn quick_driver() -> DriverModel {
-    DriverModel {
-        submit_fixed_ns: 5.0,
-        submit_per_entry_ns: 0.0,
-        interrupt_ns: 5.0,
-    }
-}
-
-fn trace_tenant(name: &str, times: Vec<f64>, per_core_bytes: u64, n_cores: u32) -> TenantSpec {
-    TenantSpec {
-        name: name.into(),
-        kind: XferKind::DramToPim,
-        arrival: ArrivalProcess::Trace(times),
-        sizer: JobSizer::Fixed {
-            per_core_bytes,
-            n_cores,
-        },
-        priority: 0,
-        weight: 1,
-    }
-}
-
-/// Drive a sharded runtime against one perfect-memory engine per shard
-/// (every request completes `latency` engine cycles after issue); the
-/// composition order matches `ServingSystem::step` — poll every shard,
-/// then the shard-aware dispatch over the whole array. Returns the
-/// records if the runtime drained.
-fn run_to_drain_sharded(rt: &mut Runtime, latency: u64, max_cycles: u64) -> Option<Vec<JobRecord>> {
-    let shards = rt.config().shards;
-    let mut dces: Vec<Dce> = (0..shards).map(|s| fresh_dce(s as u32)).collect();
-    let mut pending: Vec<VecDeque<(u64, Completion)>> =
-        (0..shards).map(|_| VecDeque::new()).collect();
-    for cycle in 0..max_cycles {
-        Tickable::tick(rt);
-        let now_ns = rt.now_ns();
-        for (s, dce) in dces.iter_mut().enumerate() {
-            rt.poll_shard(s, dce, now_ns);
-        }
-        rt.dispatch(&mut dces, now_ns);
-        for (s, dce) in dces.iter_mut().enumerate() {
-            dce.tick();
-            while let Some(r) = dce.outbox_mut().pop_front() {
-                pending[s].push_back((
-                    cycle + latency,
-                    Completion {
-                        id: r.req.id,
-                        kind: r.req.kind,
-                        source: r.req.source,
-                        cycle: cycle + latency,
-                    },
-                ));
-            }
-            while pending[s].front().is_some_and(|&(t, _)| t <= cycle) {
-                let (_, c) = pending[s].pop_front().unwrap();
-                dce.on_completion(c);
-            }
-        }
-        if rt.drained() {
-            return Some(rt.records().to_vec());
-        }
-    }
-    None
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Every policy × both placements × 1–4 shards: the sharded
-    /// dispatch layer is loss-free and exactly-once — the completed job
-    /// ids are exactly the submitted ids, every byte lands on its
-    /// owning tenant, no shard's ring exceeds its depth, and the policy
-    /// never idles with backlog.
-    #[test]
-    fn exactly_once_completion_across_shards_for_every_policy(
-        shards in 1usize..5,
-        depth in 1usize..5,
-        placement_sel in 0usize..2,
-        raw_times in proptest::collection::vec(0u64..2_000, 2..9),
-    ) {
-        let placement = Placement::ALL[placement_sel];
-        for policy_name in POLICY_NAMES {
-            let mut traces: Vec<Vec<f64>> = vec![Vec::new(); 3];
-            for (i, &t) in raw_times.iter().enumerate() {
-                traces[i % 3].push(t as f64);
-            }
-            let mut expected = [0u64; 3];
-            let tenants: Vec<_> = traces
-                .iter()
-                .enumerate()
-                .map(|(i, times)| {
-                    let mut times = times.clone();
-                    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    let n_cores = 2 + i as u32;
-                    expected[i] = times.len() as u64 * 256 * n_cores as u64;
-                    trace_tenant(&format!("t{i}"), times, 256, n_cores)
-                })
-                .collect();
-            let cfg = RuntimeConfig {
-                chunk_bytes: 256,
-                driver: quick_driver(),
-                open_until_ns: 3_000.0,
-                hostq: HostQueueConfig::with_depth(depth),
-                shards,
-                placement,
-                ..RuntimeConfig::default()
-            };
-            let mut rt = Runtime::new(
-                cfg,
-                tenants,
-                policy_by_name(policy_name, 256).unwrap(),
-            );
-            let drained = run_to_drain_sharded(&mut rt, 20, 3_000_000);
-            prop_assert!(
-                drained.is_some(),
-                "{policy_name}/{} never drained at {shards} shards",
-                placement.name()
-            );
-
-            let mut ids: Vec<u64> = rt.records().iter().map(|r| r.id).collect();
-            ids.sort_unstable();
-            prop_assert_eq!(ids, (0..raw_times.len() as u64).collect::<Vec<_>>());
-            for (i, (_, stats)) in rt.tenant_stats().iter().enumerate() {
-                prop_assert_eq!(stats.completed, stats.submitted);
-                prop_assert_eq!(stats.bytes_completed, expected[i]);
-                prop_assert_eq!(stats.bytes_serviced, expected[i]);
-                prop_assert_eq!(stats.bytes_submitted, expected[i]);
-            }
-            prop_assert_eq!(rt.missed_dispatches(), 0, "{} idled", policy_name);
-
-            // Per-shard rings respect their depth, and the per-shard
-            // stats sum to the aggregate.
-            let agg = rt.host_stats();
-            prop_assert!(agg.max_in_flight <= depth);
-            let per_shard = rt.shard_host_stats();
-            prop_assert_eq!(per_shard.len(), shards);
-            let db: u64 = per_shard.iter().map(|s| s.doorbells).sum();
-            prop_assert_eq!(db, agg.doorbells);
-            let descs: u64 = per_shard.iter().map(|s| s.descriptors).sum();
-            prop_assert_eq!(descs, agg.descriptors);
-        }
-    }
-
-    /// Seeded sharded runs replay bit for bit — including with
-    /// work-stealing placement, whose shard choices must be a pure
-    /// function of simulation state (shallowest ring, lowest id on
-    /// ties), never of iteration order or hashing.
-    #[test]
-    fn seeded_sharded_replay_is_bit_identical_with_work_stealing(
-        shards in 2usize..5,
-        depth in 1usize..6,
-        seed in 1u64..1_000_000,
-    ) {
-        let build = || {
-            let cfg = RuntimeConfig {
-                chunk_bytes: 512,
-                driver: quick_driver(),
-                open_until_ns: 2_000.0,
-                seed,
-                hostq: HostQueueConfig::with_depth(depth),
-                shards,
-                placement: Placement::LeastLoaded,
-                ..RuntimeConfig::default()
-            };
-            let tenants = vec![
-                TenantSpec::poisson("a", 400.0, 256, 4),
-                TenantSpec::poisson("b", 700.0, 128, 2),
-                TenantSpec::poisson("c", 900.0, 256, 2),
-            ];
-            Runtime::new(cfg, tenants, policy_by_name("drr", 512).unwrap())
-        };
-        let mut a = build();
-        let mut b = build();
-        let ra = run_to_drain_sharded(&mut a, 20, 3_000_000);
-        let rb = run_to_drain_sharded(&mut b, 20, 3_000_000);
-        prop_assert!(ra.is_some() && rb.is_some());
-        // JobRecord equality is f64-exact: bit-for-bit replay.
-        prop_assert_eq!(ra.unwrap(), rb.unwrap());
-        prop_assert_eq!(a.host_stats(), b.host_stats());
-        prop_assert_eq!(a.shard_host_stats(), b.shard_host_stats());
-        prop_assert_eq!(a.jain_by_bytes().to_bits(), b.jain_by_bytes().to_bits());
-        prop_assert_eq!(
-            a.jain_by_satisfaction().to_bits(),
-            b.jain_by_satisfaction().to_bits()
-        );
-    }
-}
+use pim_runtime::testkit::{quick_driver, run_to_drain_sharded, trace_tenant};
+use pim_runtime::{policy_by_name, Placement, Runtime, RuntimeConfig};
 
 /// Hash-pin isolation: with one shard per tenant, each tenant's chunks
 /// flow exclusively through its own ring — the literal per-tenant

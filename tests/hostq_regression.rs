@@ -1,147 +1,28 @@
-//! The async host interface's regression anchor: at queue depth 1 with
-//! interrupt coalescing off (the identity [`HostQueueConfig`]), the
-//! doorbell/queue-pair dispatch path must reproduce the *synchronous*
-//! serving results bit-for-bit.
+//! The layered bit-for-bit regression anchors: every layer's identity
+//! point must reproduce the PR 2 synchronous serving results exactly —
+//! queue depth 1 with coalescing off (PR 3), a single-shard engine
+//! array under either placement (PR 4), and `Preemption::Off` (PR 5).
 //!
-//! The golden values below were captured from the pre-queue-pair
-//! runtime (the synchronous `driver_ready_ns` handshake, PR 2) on the
-//! exact seeded scenario of `tests/serving_runtime.rs`'s determinism
-//! test: every `f64` is pinned to the bit. Any drift in the depth-1
-//! path — timestamp arithmetic, edge ordering, driver gating — fails
-//! here before it can silently re-baseline the serving numbers.
+//! The golden scenario, table and assertion live in
+//! [`pim_bench::goldens`]; any drift in the identity paths —
+//! timestamp arithmetic, edge ordering, driver gating, suspension
+//! bookkeeping — fails here before it can silently re-baseline the
+//! serving numbers.
 
-use pim_runtime::{
-    Fcfs, HostQueueConfig, Placement, Runtime, RuntimeConfig, ServingSystem, TenantSpec,
-};
-use pim_sim::{DesignPoint, SystemConfig};
+use pim_bench::goldens::{assert_matches_pr4_golden, golden_scenario, run_golden};
+use pim_runtime::{HostQueueConfig, Placement, Preemption, RuntimeConfig, ServingSystem};
 
-fn run_sharded(hostq: HostQueueConfig, shards: usize, placement: Placement) -> ServingSystem {
-    let rt_cfg = RuntimeConfig {
-        chunk_bytes: 64 << 10,
-        open_until_ns: 40_000.0,
-        seed: 7,
-        hostq,
-        shards,
-        placement,
-        ..RuntimeConfig::default()
-    };
-    let tenants = vec![
-        TenantSpec::poisson("a", 6_000.0, 1024, 64),
-        TenantSpec::poisson("b", 9_000.0, 512, 64),
-    ];
-    let runtime = Runtime::new(rt_cfg, tenants, Box::new(Fcfs));
-    let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
-    cfg.sample_ns = 50_000.0;
-    let mut serving = ServingSystem::new(cfg, runtime);
-    serving.run_for(60_000.0);
-    serving
+fn run_with(mutate: impl FnOnce(&mut RuntimeConfig)) -> ServingSystem {
+    let (mut rt_cfg, tenants) = golden_scenario(7);
+    mutate(&mut rt_cfg);
+    run_golden(rt_cfg, tenants)
 }
-
-fn run(hostq: HostQueueConfig) -> ServingSystem {
-    run_sharded(hostq, 1, Placement::HashPin)
-}
-
-/// `(id, tenant, submit, dispatch, complete, bytes)` with timestamps as
-/// `f64::to_bits`, captured from the synchronous runtime.
-const GOLDEN: [(u64, usize, u64, u64, u64, u64); 9] = [
-    (
-        0,
-        1,
-        4638435053409786461,
-        4638452529493966848,
-        4663863614302870044,
-        32768,
-    ),
-    (
-        1,
-        0,
-        4662768889582079505,
-        4662768985056477184,
-        4669157847178128916,
-        65536,
-    ),
-    (
-        2,
-        1,
-        4665764508129905159,
-        4668197205243330560,
-        4670966221374035591,
-        32768,
-    ),
-    (
-        3,
-        0,
-        4666590976988042528,
-        4670484773544656896,
-        4673063330621931127,
-        65536,
-    ),
-    (
-        4,
-        0,
-        4667959424128605430,
-        4672583208666136576,
-        4674941671072040223,
-        65536,
-    ),
-    (
-        5,
-        0,
-        4671203484735604151,
-        4674666783200772096,
-        4675981743101218652,
-        65536,
-    ),
-    (
-        6,
-        1,
-        4671403999308218130,
-        4675741667486072832,
-        4676621347157037810,
-        32768,
-    ),
-    (
-        7,
-        1,
-        4671861256163513855,
-        4676380629770698752,
-        4677256235751082820,
-        32768,
-    ),
-    (
-        8,
-        0,
-        4672053818819178346,
-        4677015511836393472,
-        4678304790375030587,
-        65536,
-    ),
-];
 
 #[test]
 fn depth1_no_coalescing_reproduces_the_synchronous_results_bit_for_bit() {
-    let serving = run(HostQueueConfig::synchronous());
+    let serving = run_with(|cfg| cfg.hostq = HostQueueConfig::synchronous());
     let rt = serving.runtime();
-    assert_eq!(rt.records().len(), GOLDEN.len());
-    for (rec, g) in rt.records().iter().zip(GOLDEN) {
-        assert_eq!(rec.id, g.0);
-        assert_eq!(rec.tenant, g.1);
-        assert_eq!(rec.submit_ns.to_bits(), g.2, "job {} submit drifted", g.0);
-        assert_eq!(
-            rec.dispatch_ns.to_bits(),
-            g.3,
-            "job {} dispatch drifted",
-            g.0
-        );
-        assert_eq!(
-            rec.complete_ns.to_bits(),
-            g.4,
-            "job {} completion drifted",
-            g.0
-        );
-        assert_eq!(rec.bytes, g.5);
-    }
-    assert_eq!(rt.jain_by_bytes().to_bits(), 4605784749950143806);
+    assert_matches_pr4_golden(rt, "depth-1 identity");
     assert_eq!(rt.chunks_dispatched(), 10);
     let host = rt.host_stats();
     // The identity ring: one doorbell per chunk and one interrupt per
@@ -162,23 +43,9 @@ fn depth1_no_coalescing_reproduces_the_synchronous_results_bit_for_bit() {
 #[test]
 fn single_shard_sharded_runs_reproduce_the_goldens_under_both_placements() {
     for placement in Placement::ALL {
-        let serving = run_sharded(HostQueueConfig::synchronous(), 1, placement);
+        let serving = run_with(|cfg| cfg.placement = placement);
         let rt = serving.runtime();
-        assert_eq!(
-            rt.records().len(),
-            GOLDEN.len(),
-            "{} drifted",
-            placement.name()
-        );
-        for (rec, g) in rt.records().iter().zip(GOLDEN) {
-            assert_eq!(rec.id, g.0, "{}", placement.name());
-            assert_eq!(rec.tenant, g.1, "{}", placement.name());
-            assert_eq!(rec.submit_ns.to_bits(), g.2, "{}", placement.name());
-            assert_eq!(rec.dispatch_ns.to_bits(), g.3, "{}", placement.name());
-            assert_eq!(rec.complete_ns.to_bits(), g.4, "{}", placement.name());
-            assert_eq!(rec.bytes, g.5, "{}", placement.name());
-        }
-        assert_eq!(rt.jain_by_bytes().to_bits(), 4605784749950143806);
+        assert_matches_pr4_golden(rt, placement.name());
         // The aggregate host view of one shard is the old single-ring
         // view.
         let host = rt.host_stats();
@@ -189,6 +56,31 @@ fn single_shard_sharded_runs_reproduce_the_goldens_under_both_placements() {
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0], host);
     }
+}
+
+/// The preemption layer's identity anchor: `Preemption::Off` (the
+/// default) must never suspend anything and must reproduce the PR 4
+/// goldens to the f64 bit — and so must `PriorityKick` on this
+/// scenario, whose two tenants share one priority class (no waiter is
+/// ever *strictly* more urgent, so the kick path's decision logic runs
+/// at every dispatch edge but never fires).
+#[test]
+fn preemption_off_reproduces_the_pr4_goldens_bit_for_bit() {
+    assert_eq!(
+        RuntimeConfig::default().preemption,
+        Preemption::Off,
+        "Off must stay the default — it is the golden-pinned behavior"
+    );
+    let serving = run_with(|cfg| cfg.preemption = Preemption::Off);
+    let rt = serving.runtime();
+    assert_matches_pr4_golden(rt, "preemption off");
+    assert_eq!(rt.preemptions(), 0);
+    assert_eq!(rt.host_stats().recalls, 0);
+
+    let kicked = run_with(|cfg| cfg.preemption = Preemption::PriorityKick);
+    let rt = kicked.runtime();
+    assert_matches_pr4_golden(rt, "kick with equal classes");
+    assert_eq!(rt.preemptions(), 0, "equal classes never kick");
 }
 
 /// Sharding the same scenario across two engines completes every job
@@ -202,8 +94,8 @@ fn single_shard_sharded_runs_reproduce_the_goldens_under_both_placements() {
 /// serialized everything.)
 #[test]
 fn two_shards_improve_on_one_and_split_the_tenants_under_hash_pin() {
-    let one = run_sharded(HostQueueConfig::synchronous(), 1, Placement::HashPin);
-    let two = run_sharded(HostQueueConfig::synchronous(), 2, Placement::HashPin);
+    let one = run_with(|_| {});
+    let two = run_with(|cfg| cfg.shards = 2);
     let (r1, r2) = (one.runtime(), two.runtime());
     assert!(r2.records().len() > r1.records().len());
     let mut q1 = 0.0;
@@ -253,8 +145,8 @@ fn two_shards_improve_on_one_and_split_the_tenants_under_hash_pin() {
 /// fits strictly more jobs).
 #[test]
 fn deeper_rings_dominate_the_synchronous_path() {
-    let sync = run(HostQueueConfig::synchronous());
-    let deep = run(HostQueueConfig::with_depth(8));
+    let sync = run_with(|_| {});
+    let deep = run_with(|cfg| cfg.hostq = HostQueueConfig::with_depth(8));
     let s = sync.runtime();
     let d = deep.runtime();
     assert!(

@@ -64,29 +64,21 @@ fn single_tenant_fcfs_reproduces_the_transfer_harness_bit_identically() {
     );
 }
 
+/// The golden 2-tenant mix, built and run by the shared helper in
+/// `pim_bench::goldens` (the same scenario the bit-for-bit anchors in
+/// `tests/hostq_regression.rs` pin).
 fn poisson_mix(seed: u64) -> ServingSystem {
-    let rt_cfg = RuntimeConfig {
-        chunk_bytes: 64 << 10,
-        open_until_ns: 40_000.0,
-        seed,
-        ..RuntimeConfig::default()
-    };
-    let tenants = vec![
-        TenantSpec::poisson("a", 6_000.0, 1024, 64),
-        TenantSpec::poisson("b", 9_000.0, 512, 64),
-    ];
-    let runtime = Runtime::new(rt_cfg, tenants, Box::new(Fcfs));
-    ServingSystem::new(quick_cfg(), runtime)
+    let (rt_cfg, tenants) = pim_bench::goldens::golden_scenario(seed);
+    pim_bench::goldens::run_golden(rt_cfg, tenants)
 }
 
 /// Two runs of the same seeded open-loop trace are bit-identical: same
-/// job records (ids, timestamps to the last bit), same fairness index.
+/// job records (ids, timestamps to the last bit), same fairness index —
+/// and seed 7 is exactly the pinned golden capture.
 #[test]
 fn seeded_serving_runs_are_bit_identical() {
-    let mut a = poisson_mix(7);
-    let mut b = poisson_mix(7);
-    a.run_for(60_000.0);
-    b.run_for(60_000.0);
+    let a = poisson_mix(7);
+    let b = poisson_mix(7);
     assert!(
         !a.runtime().records().is_empty(),
         "the mix must complete jobs within the horizon"
@@ -96,8 +88,8 @@ fn seeded_serving_runs_are_bit_identical() {
         a.runtime().jain_by_bytes().to_bits(),
         b.runtime().jain_by_bytes().to_bits()
     );
+    pim_bench::goldens::assert_matches_pr4_golden(a.runtime(), "seeded mix");
     // A different seed produces a different trace.
-    let mut c = poisson_mix(8);
-    c.run_for(60_000.0);
+    let c = poisson_mix(8);
     assert_ne!(a.runtime().records(), c.runtime().records());
 }
