@@ -9,7 +9,9 @@
 pub mod goldens;
 pub mod json;
 
-use pim_sim::{DesignPoint, SystemConfig};
+use json::Json;
+use pim_sim::{DesignPoint, SystemConfig, TimingStats};
+use std::time::Instant;
 
 /// Parse harness CLI flags (`--full` for paper-scale sizes, `--threads N`
 /// to bound the batch-harness worker pool).
@@ -60,6 +62,62 @@ pub fn row(label: &str, values: &[f64]) {
         print!(" {v:>9.3}");
     }
     println!();
+}
+
+/// Wall-clock and event-scheduler metadata for one sweep cell, so every
+/// benchmark's JSON records how much simulated time the run covered,
+/// how hard the timing core worked for it, and what the idle-skip
+/// machinery saved (`edges_skipped` is zero under the cycle-stepped
+/// reference by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepMeta {
+    /// Wall-clock time the run took, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated span covered, nanoseconds.
+    pub sim_ns: f64,
+    /// Scheduler events processed ([`TimingStats::events_fired`]).
+    pub events_fired: u64,
+    /// Per-domain edges actually delivered ([`TimingStats::domain_ticks`]).
+    pub domain_ticks: u64,
+    /// Idle edges elided by deferral/parking ([`TimingStats::edges_skipped`]).
+    pub edges_skipped: u64,
+}
+
+impl SweepMeta {
+    /// Run `f`, timing it on the wall clock; `f` returns the simulated
+    /// span and the system's final [`TimingStats`].
+    pub fn measure(f: impl FnOnce() -> (f64, TimingStats)) -> Self {
+        let start = Instant::now();
+        let (sim_ns, stats) = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        SweepMeta {
+            wall_ms,
+            sim_ns,
+            events_fired: stats.events_fired,
+            domain_ticks: stats.domain_ticks,
+            edges_skipped: stats.edges_skipped,
+        }
+    }
+
+    /// Simulation rate: simulated nanoseconds per wall-clock second.
+    pub fn sim_ns_per_wall_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.sim_ns / (self.wall_ms / 1e3)
+    }
+
+    /// The metadata as a JSON object for a sweep cell.
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("wall_ms", Json::num(self.wall_ms)),
+            ("sim_ns", Json::num(self.sim_ns)),
+            ("events_fired", Json::int(self.events_fired)),
+            ("domain_ticks", Json::int(self.domain_ticks)),
+            ("edges_skipped", Json::int(self.edges_skipped)),
+            ("sim_ns_per_wall_s", Json::num(self.sim_ns_per_wall_s())),
+        ])
+    }
 }
 
 /// Geometric mean of a slice.

@@ -246,6 +246,14 @@ impl Dce {
         self.job.is_some()
     }
 
+    /// Whether the engine holds no host-visible work at all: no active
+    /// job, no pending descriptors and no retired-but-undrained
+    /// completions. A host poller may sleep past an idle engine — no
+    /// retirement can surface until another descriptor arrives.
+    pub fn idle(&self) -> bool {
+        self.job.is_none() && self.pending.is_empty() && self.completions.is_empty()
+    }
+
     /// Engine cycle of the last job's completion, if it finished.
     pub fn completed_at(&self) -> Option<u64> {
         self.job.as_ref().and_then(|j| j.completed_at)
@@ -257,6 +265,15 @@ impl Dce {
     /// the one-shot harness's accounting.
     pub fn cycle(&self) -> u64 {
         self.clock
+    }
+
+    /// Catch up over `cycles` skipped engine cycles — exactly equivalent
+    /// to that many [`tick`](Self::tick)s while the engine has no active
+    /// job and an empty pending ring (an idle tick only advances the
+    /// clock), or while the active job has completed and awaits host
+    /// retirement (a completed tick returns before touching the job).
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        self.clock += cycles;
     }
 
     /// Requests awaiting entry into the memory subsystem.

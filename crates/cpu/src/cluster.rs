@@ -214,6 +214,26 @@ impl CpuCluster {
             && self.mem.inflight.is_empty()
     }
 
+    /// Whether the cluster is fully quiescent: every thread has finished
+    /// and no memory traffic remains in flight. A quiescent cluster's
+    /// ticks are no-ops (no thread can start mid-run), so its clock
+    /// domain can be parked for the rest of the simulation.
+    pub fn quiescent(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+            && self.mem.outbox.is_empty()
+            && self.mem.inflight.is_empty()
+    }
+
+    /// Catch up over `cycles` skipped cycles — exactly equivalent to
+    /// that many [`tick`](Self::tick)s while
+    /// [`quiescent`](Self::quiescent) (retired threads never reschedule,
+    /// idle cores retire nothing, so a quiescent tick only advances the
+    /// clock).
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.stats.cycles = self.clock;
+    }
+
     /// Route a memory completion back to the owning core, filling the LLC
     /// for cacheable loads (which may trigger a dirty writeback).
     pub fn on_completion(&mut self, c: Completion) {

@@ -153,6 +153,49 @@ impl MemController {
         &mut self.stats
     }
 
+    /// The earliest cycle at or after `clock` at which a tick does real
+    /// work, or `None` if the controller is fully drained and refresh is
+    /// not modeled. With work queued (or undrained completions) that is
+    /// the current cycle; otherwise the next data return or the next
+    /// rank refresh deadline, whichever comes first.
+    ///
+    /// Cycles before the returned horizon are provably no-ops (empty
+    /// queues contribute zero occupancy, no return is due, no refresh
+    /// deadline passes), so a scheduler may skip them via
+    /// [`skip_cycles`](Self::skip_cycles) without changing any result.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        if !self.read_q.is_empty() || !self.write_q.is_empty() || !self.completions.is_empty() {
+            return Some(self.clock);
+        }
+        let mut horizon: Option<u64> = None;
+        let mut merge = |t: u64| {
+            horizon = Some(horizon.map_or(t, |h: u64| h.min(t)));
+        };
+        // Returns are pushed in issue order with uniform latency per
+        // kind, so each deque's front is its earliest due time.
+        if let Some(&(t, _)) = self.read_returns.front() {
+            merge(t);
+        }
+        if let Some(&(t, _)) = self.write_returns.front() {
+            merge(t);
+        }
+        if self.cfg.refresh {
+            for r in 0..self.state.organization().ranks {
+                merge(self.state.rank(r).refresh_deadline);
+            }
+        }
+        horizon.map(|h| h.max(self.clock))
+    }
+
+    /// Catch up over `cycles` idle cycles at once — exactly equivalent
+    /// to that many [`tick`](Self::tick)s while no queue entry, data
+    /// return, or refresh deadline is live (the window guaranteed by
+    /// [`next_event_cycle`](Self::next_event_cycle)).
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.stats.elapsed_cycles += cycles;
+    }
+
     /// Whether a request of `kind` can currently be accepted.
     pub fn can_accept(&self, kind: AccessKind) -> bool {
         match kind {

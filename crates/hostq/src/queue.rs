@@ -363,6 +363,13 @@ impl QueuePair {
     pub fn tick_poll(&mut self) {
         self.stats.polls += 1;
     }
+
+    /// Account `n` poll edges at once — equivalent to `n` calls to
+    /// [`tick_poll`](Self::tick_poll), used when the scheduler skips a
+    /// stretch of poll edges while the ring is idle.
+    pub fn skip_polls(&mut self, n: u64) {
+        self.stats.polls += n;
+    }
 }
 
 #[cfg(test)]

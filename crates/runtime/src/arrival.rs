@@ -182,6 +182,25 @@ impl ArrivalGen {
         }
     }
 
+    /// The earliest time a [`poll`](Self::poll) could deliver an
+    /// arrival, or `None` if none can ever come. Mirrors `poll`'s gating
+    /// exactly (open-window filtering for the open-loop processes, head
+    /// -of-queue for closed-loop, unwindowed for traces), so a decision
+    /// clock sleeping until this instant observes the same arrivals it
+    /// would have polling every edge.
+    pub fn next_arrival_ns(&self, open_until_ns: f64) -> Option<f64> {
+        match &self.process {
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::Bursty { .. } => {
+                (self.next_ns < open_until_ns).then_some(self.next_ns)
+            }
+            ArrivalProcess::ClosedLoop { .. } => self
+                .due
+                .front()
+                .and_then(|&t| (t < open_until_ns).then_some(t)),
+            ArrivalProcess::Trace(times) => times.get(self.trace_idx).copied(),
+        }
+    }
+
     /// Feedback hook: a job of this tenant completed at `now_ns`
     /// (meaningful for [`ArrivalProcess::ClosedLoop`] only).
     pub fn on_complete(&mut self, now_ns: f64) {

@@ -456,6 +456,53 @@ impl Runtime {
         jain_satisfaction(&pairs)
     }
 
+    /// Whether the host side is momentarily quiescent: no queued jobs,
+    /// no suspended remainder awaiting its recall, and every ring empty.
+    /// While this holds, decision-clock ticks and ring polls are no-ops
+    /// except for pulling in new arrivals — so the scheduler may sleep
+    /// both domains until [`next_arrival_ns`](Self::next_arrival_ns).
+    /// Note the *ring-empty* requirement: kick-style preemption triggers
+    /// off ring waiters, so a non-idle ring must keep polling every edge
+    /// even with an empty backlog.
+    pub fn host_quiescent(&self) -> bool {
+        self.backlog() == 0 && self.suspended.is_empty() && self.qps.is_idle()
+    }
+
+    /// Whether the host is *stalled on the driver*: jobs are queued but
+    /// every shard's driver is still busy with an earlier doorbell or
+    /// interrupt (`driver_ready_ns[s] > now` for all `s`), every ring is
+    /// idle and no suspended remainder awaits recall. In that state
+    /// every dispatch edge early-outs before consulting the policy
+    /// (driver-busy gating under hash-pin, an empty eligible set under
+    /// least-loaded, and no kickable victim anywhere since no ring holds
+    /// an in-flight descriptor), so the decision clock may sleep until
+    /// the earliest `driver_ready_ns` — returned here — or the next
+    /// arrival, whichever is first. Returns `None` when the host is not
+    /// in that state. Callers must additionally check that every engine
+    /// is idle before sleeping on this: the runtime cannot see
+    /// retirements still held inside an engine.
+    pub fn driver_stall_ns(&self, now_ns: f64) -> Option<f64> {
+        if self.backlog() == 0 || !self.suspended.is_empty() || !self.qps.is_idle() {
+            return None;
+        }
+        let ready = self
+            .driver_ready_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        (ready > now_ns).then_some(ready)
+    }
+
+    /// The earliest future arrival any tenant's generator can deliver
+    /// (respecting each process's open-window gating), or `None` if all
+    /// are exhausted.
+    pub fn next_arrival_ns(&self) -> Option<f64> {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.gen.next_arrival_ns(self.cfg.open_until_ns))
+            .min_by(|a, b| a.partial_cmp(b).expect("arrival times are finite"))
+    }
+
     /// Whether no further work can ever appear or progress: every
     /// generator is exhausted, every queue empty, and no shard's ring
     /// holds a staged, in-flight, or unfielded descriptor.
@@ -1117,6 +1164,14 @@ impl Tickable for Runtime {
         self.ticks_taken += 1;
         let now_ns = self.now_ns();
         self.enqueue_arrivals(now_ns);
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        // Slept decision-clock edges: all strictly before the next
+        // arrival (the composer wakes the domain at the first edge whose
+        // time reaches it), so `enqueue_arrivals` at each skipped edge
+        // would have found nothing.
+        self.ticks_taken += cycles;
     }
 
     fn drain_outputs(&mut self, _sink: &mut dyn FnMut(Output) -> bool) {

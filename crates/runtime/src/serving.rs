@@ -20,7 +20,7 @@
 //! before the shard-aware dispatch runs over the whole engine array.
 
 use crate::runtime::Runtime;
-use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable};
+use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable, TimingMode};
 
 /// A [`System`] serving sustained multi-tenant transfer traffic.
 pub struct ServingSystem {
@@ -99,19 +99,77 @@ impl ServingSystem {
         let pending = self.sys.pending();
         let now_ns = ticks_to_ns(pending.now);
         if pending.contains(self.dom) {
+            // Decision-clock edges slept while the host was quiescent:
+            // account them (all strictly before the next arrival) so the
+            // runtime's edge-indexed clock stays exact.
+            let missed = self.sys.pending_missed(self.dom);
+            if missed > 0 {
+                Tickable::skip(&mut self.runtime, missed);
+            }
             Tickable::tick(&mut self.runtime);
         }
         if pending.contains(self.poller) {
+            let missed = self.sys.pending_missed(self.poller);
             for s in 0..self.runtime.config().shards {
+                if missed > 0 {
+                    Tickable::skip(self.runtime.queue_pairs_mut().shard_mut(s), missed);
+                }
                 Tickable::tick(self.runtime.queue_pairs_mut().shard_mut(s));
                 let dce = self.sys.engine_mut(s).expect("one engine per shard");
                 self.runtime.poll_shard(s, dce, now_ns);
             }
         }
         if pending.contains(self.dom) {
+            // Dispatch stamps descriptors with engine cycle counts: make
+            // sure slept engines read as of this tick, then ring the
+            // doorbell wake so a newly staged chunk's engine fires
+            // within this very step.
+            self.sys.sync_engines_to(pending.now);
             self.runtime.dispatch(self.sys.engines_mut(), now_ns);
+            self.sys.wake_engines(pending.now);
         }
         self.sys.step();
+        self.set_host_horizons();
+    }
+
+    /// Re-aim the two host-side domains after a step (event-driven mode
+    /// only). Three states, narrowest sleep wins:
+    ///
+    /// * **Quiescent** (no queued jobs, no suspended remainder, rings
+    ///   idle): both domains sleep until the first edge that can observe
+    ///   the next arrival, or park for good when every generator is
+    ///   exhausted.
+    /// * **Stalled on the driver** (queued jobs but every shard's
+    ///   driver busy, rings idle, engines idle): every dispatch edge
+    ///   provably early-outs until the earliest `driver_ready_ns`, so
+    ///   both domains sleep until that or the next arrival — whichever
+    ///   is first. This is what keeps sustained small-job traffic from
+    ///   spinning the host through each ~3.5 µs driver window.
+    /// * Otherwise both domains run every edge (kick preemption watches
+    ///   ring waiters, pollers drain live engines).
+    fn set_host_horizons(&mut self) {
+        if self.sys.cfg.timing != TimingMode::EventDriven {
+            return;
+        }
+        if self.runtime.host_quiescent() {
+            let na = self.runtime.next_arrival_ns();
+            self.sys.set_domain_horizon_ns(self.dom, na);
+            self.sys.set_domain_horizon_ns(self.poller, na);
+            return;
+        }
+        if self.sys.engines_idle() {
+            if let Some(ready) = self.runtime.driver_stall_ns(self.sys.now_ns()) {
+                let wake = self
+                    .runtime
+                    .next_arrival_ns()
+                    .map_or(ready, |na| na.min(ready));
+                self.sys.set_domain_horizon_ns(self.dom, Some(wake));
+                self.sys.set_domain_horizon_ns(self.poller, Some(wake));
+                return;
+            }
+        }
+        self.sys.arm_domain(self.dom);
+        self.sys.arm_domain(self.poller);
     }
 
     /// Run until `horizon_ns` of simulated time has elapsed.

@@ -44,11 +44,18 @@ impl Clock {
         Clock { period, next: 0 }
     }
 
-    /// Whether this clock has an edge at or before `t`; if so, advance.
+    /// Whether this clock has an edge at or before `t`; if so, advance
+    /// `next` to the first edge strictly after `t`.
+    ///
+    /// Time may jump past several edges at once (the event-driven core
+    /// skips idle stretches), so catch-up must cover every elapsed
+    /// period — advancing by a single period would leave `next` in the
+    /// past and replay stale edges on subsequent polls.
     #[inline]
     pub fn due(&mut self, t: u64) -> bool {
         if t >= self.next {
-            self.next += self.period;
+            let missed = (t - self.next) / self.period;
+            self.next += (missed + 1) * self.period;
             true
         } else {
             false
@@ -72,6 +79,24 @@ mod tests {
         assert_eq!(ns_to_ticks(ticks_to_ns(960)), 960);
         assert_eq!(ns_to_ticks(1.0), 96);
         assert!((ticks_to_ns(48) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn due_catches_up_over_multi_period_jumps() {
+        let mut c = Clock {
+            period: 30,
+            next: 0,
+        };
+        assert!(c.due(0));
+        assert_eq!(c.next, 30);
+        // Jump past six edges (30..=180). One poll must consume them all
+        // and leave `next` strictly after `t`.
+        assert!(c.due(200));
+        assert_eq!(c.next, 210);
+        assert!(!c.due(200));
+        assert!(!c.due(209));
+        assert!(c.due(210));
+        assert_eq!(c.next, 240);
     }
 
     #[test]

@@ -21,6 +21,20 @@ impl Tickable for CpuCluster {
         CpuCluster::tick(self);
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Threads cannot start mid-run, so a quiescent cluster is
+        // quiescent forever: park unconditionally.
+        if self.quiescent() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.skip_cycles(cycles);
+    }
+
     fn drain_outputs(&mut self, sink: &mut dyn FnMut(Output) -> bool) {
         while let Some(&front) = self.outbox_mut().front() {
             let accepted = sink(Output::Request {
@@ -51,6 +65,23 @@ impl Tickable for Dce {
 
     fn tick(&mut self) {
         Dce::tick(self);
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // An engine with an unfinished job or queued descriptors ticks
+        // every cycle (so controller completions always land on an armed
+        // domain); one whose job completed and awaits host retirement —
+        // or with nothing resident at all — is parked until the composer
+        // wakes it on submit/doorbell/resume.
+        if (self.busy() && self.completed_at().is_none()) || self.pending_descriptors() > 0 {
+            Some(now)
+        } else {
+            None
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.skip_cycles(cycles);
     }
 
     fn drain_outputs(&mut self, sink: &mut dyn FnMut(Output) -> bool) {
@@ -92,6 +123,14 @@ impl Tickable for QueuePair {
         QueuePair::tick_poll(self);
     }
 
+    // `next_event` keeps the every-edge default: whether poll edges can
+    // be skipped depends on runtime state (backlog, open arrival
+    // windows) the pair cannot see, so the serving composer manages the
+    // poller domain's horizon itself.
+    fn skip(&mut self, cycles: u64) {
+        self.skip_polls(cycles);
+    }
+
     fn drain_outputs(&mut self, _sink: &mut dyn FnMut(Output) -> bool) {}
 
     fn stats_snapshot(&self) -> StatsSnapshot {
@@ -106,6 +145,14 @@ impl Tickable for MemController {
 
     fn tick(&mut self) {
         MemController::tick(self);
+    }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        self.next_event_cycle()
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.skip_cycles(cycles);
     }
 
     fn drain_outputs(&mut self, sink: &mut dyn FnMut(Output) -> bool) {

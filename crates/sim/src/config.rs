@@ -61,6 +61,22 @@ impl DesignPoint {
     }
 }
 
+/// How the timing core advances simulated time.
+///
+/// Both modes produce bit-identical results (the differential suite in
+/// `tests/timing_differential.rs` pins this); `CycleStepped` is retained
+/// as the reference driver and costs a visit to every edge of every
+/// domain, while `EventDriven` parks quiescent domains and jumps the
+/// agenda straight to the next event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingMode {
+    /// Reference driver: every domain fires at every one of its edges.
+    CycleStepped,
+    /// Next-event core: quiescent domains are parked and their edges
+    /// skipped; cross-component inputs re-arm them at aligned edges.
+    EventDriven,
+}
+
 /// How per-PIM-core chunks are distributed over software transfer threads
 /// in the baseline (§V / Fig. 5(c)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,6 +119,9 @@ pub struct SystemConfig {
     pub assignment: ThreadAssignment,
     /// Stats sampling interval in nanoseconds (Fig. 4/6 time series).
     pub sample_ns: f64,
+    /// Timing-core driver (event-driven by default; cycle-stepped is the
+    /// bit-identical reference).
+    pub timing: TimingMode,
 }
 
 impl SystemConfig {
@@ -122,6 +141,7 @@ impl SystemConfig {
             sw_threads: 8,
             assignment: ThreadAssignment::RankBlocked,
             sample_ns: 100_000.0,
+            timing: TimingMode::EventDriven,
         }
     }
 

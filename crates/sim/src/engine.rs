@@ -12,7 +12,8 @@
 //! rules allow the local-trait-for-foreign-type impls in
 //! [`crate::components`].
 
-use crate::clock::Clock;
+use crate::clock::{ticks_to_ns, Clock, TICKS_PER_NS};
+use crate::timeq::TimeQ;
 use pim_dram::{Completion, MemRequest};
 use pim_mapping::MemSpace;
 
@@ -112,11 +113,58 @@ pub trait Tickable {
 
     /// Cumulative counters since construction.
     fn stats_snapshot(&self) -> StatsSnapshot;
+
+    /// Event horizon: the earliest local cycle index at or after `now`
+    /// (the component's own cycle count) at which it needs a tick, or
+    /// `None` if it is quiescent and can be parked until an external
+    /// input re-arms its domain.
+    ///
+    /// The default — `Some(now)` — means "tick me at every edge", which
+    /// is always correct and is what a busy component reports. A
+    /// component may only report a later horizon (or `None`) when ticks
+    /// in between are provably no-ops, so that [`skip`](Self::skip)-ing
+    /// them reproduces the cycle-stepped run bit for bit.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
+    /// Catch up over `cycles` skipped idle cycles. Must be exactly
+    /// equivalent to `cycles` consecutive [`tick`](Self::tick)s given the
+    /// component was quiescent throughout (the condition under which the
+    /// scheduler elides edges).
+    fn skip(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
 }
 
 /// Handle to one registered clock domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DomainId(usize);
+
+impl DomainId {
+    /// The domain's slot index (also its bit in [`Fired`]).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuild a handle from a slot index (scheduler-internal sweeps).
+    pub(crate) fn from_index(i: usize) -> DomainId {
+        DomainId(i)
+    }
+}
+
+/// Scheduler counters: how much work the event-driven core actually did
+/// versus how much the cycle-stepped driver would have.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Events processed (steps taken / distinct edges visited).
+    pub events_fired: u64,
+    /// Domain fires delivered across all events.
+    pub domain_ticks: u64,
+    /// Edges elided entirely while their domain was quiescent (each one
+    /// a `tick` the cycle-stepped driver would have paid for).
+    pub edges_skipped: u64,
+}
 
 /// The set of domains firing at one edge (result of
 /// [`ClockDomains::advance`]).
@@ -128,21 +176,91 @@ pub struct Fired {
 }
 
 impl Fired {
+    pub(crate) fn new(now: u64, mask: u64) -> Fired {
+        Fired { now, mask }
+    }
+
     /// Whether domain `d` has an edge at this tick.
     pub fn contains(&self, d: DomainId) -> bool {
         (self.mask >> d.0) & 1 == 1
     }
 }
 
+/// One registered clock domain's scheduling state.
+///
+/// The domain's edge grid is `{origin + k·period : k ≥ 0}` and never
+/// moves; event-driven scheduling only changes *which* grid edges get
+/// delivered. `delivered` counts edges consumed so far (fired or folded
+/// into a fire as skipped), and `pending_skip` is how many upcoming grid
+/// edges the scheduler has decided to elide before the next delivery, so
+/// the next agenda entry is always
+/// `origin + (delivered + pending_skip)·period`.
+#[derive(Debug, Clone, Copy)]
+struct Domain {
+    period: u64,
+    origin: u64,
+    delivered: u64,
+    pending_skip: u64,
+    armed: bool,
+}
+
+impl Domain {
+    /// Tick of the next edge this domain would deliver (if armed).
+    #[inline]
+    fn next(&self) -> u64 {
+        self.origin + (self.delivered + self.pending_skip) * self.period
+    }
+
+    /// Grid edges strictly before tick `t`.
+    #[inline]
+    fn edges_before(&self, t: u64) -> u64 {
+        if t <= self.origin {
+            0
+        } else {
+            (t - 1 - self.origin) / self.period + 1
+        }
+    }
+
+    /// Grid edges at or before tick `t`.
+    #[inline]
+    fn edges_through(&self, t: u64) -> u64 {
+        if t < self.origin {
+            0
+        } else {
+            (t - self.origin) / self.period + 1
+        }
+    }
+
+    /// Index of the first grid edge at or after tick `t`.
+    #[inline]
+    fn edge_at_or_after(&self, t: u64) -> u64 {
+        if t <= self.origin {
+            0
+        } else {
+            (t - self.origin).div_ceil(self.period)
+        }
+    }
+}
+
 /// Owns every per-domain clock and schedules the next edge.
 ///
 /// Components register a domain at build time and are ticked whenever
-/// [`advance`](Self::advance) reports their domain fired; `System` holds
-/// only [`DomainId`] handles, no clock state.
+/// the scheduler reports their domain fired; `System` holds only
+/// [`DomainId`] handles, no clock state.
+///
+/// Internally this is a next-event core: a [`TimeQ`] agenda keeps one
+/// live entry per armed domain, so finding the next edge is a heap peek
+/// rather than a linear scan, and a parked or deferred domain's edges
+/// are skipped without ever being visited. Entries left behind when a
+/// domain is rescheduled go stale in place; every `&mut` operation
+/// prunes stale entries from the top so the agenda head is always valid
+/// for `&self` reads.
 #[derive(Debug, Default)]
 pub struct ClockDomains {
-    clocks: Vec<Clock>,
+    domains: Vec<Domain>,
     labels: Vec<&'static str>,
+    q: TimeQ,
+    stats: TimingStats,
 }
 
 impl ClockDomains {
@@ -151,40 +269,44 @@ impl ClockDomains {
         ClockDomains::default()
     }
 
-    fn push(&mut self, label: &'static str, clock: Clock) -> DomainId {
-        assert!(self.clocks.len() < 64, "at most 64 clock domains");
-        self.clocks.push(clock);
+    fn push(&mut self, label: &'static str, period: u64, origin: u64) -> DomainId {
+        assert!(self.domains.len() < 64, "at most 64 clock domains");
+        let d = Domain {
+            period,
+            origin,
+            delivered: 0,
+            pending_skip: 0,
+            armed: true,
+        };
+        self.domains.push(d);
         self.labels.push(label);
-        DomainId(self.clocks.len() - 1)
+        let slot = self.domains.len() - 1;
+        self.q.push(d.next(), slot);
+        DomainId(slot)
     }
 
     /// Register a domain from a period in picoseconds; its first edge is
     /// at tick 0.
     pub fn add_period_ps(&mut self, label: &'static str, ps: u64) -> DomainId {
-        self.push(label, Clock::from_period_ps(ps))
+        let period = Clock::from_period_ps(ps).period;
+        self.push(label, period, 0)
     }
 
     /// Register a domain with a period in raw ticks whose first edge is
     /// one full period in (used for sampling windows).
     pub fn add_period_ticks(&mut self, label: &'static str, ticks: u64) -> DomainId {
         let ticks = ticks.max(1);
-        self.push(
-            label,
-            Clock {
-                period: ticks,
-                next: ticks,
-            },
-        )
+        self.push(label, ticks, ticks)
     }
 
     /// Number of registered domains.
     pub fn len(&self) -> usize {
-        self.clocks.len()
+        self.domains.len()
     }
 
     /// Whether no domains are registered.
     pub fn is_empty(&self) -> bool {
-        self.clocks.is_empty()
+        self.domains.is_empty()
     }
 
     /// The label a domain was registered under.
@@ -192,26 +314,161 @@ impl ClockDomains {
         self.labels[d.0]
     }
 
+    /// Drop agenda entries that no longer match their domain's next
+    /// edge, so the head is valid for `&self` readers. Called at the end
+    /// of every mutating operation.
+    fn prune(&mut self) {
+        let domains = &self.domains;
+        self.q
+            .prune(|tick, slot| !(domains[slot].armed && domains[slot].next() == tick));
+    }
+
     /// The tick of the earliest pending edge.
     ///
     /// # Panics
     ///
-    /// Panics if no domains are registered.
+    /// Panics if no domain is armed.
     pub fn next_edge(&self) -> u64 {
-        self.clocks
-            .iter()
-            .map(|c| c.next)
-            .min()
-            .expect("at least one clock domain")
+        self.q.peek().expect("at least one armed clock domain").0
     }
 
-    /// Jump to the earliest pending edge, advancing every clock with an
+    /// The fired-domain mask at tick `now`: every armed domain whose
+    /// next edge lands exactly there. Shared by [`peek`](Self::peek) and
+    /// the delivery path so the preview can never disagree with what
+    /// fires.
+    fn mask_at(&self, now: u64) -> u64 {
+        let mut mask = 0u64;
+        for (i, d) in self.domains.iter().enumerate() {
+            if d.armed && d.next() == now {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Deliver domain `d`'s edge at tick `now` if one is due there.
+    /// Returns `Some(skipped)` — how many elided grid edges this
+    /// delivery folded in — or `None` if the domain has no edge at
+    /// `now`. The caller catches the component up over the skipped
+    /// edges, then ticks it.
+    pub fn take_due(&mut self, d: DomainId, now: u64) -> Option<u64> {
+        let dom = &mut self.domains[d.0];
+        if !dom.armed || dom.next() != now {
+            return None;
+        }
+        let skipped = dom.pending_skip;
+        dom.delivered += skipped + 1;
+        dom.pending_skip = 0;
+        let next = dom.next();
+        self.stats.domain_ticks += 1;
+        self.stats.edges_skipped += skipped;
+        self.q.push(next, d.0);
+        self.prune();
+        Some(skipped)
+    }
+
+    /// How many elided edges a [`take_due`](Self::take_due) of `d` at
+    /// its pending edge would fold in (0 unless the domain was deferred).
+    pub fn pending_missed(&self, d: DomainId) -> u64 {
+        self.domains[d.0].pending_skip
+    }
+
+    /// Edges of `d` delivered so far (the component's cycle count when
+    /// it is fully caught up).
+    pub fn delivered(&self, d: DomainId) -> u64 {
+        self.domains[d.0].delivered
+    }
+
+    /// Grid edges of `d` strictly before tick `t` — the cycle count a
+    /// component on this domain would have after the cycle-stepped
+    /// driver ticked it at every edge before `t`.
+    pub fn edges_before(&self, d: DomainId, t: u64) -> u64 {
+        self.domains[d.0].edges_before(t)
+    }
+
+    /// Grid edges of `d` at or before tick `t`.
+    pub fn edges_through(&self, d: DomainId, t: u64) -> u64 {
+        self.domains[d.0].edges_through(t)
+    }
+
+    /// Park `d`: deliver no further edges until it is re-armed by
+    /// [`wake_at`](Self::wake_at) or [`defer_to_edge`](Self::defer_to_edge).
+    pub fn park(&mut self, d: DomainId) {
+        let dom = &mut self.domains[d.0];
+        dom.armed = false;
+        dom.pending_skip = 0;
+        self.prune();
+    }
+
+    /// Arm `d` so its next delivery is grid edge index `e` (clamped to
+    /// the first undelivered edge); the elided edges in between are
+    /// folded into that delivery as a skip count. `e = delivered` means
+    /// "every edge from here on".
+    pub fn defer_to_edge(&mut self, d: DomainId, e: u64) {
+        let dom = &mut self.domains[d.0];
+        let e = e.max(dom.delivered);
+        dom.pending_skip = e - dom.delivered;
+        dom.armed = true;
+        let next = dom.next();
+        self.q.push(next, d.0);
+        self.prune();
+    }
+
+    /// Re-arm `d` no later than the first of its grid edges at or after
+    /// tick `t` (an external input arrives at `t`; the component must
+    /// tick at its next own-clock edge). Never delays an
+    /// already-earlier delivery.
+    pub fn wake_at(&mut self, d: DomainId, t: u64) {
+        let dom = &mut self.domains[d.0];
+        let e = dom.edge_at_or_after(t).max(dom.delivered);
+        if dom.armed && e >= dom.delivered + dom.pending_skip {
+            return;
+        }
+        dom.pending_skip = e - dom.delivered;
+        dom.armed = true;
+        let next = dom.next();
+        self.q.push(next, d.0);
+        self.prune();
+    }
+
+    /// Index of `d`'s first grid edge whose tick converts to at least
+    /// `ns` nanoseconds under [`ticks_to_ns`] — the same f64 conversion
+    /// edge-indexed participants use for their own notion of time, so a
+    /// wake computed here is never one edge early by rounding.
+    pub fn edge_at_or_after_ns(&self, d: DomainId, ns: f64) -> u64 {
+        let dom = &self.domains[d.0];
+        let ticks = ns * TICKS_PER_NS as f64;
+        // Start from a safe underestimate, then walk forward using the
+        // exact conversion (the walk is a couple of iterations at most).
+        let mut e = if ticks <= dom.origin as f64 {
+            0
+        } else {
+            (((ticks - dom.origin as f64) / dom.period as f64) as u64).saturating_sub(2)
+        };
+        while ticks_to_ns(dom.origin + e * dom.period) < ns {
+            e += 1;
+        }
+        e
+    }
+
+    /// Count one processed event (a visited edge / one `System` step).
+    pub(crate) fn count_event(&mut self) {
+        self.stats.events_fired += 1;
+    }
+
+    /// Scheduler work counters.
+    pub fn timing_stats(&self) -> TimingStats {
+        self.stats
+    }
+
+    /// Jump to the earliest pending edge, advancing every domain with an
     /// edge there, and report which domains fired.
     pub fn advance(&mut self) -> Fired {
         let now = self.next_edge();
+        self.count_event();
         let mut mask = 0u64;
-        for (i, c) in self.clocks.iter_mut().enumerate() {
-            if c.due(now) {
+        for i in 0..self.domains.len() {
+            if self.take_due(DomainId(i), now).is_some() {
                 mask |= 1 << i;
             }
         }
@@ -225,16 +482,13 @@ impl ClockDomains {
     ///
     /// # Panics
     ///
-    /// Panics if no domains are registered.
+    /// Panics if no domain is armed.
     pub fn peek(&self) -> Fired {
         let now = self.next_edge();
-        let mut mask = 0u64;
-        for (i, c) in self.clocks.iter().enumerate() {
-            if now >= c.next {
-                mask |= 1 << i;
-            }
+        Fired {
+            now,
+            mask: self.mask_at(now),
         }
-        Fired { now, mask }
     }
 }
 
@@ -290,6 +544,72 @@ mod tests {
         let a = d.add_period_ps("cpu", 312);
         assert_eq!(d.label(a), "cpu");
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn parked_domain_edges_are_elided() {
+        let mut d = ClockDomains::new();
+        let fast = d.add_period_ticks("fast", 10);
+        let slow = d.add_period_ticks("slow", 100);
+        d.park(fast);
+        // With fast parked, the agenda jumps straight to slow's edges.
+        let f = d.advance();
+        assert_eq!(f.now, 100);
+        assert!(f.contains(slow) && !f.contains(fast));
+        let f = d.advance();
+        assert_eq!(f.now, 200);
+        assert_eq!(d.timing_stats().events_fired, 2);
+        assert_eq!(d.timing_stats().domain_ticks, 2);
+    }
+
+    #[test]
+    fn deferred_domain_reports_skipped_edges() {
+        let mut d = ClockDomains::new();
+        let dom = d.add_period_ticks("t", 10);
+        // First delivery at edge 0 (tick 10).
+        assert_eq!(d.take_due(dom, d.next_edge()), Some(0));
+        // Defer to edge index 5 (tick 60): edges 1..=4 are elided.
+        d.defer_to_edge(dom, 5);
+        assert_eq!(d.next_edge(), 60);
+        assert_eq!(d.pending_missed(dom), 4);
+        assert_eq!(d.take_due(dom, 60), Some(4));
+        assert_eq!(d.delivered(dom), 6);
+        assert_eq!(d.timing_stats().edges_skipped, 4);
+        // Back to every-edge cadence afterwards.
+        assert_eq!(d.next_edge(), 70);
+    }
+
+    #[test]
+    fn wake_never_delays_and_lands_on_grid() {
+        let mut d = ClockDomains::new();
+        let dom = d.add_period_ticks("t", 10);
+        d.park(dom);
+        // Input at tick 42 → first own edge at or after is tick 50.
+        d.wake_at(dom, 42);
+        assert_eq!(d.next_edge(), 50);
+        // A later wake must not push the pending delivery out.
+        d.wake_at(dom, 95);
+        assert_eq!(d.next_edge(), 50);
+        // An earlier input pulls it in.
+        d.wake_at(dom, 15);
+        assert_eq!(d.next_edge(), 20);
+        assert_eq!(d.take_due(dom, 20), Some(1));
+    }
+
+    #[test]
+    fn edge_counts_match_the_grid() {
+        let mut d = ClockDomains::new();
+        let ps = d.add_period_ps("cpu", 312); // 30 ticks, origin 0
+        let tk = d.add_period_ticks("s", 50); // origin 50
+        assert_eq!(d.edges_before(ps, 0), 0);
+        assert_eq!(d.edges_before(ps, 1), 1);
+        assert_eq!(d.edges_before(ps, 30), 1);
+        assert_eq!(d.edges_before(ps, 31), 2);
+        assert_eq!(d.edges_through(ps, 30), 2);
+        assert_eq!(d.edges_before(tk, 50), 0);
+        assert_eq!(d.edges_through(tk, 50), 1);
+        assert_eq!(d.edges_through(tk, 99), 1);
+        assert_eq!(d.edges_through(tk, 100), 2);
     }
 
     #[test]

@@ -30,12 +30,14 @@ pub mod config;
 pub mod engine;
 pub mod result;
 pub mod system;
+pub mod timeq;
 pub mod transfer;
 
 pub use batch::{default_threads, run_batch, run_batch_parallel, BatchPoint, Experiment};
 pub use clock::{ns_to_ticks, ticks_to_ns, Clock, TICKS_PER_NS};
+pub use config::TimingMode;
 pub use config::{DesignPoint, SystemConfig, ThreadAssignment};
-pub use engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable};
+pub use engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable, TimingStats};
 pub use result::{PowerSample, TransferResult};
 pub use system::System;
 pub use transfer::{run_memcpy, run_transfer, ContenderSpec, TransferSpec, HOST_BUFFER_BASE};

@@ -7,8 +7,8 @@
 //! earliest edge, tick whichever domains fired, wire outputs together.
 
 use crate::clock::{ticks_to_ns, TICKS_PER_NS};
-use crate::config::SystemConfig;
-use crate::engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable};
+use crate::config::{SystemConfig, TimingMode};
+use crate::engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable, TimingStats};
 use crate::result::PowerSample;
 use pim_cpu::{CpuCluster, Thread};
 use pim_dram::MemController;
@@ -28,6 +28,26 @@ struct Domains {
     /// DCE); engine `s` ticks at `dce[s]`'s edges.
     dce: Vec<DomainId>,
     sample: DomainId,
+}
+
+/// Where in the current step a request drain sits relative to each
+/// controller group's tick phase (see
+/// [`drain_requests`](System::drain_requests)).
+#[derive(Debug, Clone, Copy)]
+struct PhasePos {
+    /// The DRAM group's phase already ran this step.
+    dram: bool,
+    /// The PIM group's phase already ran this step.
+    pim: bool,
+}
+
+impl PhasePos {
+    /// A drain before either controller group's phase (cpu/engine
+    /// phases).
+    const PRE: PhasePos = PhasePos {
+        dram: false,
+        pim: false,
+    };
 }
 
 /// The evaluated machine.
@@ -140,6 +160,12 @@ impl System {
         &mut self.engines
     }
 
+    /// Whether every engine is [idle](Dce::idle) — nothing active,
+    /// pending, or awaiting a completion drain anywhere in the array.
+    pub fn engines_idle(&self) -> bool {
+        self.engines.iter().all(Dce::idle)
+    }
+
     /// Mutable access to one shard's engine.
     pub fn engine_mut(&mut self, shard: usize) -> Option<&mut Dce> {
         self.engines.get_mut(shard)
@@ -191,6 +217,71 @@ impl System {
         &self.power_samples
     }
 
+    /// Scheduler work counters (events processed, domain fires, edges
+    /// skipped by idle-skip).
+    pub fn timing_stats(&self) -> TimingStats {
+        self.clocks.timing_stats()
+    }
+
+    /// How many elided edges domain `d`'s next fire will fold in — the
+    /// catch-up count a composer must [`Tickable::skip`] its external
+    /// participant by before ticking it at the edge. Always 0 under the
+    /// cycle-stepped driver.
+    pub fn pending_missed(&self, d: DomainId) -> u64 {
+        self.clocks.pending_missed(d)
+    }
+
+    /// Catch every engine's clock up to its cycle count at tick `now`
+    /// exclusive (edges strictly before `now`), so composer-side reads
+    /// of [`Dce::cycle`] (e.g. posted-cycle stamps on dispatch) are
+    /// exact even if an engine's domain slept. No-op when caught up.
+    pub fn sync_engines_to(&mut self, now: u64) {
+        for s in 0..self.engines.len() {
+            let target = self.clocks.edges_before(self.domains.dce[s], now);
+            let dce = &mut self.engines[s];
+            let deficit = target.saturating_sub(dce.cycle());
+            if deficit > 0 {
+                Tickable::skip(dce, deficit);
+            }
+        }
+    }
+
+    /// Re-arm the domain of every engine holding work (an active job or
+    /// queued descriptors) at its first edge at or after tick `now` —
+    /// the wake half of the doorbell/submit protocol. No-op for armed
+    /// domains that are already due earlier.
+    pub fn wake_engines(&mut self, now: u64) {
+        for s in 0..self.engines.len() {
+            let e = &self.engines[s];
+            if e.busy() || e.pending_descriptors() > 0 {
+                self.clocks.wake_at(self.domains.dce[s], now);
+            }
+        }
+    }
+
+    /// Set an external domain's horizon: `None` parks it, `Some(ns)`
+    /// defers it to its first edge whose tick-to-ns conversion is at or
+    /// past `ns` (so an edge-indexed participant computing time as
+    /// `ticks_to_ns(edge * period)` observes `>= ns` on its wake edge).
+    /// Composers own their registered domains' horizons; the machine's
+    /// internal domains are managed by [`step`](Self::step) itself.
+    pub fn set_domain_horizon_ns(&mut self, d: DomainId, ns: Option<f64>) {
+        match ns {
+            None => self.clocks.park(d),
+            Some(ns) => {
+                let e = self.clocks.edge_at_or_after_ns(d, ns);
+                self.clocks.defer_to_edge(d, e);
+            }
+        }
+    }
+
+    /// Re-arm an external domain at every edge from its first
+    /// undelivered one on (the busy horizon).
+    pub fn arm_domain(&mut self, d: DomainId) {
+        let e = self.clocks.delivered(d);
+        self.clocks.defer_to_edge(d, e);
+    }
+
     /// Current simulated time in nanoseconds.
     pub fn now_ns(&self) -> f64 {
         ticks_to_ns(self.t)
@@ -199,19 +290,53 @@ impl System {
     /// Drain `source`'s pending requests into the controller queues,
     /// honoring per-queue back-pressure (a refused request stops the
     /// drain; the source keeps it queued).
+    ///
+    /// A request is a cross-domain input: before an accepted `enqueue`
+    /// the target controller is caught up to the cycle count it would
+    /// hold had it ticked at every one of its edges before tick `t` (so
+    /// the arrival stamp is exact even if the controller was parked),
+    /// and its domain is re-armed at its first edge at or after `t`.
+    /// Both are no-ops under the cycle-stepped driver.
+    ///
+    /// `ticked` says whether each controller group's phase has already
+    /// run in the *current* step. A drain that happens after the
+    /// group's phase (the post-tick refills) arrives *after* the edge at
+    /// `t` under the cycle-stepped driver — the request is invisible
+    /// until the controller's next cycle. The catch-up target and wake
+    /// edge must reproduce that: catch up *through* `t` and wake at the
+    /// first edge strictly after it, or a slept controller would see the
+    /// request one cycle earlier than the reference.
     fn drain_requests(
         source: &mut dyn Tickable,
         dram: &mut [MemController],
         pim: &mut [MemController],
+        clocks: &mut ClockDomains,
+        domains: &Domains,
+        t: u64,
+        ticked: PhasePos,
     ) {
         source.drain_outputs(&mut |out| match out {
             Output::Request { space, req } => {
-                let ctrl = match space {
-                    MemSpace::Dram => &mut dram[req.addr.channel as usize],
-                    MemSpace::Pim => &mut pim[req.addr.channel as usize],
+                let (ctrl, dom, ticked) = match space {
+                    MemSpace::Dram => (
+                        &mut dram[req.addr.channel as usize],
+                        domains.dram,
+                        ticked.dram,
+                    ),
+                    MemSpace::Pim => (&mut pim[req.addr.channel as usize], domains.pim, ticked.pim),
                 };
                 if ctrl.can_accept(req.kind) {
+                    let target = if ticked {
+                        clocks.edges_through(dom, t)
+                    } else {
+                        clocks.edges_before(dom, t)
+                    };
+                    let deficit = target.saturating_sub(ctrl.clock());
+                    if deficit > 0 {
+                        Tickable::skip(ctrl, deficit);
+                    }
                     ctrl.enqueue(req).expect("capacity checked");
+                    clocks.wake_at(dom, if ticked { t + 1 } else { t });
                     true
                 } else {
                     false
@@ -222,23 +347,49 @@ impl System {
     }
 
     /// Top every request source's queue back up (after controllers freed
-    /// queue slots, or after a source ticked).
-    fn refill_controller_queues(&mut self) {
-        Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
+    /// queue slots, or after a source ticked). `ticked` carries the
+    /// current step's phase position (see
+    /// [`drain_requests`](Self::drain_requests)).
+    fn refill_controller_queues(&mut self, ticked: PhasePos) {
+        let t = self.t;
+        Self::drain_requests(
+            &mut self.cluster,
+            &mut self.dram,
+            &mut self.pim,
+            &mut self.clocks,
+            &self.domains,
+            t,
+            ticked,
+        );
         for dce in &mut self.engines {
-            Self::drain_requests(dce, &mut self.dram, &mut self.pim);
+            Self::drain_requests(
+                dce,
+                &mut self.dram,
+                &mut self.pim,
+                &mut self.clocks,
+                &self.domains,
+                t,
+                ticked,
+            );
         }
     }
 
     /// Tick one controller group and route its completions back to the
-    /// component that issued each request.
-    fn tick_controllers(&mut self, space: MemSpace) {
+    /// component that issued each request. `target` is the group
+    /// domain's delivered-edge count minus one: each controller is first
+    /// caught up over any edges skipped while it was quiescent, so its
+    /// clock entering the tick equals the cycle-stepped driver's.
+    fn tick_controllers(&mut self, space: MemSpace, target: u64) {
         let ctrls = match space {
             MemSpace::Dram => &mut self.dram,
             MemSpace::Pim => &mut self.pim,
         };
         let mut done: Vec<Output> = Vec::new();
         for c in ctrls.iter_mut() {
+            let deficit = target.saturating_sub(c.clock());
+            if deficit > 0 {
+                Tickable::skip(c, deficit);
+            }
             Tickable::tick(c);
             c.drain_outputs(&mut |o| {
                 done.push(o);
@@ -263,35 +414,159 @@ impl System {
     /// Advance the simulation by one event (the earliest due clock edge).
     /// Returns which domains fired, so a composer can tick external
     /// participants registered via [`register_domain`](Self::register_domain).
+    ///
+    /// One code path serves both timing modes: domains are delivered in
+    /// the same phase order as the historical cycle-stepped loop, each
+    /// component is caught up over any edges skipped while quiescent
+    /// right before its tick, and only under
+    /// [`TimingMode::EventDriven`] are fresh horizons applied at the end
+    /// (under `CycleStepped` no domain is ever parked or deferred, which
+    /// reproduces the reference driver exactly).
     pub fn step(&mut self) -> Fired {
         self.stepped = true;
-        let fired = self.clocks.advance();
-        self.t = fired.now;
+        let now = self.clocks.next_edge();
+        self.t = now;
+        self.clocks.count_event();
+        let mut mask = 0u64;
 
-        if fired.contains(self.domains.cpu) {
+        if self.clocks.take_due(self.domains.cpu, now).is_some() {
+            mask |= 1 << self.domains.cpu.index();
+            let target = self.clocks.delivered(self.domains.cpu) - 1;
+            let deficit = target.saturating_sub(self.cluster.clock());
+            if deficit > 0 {
+                Tickable::skip(&mut self.cluster, deficit);
+            }
             Tickable::tick(&mut self.cluster);
-            Self::drain_requests(&mut self.cluster, &mut self.dram, &mut self.pim);
+            Self::drain_requests(
+                &mut self.cluster,
+                &mut self.dram,
+                &mut self.pim,
+                &mut self.clocks,
+                &self.domains,
+                now,
+                PhasePos::PRE,
+            );
         }
         for s in 0..self.engines.len() {
-            if fired.contains(self.domains.dce[s]) {
+            if self.clocks.take_due(self.domains.dce[s], now).is_some() {
+                mask |= 1 << self.domains.dce[s].index();
+                let target = self.clocks.delivered(self.domains.dce[s]) - 1;
                 let dce = &mut self.engines[s];
+                let deficit = target.saturating_sub(dce.cycle());
+                if deficit > 0 {
+                    Tickable::skip(dce, deficit);
+                }
                 Tickable::tick(dce);
-                Self::drain_requests(dce, &mut self.dram, &mut self.pim);
+                Self::drain_requests(
+                    dce,
+                    &mut self.dram,
+                    &mut self.pim,
+                    &mut self.clocks,
+                    &self.domains,
+                    now,
+                    PhasePos::PRE,
+                );
             }
         }
-        if fired.contains(self.domains.dram) {
-            self.tick_controllers(MemSpace::Dram);
+        if self.clocks.take_due(self.domains.dram, now).is_some() {
+            mask |= 1 << self.domains.dram.index();
+            let target = self.clocks.delivered(self.domains.dram) - 1;
+            self.tick_controllers(MemSpace::Dram, target);
             // Controllers freed queue slots: top the queues back up.
-            self.refill_controller_queues();
+            self.refill_controller_queues(PhasePos {
+                dram: true,
+                pim: false,
+            });
         }
-        if fired.contains(self.domains.pim) {
-            self.tick_controllers(MemSpace::Pim);
-            self.refill_controller_queues();
+        if self.clocks.take_due(self.domains.pim, now).is_some() {
+            mask |= 1 << self.domains.pim.index();
+            let target = self.clocks.delivered(self.domains.pim) - 1;
+            self.tick_controllers(MemSpace::Pim, target);
+            self.refill_controller_queues(PhasePos {
+                dram: true,
+                pim: true,
+            });
         }
-        if fired.contains(self.domains.sample) {
+        if self.clocks.take_due(self.domains.sample, now).is_some() {
+            mask |= 1 << self.domains.sample.index();
             self.sample();
         }
-        fired
+        // External domains (registered composers) deliver last; their
+        // owners act on `pending()` before calling `step`.
+        for i in 0..self.clocks.len() {
+            let d = DomainId::from_index(i);
+            if self.is_internal(d) {
+                continue;
+            }
+            if self.clocks.take_due(d, now).is_some() {
+                mask |= 1 << i;
+            }
+        }
+
+        if self.cfg.timing == TimingMode::EventDriven {
+            self.apply_horizons(mask);
+        }
+        Fired::new(now, mask)
+    }
+
+    /// Whether `d` is one of the machine's own domains (as opposed to an
+    /// externally registered composer domain).
+    fn is_internal(&self, d: DomainId) -> bool {
+        d == self.domains.cpu
+            || d == self.domains.dram
+            || d == self.domains.pim
+            || d == self.domains.sample
+            || self.domains.dce.contains(&d)
+    }
+
+    /// Recompute and apply the event horizon of every internal domain
+    /// that *fired* this step (event-driven mode only). A component's
+    /// state only changes when it ticks or when new input arrives;
+    /// arrivals re-arm the target domain through `wake_at` at the drain
+    /// site, so a domain that did not fire still holds a valid horizon
+    /// and is skipped here — this keeps the per-event cost of the
+    /// event-driven driver close to the cycle-stepped loop's. External
+    /// domains are left to their composer.
+    fn apply_horizons(&mut self, fired: u64) {
+        let hit = |d: DomainId| fired & (1 << d.index()) != 0;
+        if hit(self.domains.cpu) {
+            let h = Tickable::next_event(&self.cluster, self.cluster.clock());
+            Self::apply_horizon(&mut self.clocks, self.domains.cpu, h);
+        }
+        for s in 0..self.engines.len() {
+            if hit(self.domains.dce[s]) {
+                let e = &self.engines[s];
+                let h = Tickable::next_event(e, e.cycle());
+                Self::apply_horizon(&mut self.clocks, self.domains.dce[s], h);
+            }
+        }
+        if hit(self.domains.dram) {
+            let h = Self::group_horizon(&self.dram);
+            Self::apply_horizon(&mut self.clocks, self.domains.dram, h);
+        }
+        if hit(self.domains.pim) {
+            let h = Self::group_horizon(&self.pim);
+            Self::apply_horizon(&mut self.clocks, self.domains.pim, h);
+        }
+    }
+
+    /// The earliest horizon over a controller group sharing one domain
+    /// (`None` only if every controller is parked-able). Each
+    /// controller's horizon is in its own cycle count, which is also its
+    /// grid-edge index, so the group minimum is the first edge any
+    /// member needs.
+    fn group_horizon(ctrls: &[MemController]) -> Option<u64> {
+        ctrls
+            .iter()
+            .filter_map(|c| Tickable::next_event(c, c.clock()))
+            .min()
+    }
+
+    fn apply_horizon(clocks: &mut ClockDomains, d: DomainId, h: Option<u64>) {
+        match h {
+            Some(e) => clocks.defer_to_edge(d, e),
+            None => clocks.park(d),
+        }
     }
 
     /// Run until `pred` returns true or `max_ns` elapses. Returns whether
@@ -344,6 +619,30 @@ impl System {
     }
 
     fn sample(&mut self) {
+        // Window boundaries read component clocks: catch every component
+        // up to the cycle count the cycle-stepped driver would show at
+        // this tick (edges at or before `t`, since components tick
+        // before the sampler at coincident edges). No-ops unless edges
+        // were skipped.
+        let t = self.t;
+        let target = self.clocks.edges_through(self.domains.cpu, t);
+        let deficit = target.saturating_sub(self.cluster.clock());
+        if deficit > 0 {
+            Tickable::skip(&mut self.cluster, deficit);
+        }
+        for (dom, ctrls) in [
+            (self.domains.dram, &mut self.dram),
+            (self.domains.pim, &mut self.pim),
+        ] {
+            let target = self.clocks.edges_through(dom, t);
+            for c in ctrls.iter_mut() {
+                let deficit = target.saturating_sub(c.clock());
+                if deficit > 0 {
+                    Tickable::skip(c, deficit);
+                }
+            }
+        }
+
         self.cluster.sample_active_cores();
         for c in self.dram.iter_mut().chain(self.pim.iter_mut()) {
             let clock = c.clock();

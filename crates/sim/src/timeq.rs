@@ -1,0 +1,127 @@
+//! A small time queue: the next-event scheduler's ordered agenda.
+//!
+//! `TimeQ` is a lazy binary min-heap of `(tick, slot)` entries. "Lazy"
+//! because entries are never removed in place: when a domain's next edge
+//! moves (it fires, parks, or is re-armed at a different tick), the old
+//! entry is simply left behind and becomes *stale*. The owner
+//! ([`ClockDomains`](crate::engine::ClockDomains)) knows each slot's true
+//! next edge and prunes stale entries from the top after every mutation,
+//! so `peek` always reflects a live event without `TimeQ` itself needing
+//! any validity knowledge.
+//!
+//! Ties order by slot index, keeping coincident edges deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-heap of `(tick, slot)` event entries.
+#[derive(Debug, Clone, Default)]
+pub struct TimeQ {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl TimeQ {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `slot` at `tick`. Duplicates are allowed; the owner
+    /// prunes whatever turns out to be stale.
+    #[inline]
+    pub fn push(&mut self, tick: u64, slot: usize) {
+        self.heap.push(Reverse((tick, slot)));
+    }
+
+    /// The earliest entry, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(u64, usize)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Remove and return the earliest entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of entries, stale ones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Pop entries from the top while `stale` says they no longer match
+    /// the owner's idea of the slot's next edge. Returns the first live
+    /// entry without removing it.
+    #[inline]
+    pub fn prune<F: Fn(u64, usize) -> bool>(&mut self, stale: F) -> Option<(u64, usize)> {
+        while let Some(&Reverse((tick, slot))) = self.heap.peek() {
+            if stale(tick, slot) {
+                self.heap.pop();
+            } else {
+                return Some((tick, slot));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_tick_then_slot() {
+        let mut q = TimeQ::new();
+        q.push(30, 2);
+        q.push(10, 1);
+        q.push(10, 0);
+        q.push(20, 3);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 3)));
+        assert_eq!(q.pop(), Some((30, 2)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = TimeQ::new();
+        q.push(5, 0);
+        assert_eq!(q.peek(), Some((5, 0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((5, 0)));
+    }
+
+    #[test]
+    fn prune_discards_stale_entries() {
+        let mut q = TimeQ::new();
+        // Slot 0 was rescheduled from 10 to 40: the entry at 10 is stale.
+        q.push(10, 0);
+        q.push(40, 0);
+        q.push(25, 1);
+        let live = q.prune(|tick, slot| slot == 0 && tick != 40);
+        assert_eq!(live, Some((25, 1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_entries_are_tolerated() {
+        let mut q = TimeQ::new();
+        q.push(10, 0);
+        q.push(10, 0);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((10, 0)));
+    }
+}

@@ -1,0 +1,283 @@
+//! Differential conformance: the event-driven scheduler must be a pure
+//! performance optimization. Every scenario here is run twice — once
+//! under [`TimingMode::CycleStepped`] (the reference driver: no domain
+//! ever parks or defers, every edge ticks) and once under
+//! [`TimingMode::EventDriven`] — and every observable output is
+//! compared to the `f64` *bit*: one-shot [`TransferResult`]s across the
+//! design-point ladder, and serving-runtime job records, tenant stats
+//! and host-interface counters across randomized policy × placement ×
+//! preemption × idle-gap scenarios.
+//!
+//! The sparse scenarios additionally assert `edges_skipped > 0` in the
+//! event-driven run: equality is only evidence if the idle-skip
+//! machinery actually engaged.
+
+use pim_mmu::XferKind;
+use pim_runtime::{
+    policy_by_name, HostQueueConfig, Placement, Preemption, Runtime, RuntimeConfig, ServingSystem,
+    TenantSpec,
+};
+use pim_sim::{
+    run_memcpy, run_transfer, DesignPoint, SystemConfig, TimingMode, TransferResult, TransferSpec,
+};
+
+fn cfg(design: DesignPoint, mode: TimingMode) -> SystemConfig {
+    let mut c = SystemConfig::table1(design);
+    c.sample_ns = 20_000.0;
+    c.timing = mode;
+    c
+}
+
+fn assert_transfer_bits_eq(a: &TransferResult, b: &TransferResult, label: &str) {
+    assert_eq!(a.bytes, b.bytes, "{label}: bytes");
+    assert_eq!(
+        a.elapsed_ns.to_bits(),
+        b.elapsed_ns.to_bits(),
+        "{label}: elapsed drifted ({} vs {} ns)",
+        a.elapsed_ns,
+        b.elapsed_ns
+    );
+    assert_eq!(
+        a.pim_bus_utilization.to_bits(),
+        b.pim_bus_utilization.to_bits(),
+        "{label}: pim bus utilization"
+    );
+    assert_eq!(
+        a.dram_bus_utilization.to_bits(),
+        b.dram_bus_utilization.to_bits(),
+        "{label}: dram bus utilization"
+    );
+    assert_eq!(
+        a.pim_channel_windows, b.pim_channel_windows,
+        "{label}: pim channel windows"
+    );
+    assert_eq!(
+        a.dram_channel_windows, b.dram_channel_windows,
+        "{label}: dram channel windows"
+    );
+}
+
+#[test]
+fn one_shot_transfers_are_bit_identical_across_the_design_ladder() {
+    for design in [
+        DesignPoint::Baseline,
+        DesignPoint::BaseD,
+        DesignPoint::BaseDH,
+        DesignPoint::BaseDHP,
+    ] {
+        for (kind, bytes) in [
+            (XferKind::DramToPim, 256 << 10),
+            (XferKind::PimToDram, 128 << 10),
+        ] {
+            let spec = TransferSpec::simple(kind, bytes);
+            let cs = run_transfer(&cfg(design, TimingMode::CycleStepped), &spec);
+            let ed = run_transfer(&cfg(design, TimingMode::EventDriven), &spec);
+            assert_transfer_bits_eq(&cs, &ed, &format!("{design:?} {kind:?} {bytes}B"));
+        }
+    }
+}
+
+#[test]
+fn software_memcpy_is_bit_identical() {
+    let cs = run_memcpy(
+        &cfg(DesignPoint::Baseline, TimingMode::CycleStepped),
+        1 << 20,
+        2e9,
+    );
+    let ed = run_memcpy(
+        &cfg(DesignPoint::Baseline, TimingMode::EventDriven),
+        1 << 20,
+        2e9,
+    );
+    assert_transfer_bits_eq(&cs, &ed, "memcpy 1MiB");
+}
+
+/// One randomized serving scenario: tenant mix, host-queue shape,
+/// placement, preemption and policy all derived from `seed` via a
+/// splitmix64 stream, with arrival gaps long enough that the host goes
+/// fully quiescent between bursts (the idle windows event-driven mode
+/// must skip without observable effect).
+struct Scenario {
+    rt_cfg: RuntimeConfig,
+    tenants: Vec<TenantSpec>,
+    policy: &'static str,
+    label: String,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn scenario(seed: u64) -> Scenario {
+    let mut s = seed;
+    let policies = ["fcfs", "sjf", "prio", "drr"];
+    let policy = policies[(splitmix(&mut s) % policies.len() as u64) as usize];
+    let placement = if splitmix(&mut s).is_multiple_of(2) {
+        Placement::HashPin
+    } else {
+        Placement::LeastLoaded
+    };
+    let preemption = match splitmix(&mut s) % 3 {
+        0 => Preemption::Off,
+        1 => Preemption::Quantum {
+            device_cycles: 1600 + 800 * (splitmix(&mut s) % 4),
+        },
+        _ => Preemption::PriorityKick,
+    };
+    let shards = 1 + (splitmix(&mut s) % 2) as usize;
+    let depth = 1 + (splitmix(&mut s) % 3) as usize;
+    let coalesce_count = 1 + (splitmix(&mut s) % 2) as u32;
+    // Sparse arrivals: mean inter-arrival far above a job's service
+    // time, so the machine drains and parks between most jobs.
+    let n_tenants = 2 + (splitmix(&mut s) % 2) as usize;
+    let tenants: Vec<TenantSpec> = (0..n_tenants)
+        .map(|i| {
+            let mean_ns = 6_000.0 + 4_000.0 * (splitmix(&mut s) % 4) as f64;
+            let per_core = 256 << (splitmix(&mut s) % 3);
+            let mut t = TenantSpec::poisson(&format!("t{i}"), mean_ns, per_core, 64);
+            t.priority = (splitmix(&mut s) % 3) as u32;
+            t.weight = 1 + (splitmix(&mut s) % 3) as u32;
+            t
+        })
+        .collect();
+    let rt_cfg = RuntimeConfig {
+        chunk_bytes: 16 << 10,
+        open_until_ns: 30_000.0,
+        seed: splitmix(&mut s),
+        hostq: HostQueueConfig {
+            depth,
+            coalesce_count,
+            coalesce_timeout_ns: 200.0 * (splitmix(&mut s) % 3) as f64,
+            poll_period_ps: 312,
+        },
+        shards,
+        placement,
+        core_stride: 64,
+        preemption,
+        ..RuntimeConfig::default()
+    };
+    let label = format!(
+        "seed {seed}: {policy}/{}/{} shards={shards} depth={depth}",
+        placement.name(),
+        preemption.name()
+    );
+    Scenario {
+        rt_cfg,
+        tenants,
+        policy,
+        label,
+    }
+}
+
+fn run_serving(sc: &Scenario, mode: TimingMode) -> (ServingSystem, bool) {
+    let runtime = Runtime::new(
+        sc.rt_cfg,
+        sc.tenants
+            .iter()
+            .map(|t| TenantSpec {
+                name: t.name.clone(),
+                kind: t.kind,
+                arrival: t.arrival.clone(),
+                sizer: t.sizer,
+                priority: t.priority,
+                weight: t.weight,
+            })
+            .collect(),
+        policy_by_name(sc.policy, sc.rt_cfg.chunk_bytes).expect("known policy"),
+    );
+    let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+    cfg.sample_ns = 20_000.0;
+    cfg.timing = mode;
+    let mut serving = ServingSystem::new(cfg, runtime);
+    let drained = serving.run_until_drained(5e8);
+    (serving, drained)
+}
+
+fn assert_serving_eq(a: &ServingSystem, b: &ServingSystem, label: &str) {
+    let (ra, rb) = (a.runtime(), b.runtime());
+    assert_eq!(
+        ra.records().len(),
+        rb.records().len(),
+        "{label}: record count"
+    );
+    for (x, y) in ra.records().iter().zip(rb.records()) {
+        assert_eq!(x.id, y.id, "{label}: job order");
+        assert_eq!(x.tenant, y.tenant, "{label}: job {} tenant", x.id);
+        assert_eq!(x.bytes, y.bytes, "{label}: job {} bytes", x.id);
+        for (name, p, q) in [
+            ("submit", x.submit_ns, y.submit_ns),
+            ("dispatch", x.dispatch_ns, y.dispatch_ns),
+            ("complete", x.complete_ns, y.complete_ns),
+        ] {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{label}: job {} {name} drifted ({p} vs {q} ns)",
+                x.id
+            );
+        }
+    }
+    for ((na, sa), (nb, sb)) in ra.tenant_stats().iter().zip(rb.tenant_stats()) {
+        assert_eq!(na, &nb, "{label}: tenant order");
+        assert_eq!(sa.completed, sb.completed, "{label}: {na} completed");
+        assert_eq!(
+            sa.bytes_completed, sb.bytes_completed,
+            "{label}: {na} bytes completed"
+        );
+        assert_eq!(
+            sa.bytes_serviced, sb.bytes_serviced,
+            "{label}: {na} bytes serviced"
+        );
+        assert_eq!(sa.preemptions, sb.preemptions, "{label}: {na} preemptions");
+    }
+    let (ha, hb) = (ra.host_stats(), rb.host_stats());
+    assert_eq!(ha.doorbells, hb.doorbells, "{label}: doorbells");
+    assert_eq!(ha.interrupts, hb.interrupts, "{label}: interrupts");
+    assert_eq!(ha.max_in_flight, hb.max_in_flight, "{label}: max in flight");
+    assert_eq!(
+        ra.jain_by_bytes().to_bits(),
+        rb.jain_by_bytes().to_bits(),
+        "{label}: jain"
+    );
+    assert_eq!(
+        ra.preemptions(),
+        rb.preemptions(),
+        "{label}: engine preemptions"
+    );
+}
+
+#[test]
+fn randomized_serving_scenarios_are_bit_identical_and_actually_skip() {
+    let mut skipped_any = false;
+    for seed in 0..8u64 {
+        let sc = scenario(seed);
+        let (cs, cs_drained) = run_serving(&sc, TimingMode::CycleStepped);
+        let (ed, ed_drained) = run_serving(&sc, TimingMode::EventDriven);
+        assert_eq!(cs_drained, ed_drained, "{}: drained", sc.label);
+        assert!(cs_drained, "{}: reference run must drain", sc.label);
+        assert_serving_eq(&cs, &ed, &sc.label);
+        let stats = ed.system().timing_stats();
+        let ref_stats = cs.system().timing_stats();
+        assert_eq!(
+            ref_stats.edges_skipped, 0,
+            "{}: the cycle-stepped reference must not skip",
+            sc.label
+        );
+        assert!(
+            stats.events_fired <= ref_stats.events_fired,
+            "{}: event-driven fired more events ({} vs {})",
+            sc.label,
+            stats.events_fired,
+            ref_stats.events_fired
+        );
+        skipped_any |= stats.edges_skipped > 0;
+    }
+    assert!(
+        skipped_any,
+        "no scenario engaged idle-skip; the differential proves nothing"
+    );
+}
