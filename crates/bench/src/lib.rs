@@ -8,6 +8,7 @@
 
 pub mod goldens;
 pub mod json;
+pub mod perfetto;
 
 use json::Json;
 use pim_sim::{DesignPoint, SystemConfig, TimingStats};

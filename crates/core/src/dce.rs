@@ -12,6 +12,7 @@ use crate::op::{OpError, PimMmuOp, XferKind};
 use crate::scheduler::{LinePair, PairScheduler};
 use pim_dram::{Completion, MemRequest, SourceId};
 use pim_mapping::{HetMap, MemSpace, PimAddrSpace, LINE_BYTES};
+use pim_telemetry::{CounterSet, Counters, FlightRecorder, SpanEvent, SpanKind, SpanTap};
 use std::collections::{HashMap, VecDeque};
 
 /// Source id tag for DCE-originated memory traffic. A sharded system
@@ -120,6 +121,24 @@ pub struct DceStats {
     pub drain_cycles: u64,
 }
 
+impl Counters for DceStats {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "reads_issued", self.reads_issued as f64);
+        out.push(prefix, "writes_issued", self.writes_issued as f64);
+        out.push(prefix, "lines_done", self.lines_done as f64);
+        out.push(prefix, "busy_cycles", self.busy_cycles as f64);
+        out.push(
+            prefix,
+            "buffer_stall_cycles",
+            self.buffer_stall_cycles as f64,
+        );
+        out.push(prefix, "jobs_done", self.jobs_done as f64);
+        out.push(prefix, "suspensions", self.suspensions as f64);
+        out.push(prefix, "resumes", self.resumes as f64);
+        out.push(prefix, "drain_cycles", self.drain_cycles as f64);
+    }
+}
+
 #[derive(Debug)]
 struct Job {
     kind: XferKind,
@@ -189,6 +208,11 @@ pub struct Dce {
     outbox_cap: usize,
     next_id: u64,
     stats: DceStats,
+    /// Device-side span tap: cycle-stamped lifecycle events
+    /// (device-start / suspend / retire) the composer drains into the
+    /// shared flight recorder. Disabled by default — one branch per
+    /// would-be event.
+    tap: SpanTap,
 }
 
 impl Dce {
@@ -217,6 +241,7 @@ impl Dce {
             outbox_cap: 64,
             next_id: 0,
             stats: DceStats::default(),
+            tap: SpanTap::off(),
         }
     }
 
@@ -239,6 +264,19 @@ impl Dce {
     /// Statistics so far.
     pub fn stats(&self) -> &DceStats {
         &self.stats
+    }
+
+    /// Turn on the device-side span tap: lifecycle events are recorded
+    /// at engine-cycle resolution and converted to ns at `ns_per_cycle`
+    /// when drained. `capacity` bounds undrained events.
+    pub fn enable_span_tap(&mut self, ns_per_cycle: f64, capacity: usize) {
+        self.tap = SpanTap::new(ns_per_cycle, capacity);
+    }
+
+    /// Move the tap's buffered span events into `rec`, stamped with
+    /// this engine's shard index. A no-op on a disabled tap.
+    pub fn drain_spans(&mut self, rec: &mut FlightRecorder) {
+        self.tap.drain_into(rec, self.shard as usize);
     }
 
     /// Whether a job is in flight.
@@ -362,6 +400,12 @@ impl Dce {
         let total = sched.total_lines();
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.tap.record_at_cycle(
+            SpanEvent::new(SpanKind::DeviceStart, 0.0)
+                .seq(seq)
+                .bytes(total * LINE_BYTES),
+            self.clock,
+        );
         self.job = Some(Job {
             kind: op.kind,
             sched,
@@ -387,6 +431,12 @@ impl Dce {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.resumes += 1;
+        self.tap.record_at_cycle(
+            SpanEvent::new(SpanKind::DeviceStart, 0.0)
+                .seq(seq)
+                .bytes((st.total - st.lines_written) * LINE_BYTES),
+            self.clock,
+        );
         self.job = Some(Job {
             kind: st.kind,
             sched: st.sched,
@@ -600,11 +650,18 @@ impl Dce {
         // host round trip.
         if job.auto_retire && job.completed_at.is_some() {
             let job = self.job.take().expect("checked above");
+            let bytes = (job.total - job.base_lines) * LINE_BYTES;
+            self.tap.record_at_cycle(
+                SpanEvent::new(SpanKind::Retire, 0.0)
+                    .seq(job.seq)
+                    .bytes(bytes),
+                now,
+            );
             self.completions.push_back(DceCompletion {
                 seq: job.seq,
                 started_at: job.started_at,
                 completed_at: job.completed_at.expect("checked above"),
-                bytes: (job.total - job.base_lines) * LINE_BYTES,
+                bytes,
                 resumable: false,
             });
             self.stats.jobs_done += 1;
@@ -621,11 +678,18 @@ impl Dce {
             // descriptor — a suspension frees the engine exactly like a
             // retirement.
             let job = self.job.take().expect("suspending job is active");
+            let bytes = (job.lines_written - job.base_lines) * LINE_BYTES;
+            self.tap.record_at_cycle(
+                SpanEvent::new(SpanKind::Suspend, 0.0)
+                    .seq(job.seq)
+                    .bytes(bytes),
+                now,
+            );
             self.completions.push_back(DceCompletion {
                 seq: job.seq,
                 started_at: job.started_at,
                 completed_at: now,
-                bytes: (job.lines_written - job.base_lines) * LINE_BYTES,
+                bytes,
                 resumable: true,
             });
             self.suspended.push_back((

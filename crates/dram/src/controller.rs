@@ -73,6 +73,11 @@ pub struct MemController {
     completions: Vec<Completion>,
     stats: ChannelStats,
     command_log: Option<Vec<IssuedCmd>>,
+    /// Cached minimum of the per-rank refresh deadlines. Deadlines only
+    /// move when a REF is issued (rare), so maintaining the minimum
+    /// there keeps [`next_event_cycle`](Self::next_event_cycle) O(1) in
+    /// the rank count on the hot idle-skip path.
+    refresh_min: u64,
 }
 
 impl MemController {
@@ -87,9 +92,12 @@ impl MemController {
         // Stagger refresh deadlines across ranks so they do not all stall
         // the channel simultaneously.
         let n = org.ranks as u64;
+        let mut refresh_min = u64::MAX;
         for r in 0..org.ranks {
             let share = timing.refi * (r as u64 + 1) / n;
-            state.rank_mut(r).refresh_deadline = share.max(1);
+            let dl = share.max(1);
+            state.rank_mut(r).refresh_deadline = dl;
+            refresh_min = refresh_min.min(dl);
         }
         MemController {
             state,
@@ -103,6 +111,7 @@ impl MemController {
             completions: Vec::new(),
             stats: ChannelStats::default(),
             command_log: None,
+            refresh_min,
         }
     }
 
@@ -119,6 +128,16 @@ impl MemController {
 
     fn issue_cmd(&mut self, cmd: Command, addr: &DramAddr, now: u64) {
         self.state.issue(cmd, addr, now);
+        if cmd == Command::Ref {
+            // The refreshed rank's deadline just advanced by tREFI;
+            // re-derive the cached minimum. REFs are rare (µs apart), so
+            // this walk is off the hot path.
+            let mut min = u64::MAX;
+            for r in 0..self.state.organization().ranks {
+                min = min.min(self.state.rank(r).refresh_deadline);
+            }
+            self.refresh_min = min;
+        }
         if let Some(log) = &mut self.command_log {
             log.push(IssuedCmd {
                 cmd,
@@ -180,9 +199,7 @@ impl MemController {
             merge(t);
         }
         if self.cfg.refresh {
-            for r in 0..self.state.organization().ranks {
-                merge(self.state.rank(r).refresh_deadline);
-            }
+            merge(self.refresh_min);
         }
         horizon.map(|h| h.max(self.clock))
     }

@@ -5,6 +5,7 @@
 use crate::coalesce::{FireCause, InterruptCoalescer};
 use crate::config::HostQueueConfig;
 use pim_mmu::DriverModel;
+use pim_telemetry::{CounterSet, Counters};
 use std::collections::VecDeque;
 
 /// Who a posted descriptor belongs to (opaque to the ring; the runtime
@@ -113,6 +114,21 @@ pub struct HostQueueStats {
     pub polls: u64,
 }
 
+impl Counters for HostQueueStats {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "posted", self.posted as f64);
+        out.push(prefix, "doorbells", self.doorbells as f64);
+        out.push(prefix, "completed", self.completed as f64);
+        out.push(prefix, "interrupts", self.interrupts as f64);
+        out.push(prefix, "fired_on_count", self.fired_on_count as f64);
+        out.push(prefix, "fired_on_timer", self.fired_on_timer as f64);
+        out.push(prefix, "recalled", self.recalled as f64);
+        out.push(prefix, "max_in_flight", self.max_in_flight as f64);
+        out.push(prefix, "inflight_sum", self.inflight_sum as f64);
+        out.push(prefix, "polls", self.polls as f64);
+    }
+}
+
 impl HostQueueStats {
     /// Field-wise accumulate `other` into `self` (aggregating the rings
     /// of a sharded [`QueuePairSet`](crate::QueuePairSet);
@@ -219,6 +235,12 @@ impl QueuePair {
     /// Descriptors in flight device-side (published, not yet retired).
     pub fn in_flight(&self) -> usize {
         self.sq.len()
+    }
+
+    /// Payload bytes in flight device-side (sum over
+    /// [`in_flight`](Self::in_flight) descriptors).
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.sq.iter().map(|p| p.desc.bytes).sum()
     }
 
     /// Whether no descriptor is staged, in flight, or awaiting its

@@ -89,3 +89,12 @@ pub use pim_sim::Tickable;
 // re-exported so harnesses can configure ring depth and interrupt
 // coalescing without naming `pim_hostq` directly.
 pub use pim_hostq::{HostQueueConfig, HostQueueStats, QueuePair, QueuePairSet};
+
+// The observability vocabulary ([`RuntimeConfig::telemetry`], the
+// flight recorder behind [`Runtime::recorder`], and the unified
+// counter snapshot), re-exported so harnesses can enable tracing and
+// read it back without naming `pim_telemetry` directly.
+pub use pim_telemetry::{
+    CounterSet, Counters, DropPolicy, FlightRecorder, SampleSeries, SpanEvent, SpanKind,
+    TelemetryConfig, TelemetrySnapshot, NO_JOB, NO_SEQ, NO_SHARD, NO_TENANT,
+};

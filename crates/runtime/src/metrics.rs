@@ -3,6 +3,7 @@
 //! runs of the same seeded trace produce bit-identical reports.
 
 use pim_hostq::HostQueueStats;
+use pim_telemetry::{CounterSet, Counters};
 
 /// Number of power-of-two buckets. Bucket `b` holds values whose bit
 /// width is `b` (i.e. `v ∈ [2^(b-1), 2^b)`), bucket 0 holds zero; the
@@ -102,6 +103,27 @@ impl LogHistogram {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th percentile (bucket upper bound) — the SLO tail. With a
+    /// log2 histogram this costs nothing extra over p99; it only starts
+    /// to differ from `max` once more than ~1000 values are recorded.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Iterate non-empty buckets as `(upper_bound_ns, count)` pairs, in
+    /// ascending bound order (bucket 0 reports bound 0.0). Exporters use
+    /// this to dump the distribution without reaching into the layout.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let bound = if b == 0 { 0.0 } else { (1u64 << b) as f64 };
+                (bound, n)
+            })
+    }
 }
 
 /// Jain's fairness index over per-tenant allocations:
@@ -193,6 +215,20 @@ impl HostIfaceStats {
     }
 }
 
+impl Counters for HostIfaceStats {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "doorbells", self.doorbells as f64);
+        out.push(prefix, "descriptors", self.descriptors as f64);
+        out.push(prefix, "interrupts", self.interrupts as f64);
+        out.push(prefix, "fired_on_timer", self.fired_on_timer as f64);
+        out.push(prefix, "recalls", self.recalls as f64);
+        out.push(prefix, "max_in_flight", self.max_in_flight as f64);
+        out.push(prefix, "mean_in_flight", self.mean_in_flight);
+        out.push(prefix, "interrupts_per_job", self.interrupts_per_job);
+        out.push(prefix, "interrupts_per_chunk", self.interrupts_per_chunk);
+    }
+}
+
 /// Cumulative serving statistics for one tenant.
 #[derive(Debug, Clone, Default)]
 pub struct TenantStats {
@@ -249,6 +285,23 @@ impl TenantStats {
     }
 }
 
+impl Counters for TenantStats {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "submitted", self.submitted as f64);
+        out.push(prefix, "bytes_submitted", self.bytes_submitted as f64);
+        out.push(prefix, "completed", self.completed as f64);
+        out.push(prefix, "bytes_completed", self.bytes_completed as f64);
+        out.push(prefix, "bytes_serviced", self.bytes_serviced as f64);
+        out.push(prefix, "preemptions", self.preemptions as f64);
+        out.push(prefix, "resumes", self.resumes as f64);
+        out.push(prefix, "queue_delay_p50", self.queue_delay.p50());
+        out.push(prefix, "queue_delay_p99", self.queue_delay.p99());
+        out.push(prefix, "e2e_p50", self.e2e.p50());
+        out.push(prefix, "e2e_p99", self.e2e.p99());
+        out.push(prefix, "e2e_p999", self.e2e.p999());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +331,37 @@ mod tests {
         assert_eq!(h.p50(), 0.0);
         h.record(1e30); // clamps into the last bucket without panicking
         assert_eq!(h.quantile(1.0), (1u64 << (HIST_BUCKETS - 1)) as f64);
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        let mut h = LogHistogram::new();
+        // 1999 fast values and one 1 ms outlier: p99 stays in the fast
+        // bucket, p999 lands exactly at the rank of the outlier.
+        for _ in 0..1999 {
+            h.record(100.0);
+        }
+        h.record(1_000_000.0);
+        assert_eq!(h.p99(), 128.0);
+        assert_eq!(h.p999(), 128.0); // rank 2000*0.999 = 1998 → fast bucket
+        h.record(1_000_000.0);
+        h.record(1_000_000.0);
+        // 3 outliers of 2002: rank ⌈1999.998⌉ = 2000 > 1999 → outlier bucket.
+        assert_eq!(h.p999(), (1u64 << 20) as f64);
+        assert!(h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn bucket_iteration_reconstructs_the_distribution() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(3.0);
+        h.record(3.5);
+        h.record(1000.0);
+        let got: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(got, [(0.0, 1), (4.0, 2), (1024.0, 1)]);
+        assert_eq!(got.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
+        assert!(LogHistogram::new().buckets().next().is_none());
     }
 
     #[test]

@@ -41,6 +41,7 @@ use pim_mmu::{Dce, DceMode, DriverModel, SuspendedTransfer, XferKind};
 use pim_sim::{
     ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE, TICKS_PER_NS,
 };
+use pim_telemetry::{FlightRecorder, SpanEvent, SpanKind, TelemetryConfig};
 use pim_workloads::JobShape;
 use std::collections::{HashMap, VecDeque};
 
@@ -229,6 +230,10 @@ pub struct RuntimeConfig {
     /// cores `0..n_cores` — is the historic layout). The caller must
     /// keep `core_base + n_cores` within the machine's core count.
     pub core_stride: u32,
+    /// Observability: span tracing into the flight recorder and the
+    /// time-series sampler cadence. Disabled by default — the goldens
+    /// and every historical configuration are unperturbed.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -248,6 +253,7 @@ impl Default for RuntimeConfig {
             placement: Placement::HashPin,
             preemption: Preemption::Off,
             core_stride: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -294,6 +300,14 @@ pub struct Runtime {
     /// declined (must stay 0 for a work-conserving policy).
     missed_dispatches: u64,
     chunks_dispatched: u64,
+    /// The job-lifecycle flight recorder; disabled unless
+    /// [`RuntimeConfig::telemetry`] turns it on. Host-side events are
+    /// recorded directly; device-side events arrive through each
+    /// engine's span tap, drained at the shard poll.
+    recorder: FlightRecorder,
+    /// Chunk-completion bytes credited per shard (goodput attribution
+    /// for the time-series sampler).
+    serviced_by_shard: Vec<u64>,
 }
 
 impl Runtime {
@@ -363,6 +377,8 @@ impl Runtime {
             records: Vec::new(),
             missed_dispatches: 0,
             chunks_dispatched: 0,
+            recorder: FlightRecorder::new(cfg.telemetry),
+            serviced_by_shard: vec![0; cfg.shards],
         }
     }
 
@@ -391,6 +407,24 @@ impl Runtime {
     /// ordered entries).
     pub fn records(&self) -> &[JobRecord] {
         &self.records
+    }
+
+    /// The job-lifecycle flight recorder (empty and disabled unless
+    /// [`RuntimeConfig::telemetry`] enables it).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access (the composer drains device-side span
+    /// taps into it outside the poll path, e.g. at the end of a run).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    /// Chunk-completion bytes credited through each shard's ring so far
+    /// (the numerator of per-shard goodput).
+    pub fn serviced_by_shard(&self) -> &[u64] {
+        &self.serviced_by_shard
     }
 
     /// Per-tenant statistics.
@@ -597,6 +631,19 @@ impl Runtime {
                 self.next_job_id += 1;
                 t.stats.submitted += 1;
                 t.stats.bytes_submitted += job.total_bytes;
+                if self.recorder.enabled() {
+                    let tagged = SpanEvent::new(SpanKind::Arrival, at_ns)
+                        .tenant(ti)
+                        .job(job.id)
+                        .bytes(job.total_bytes);
+                    self.recorder.record(tagged);
+                    // Admission is immediate (unbounded tenant queues),
+                    // so the enqueue shares the arrival timestamp.
+                    self.recorder.record(SpanEvent {
+                        kind: SpanKind::Enqueue,
+                        ..tagged
+                    });
+                }
                 t.queue.push_back(job);
             }
         }
@@ -661,6 +708,11 @@ impl Runtime {
     /// cannot learn of a completion before the interrupt that announces
     /// it.
     pub fn poll_shard(&mut self, shard: usize, dce: &mut Dce, now_ns: f64) {
+        // Device-side span events (device-start / suspend / retire)
+        // surface with the same cadence as the ring poll.
+        if self.recorder.enabled() {
+            dce.drain_spans(&mut self.recorder);
+        }
         // Device → completion ring. The engine's cycle counter maps onto
         // the simulation timeline through its tick period (for the
         // coalescer's aggregation timer).
@@ -701,6 +753,8 @@ impl Runtime {
         let batch = qp.field_interrupt(now_ns);
         self.driver_ready_ns[shard] =
             self.driver_ready_ns[shard].max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
+        self.recorder
+            .record(SpanEvent::new(SpanKind::Interrupt, now_ns).shard(shard));
         for c in batch {
             let tenant_idx = c.posted.desc.tag.tenant;
             let engine_ns = (c.done_cycle - c.posted.posted_cycle) as f64
@@ -717,6 +771,7 @@ impl Runtime {
             // payload for a retirement, the pre-suspension progress for
             // a recall.
             let bytes = c.bytes_moved;
+            self.serviced_by_shard[shard] += bytes;
 
             let t = &mut self.tenants[tenant_idx];
             t.stats.bytes_serviced += bytes;
@@ -747,6 +802,14 @@ impl Runtime {
                 // first remainder re-dispatches.
                 t.queue[idx].resume.push_back((st, now_ns));
                 t.stats.preemptions += 1;
+                self.recorder.record(
+                    SpanEvent::new(SpanKind::Recall, now_ns)
+                        .tenant(tenant_idx)
+                        .shard(shard)
+                        .job(c.posted.desc.tag.job)
+                        .seq(c.posted.seq)
+                        .bytes(c.posted.desc.bytes - bytes),
+                );
                 // Refund the undelivered credit (DRR stays byte-exact
                 // across kicks); the resume re-charges it at dispatch.
                 self.policy
@@ -765,6 +828,13 @@ impl Runtime {
                 t.stats.e2e.record(finish_ns - job.submit_ns);
                 t.gen.on_complete(finish_ns.max(now_ns));
                 self.completed_via_shard[shard] += 1;
+                self.recorder.record(
+                    SpanEvent::new(SpanKind::Complete, finish_ns)
+                        .tenant(tenant_idx)
+                        .shard(shard)
+                        .job(job.id)
+                        .bytes(job.total_bytes),
+                );
                 self.records.push(JobRecord {
                     id: job.id,
                     tenant: tenant_idx,
@@ -808,7 +878,7 @@ impl Runtime {
         if self.tenants.iter().all(|t| t.queue.is_empty()) {
             return;
         }
-        self.maybe_preempt(dces);
+        self.maybe_preempt(dces, now_ns);
         match self.cfg.placement {
             Placement::HashPin => {
                 for (s, dce) in dces.iter_mut().enumerate() {
@@ -875,7 +945,20 @@ impl Runtime {
         self.qps.iter().any(|qp| qp.occupancy() == 0)
     }
 
-    fn maybe_preempt(&mut self, dces: &mut [Dce]) {
+    /// Record that shard `s`'s active descriptor (owned by `victim`)
+    /// was asked to suspend at `now_ns`.
+    fn note_suspend_request(&mut self, s: usize, victim: usize, seq: Option<u64>, now_ns: f64) {
+        if self.recorder.enabled() {
+            self.recorder.record(
+                SpanEvent::new(SpanKind::SuspendRequest, now_ns)
+                    .tenant(victim)
+                    .shard(s)
+                    .seq(seq.unwrap_or(pim_telemetry::NO_SEQ)),
+            );
+        }
+    }
+
+    fn maybe_preempt(&mut self, dces: &mut [Dce], now_ns: f64) {
         // Under work stealing, queued heads only justify a kick when no
         // idle engine could take them at this very edge.
         let consider_queued = self.cfg.placement == Placement::HashPin || !self.idle_shard_exists();
@@ -899,7 +982,10 @@ impl Runtime {
                     if (consider_queued && self.other_waiter_exists(s, victim))
                         || self.ring_waiter_exists(s, victim)
                     {
-                        dce.request_suspend();
+                        let seq = dce.active_seq();
+                        if dce.request_suspend() {
+                            self.note_suspend_request(s, victim, seq, now_ns);
+                        }
                     }
                 }
             }
@@ -921,7 +1007,7 @@ impl Runtime {
                                 continue;
                             }
                             let views = self.views(Some(s));
-                            self.kick_if_outranked(s, dce, victim, &views, true);
+                            self.kick_if_outranked(s, dce, victim, &views, true, now_ns);
                         }
                     }
                     // Under work-stealing, at most one shard per edge:
@@ -951,6 +1037,7 @@ impl Runtime {
                                 victim,
                                 &views,
                                 consider_queued,
+                                now_ns,
                             );
                         }
                     }
@@ -988,6 +1075,7 @@ impl Runtime {
         victim: usize,
         views: &[QueueView],
         consider_queued: bool,
+        now_ns: f64,
     ) {
         let active_urgency = self.policy.urgency(&views[victim]);
         let queued_waiter = views
@@ -1009,7 +1097,10 @@ impl Runtime {
             (a, b) => a.or(b),
         };
         if waiter.is_some_and(|u| u < active_urgency) {
-            dce.request_suspend();
+            let seq = dce.active_seq();
+            if dce.request_suspend() {
+                self.note_suspend_request(s, victim, seq, now_ns);
+            }
         }
     }
 
@@ -1086,6 +1177,7 @@ impl Runtime {
             job.first_dispatch_ns = Some(now_ns);
         }
         let job_id = job.id;
+        let resumed = !job.resume.is_empty();
         let (bytes, entries) = if let Some((st, recalled_at)) = job.resume.pop_front() {
             // Resume the preempted chunk: the engine continues the
             // suspended channel sweep from its cursor. The descriptor
@@ -1107,7 +1199,8 @@ impl Runtime {
                 .expect("chunk validated at job construction");
             (bytes, entries)
         };
-        self.qps
+        let seq = self
+            .qps
             .shard_mut(shard)
             .stage(
                 Descriptor {
@@ -1122,6 +1215,21 @@ impl Runtime {
                 dce.cycle(),
             )
             .expect("free slot checked");
+        if self.recorder.enabled() {
+            let tagged = SpanEvent::new(SpanKind::DispatchPick, now_ns)
+                .tenant(pick)
+                .shard(shard)
+                .job(job_id)
+                .seq(seq)
+                .bytes(bytes);
+            self.recorder.record(tagged);
+            if resumed {
+                self.recorder.record(SpanEvent {
+                    kind: SpanKind::Resume,
+                    ..tagged
+                });
+            }
+        }
         self.policy.dispatched(pick, bytes);
         self.chunks_dispatched += 1;
     }
@@ -1135,6 +1243,8 @@ impl Runtime {
             .ring_doorbell(&self.cfg.driver)
             .expect("descriptors were staged");
         self.driver_ready_ns[shard] = now_ns + cost;
+        self.recorder
+            .record(SpanEvent::new(SpanKind::Doorbell, now_ns).shard(shard));
     }
 
     /// One host-interface service round at a decision-clock edge:

@@ -21,6 +21,21 @@
 
 use crate::runtime::Runtime;
 use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable, TimingMode};
+use pim_telemetry::{Counters, SampleSeries, TelemetrySnapshot};
+
+/// Undrained device-side span events a DCE's tap can hold between ring
+/// polls. Polls drain every few ns, so this is generous headroom.
+const SPAN_TAP_CAPACITY: usize = 4096;
+
+/// The time-series sampler: its clock domain (so under event-driven
+/// timing a sample deadline is just another edge and idle-skip still
+/// engages), the series, and the per-shard serviced-bytes basis of the
+/// previous sample (goodput is a windowed delta).
+struct Sampler {
+    dom: DomainId,
+    series: SampleSeries,
+    last_serviced: Vec<u64>,
+}
 
 /// A [`System`] serving sustained multi-tenant transfer traffic.
 pub struct ServingSystem {
@@ -31,6 +46,12 @@ pub struct ServingSystem {
     /// `hostq.poll_period_ps`; every shard's ring is polled at its
     /// edges).
     poller: DomainId,
+    /// Present only when [`RuntimeConfig::telemetry`] is enabled — a
+    /// disabled configuration registers no extra domain and perturbs
+    /// nothing.
+    ///
+    /// [`RuntimeConfig::telemetry`]: crate::RuntimeConfig::telemetry
+    sampler: Option<Sampler>,
 }
 
 impl ServingSystem {
@@ -63,20 +84,91 @@ impl ServingSystem {
         cfg.dce_count = runtime.config().shards;
         let period_ps = runtime.config().period_ps;
         let poll_ps = runtime.config().hostq.poll_period_ps;
+        let telemetry = runtime.config().telemetry;
+        let shards = runtime.config().shards;
         let mut sys = System::new(cfg, vec![]);
         let dom = sys.register_domain("runtime", period_ps);
         let poller = sys.register_domain("hostq", poll_ps);
+        let sampler = telemetry.enabled.then(|| {
+            let period_ps = (telemetry.sample_ns * 1000.0).max(1.0) as u64;
+            let columns: Vec<String> = ["backlog", "in_flight_bytes", "edges_skipped"]
+                .into_iter()
+                .map(String::from)
+                .chain((0..shards).map(|s| format!("shard{s}_goodput_gbps")))
+                .collect();
+            let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+            Sampler {
+                dom: sys.register_domain("telemetry", period_ps),
+                series: SampleSeries::new(&refs, telemetry.sample_ns),
+                last_serviced: vec![0; shards],
+            }
+        });
+        if telemetry.enabled {
+            for s in 0..shards {
+                let dce = sys.engine_mut(s).expect("one engine per shard");
+                let ns_per_cycle = dce.config().period_ps() as f64 / 1000.0;
+                dce.enable_span_tap(ns_per_cycle, SPAN_TAP_CAPACITY);
+            }
+        }
         ServingSystem {
             sys,
             runtime,
             dom,
             poller,
+            sampler,
         }
     }
 
     /// The runtime (queues, stats, records).
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
+    }
+
+    /// The recorded time series (None when telemetry is disabled).
+    pub fn sample_series(&self) -> Option<&SampleSeries> {
+        self.sampler.as_ref().map(|s| &s.series)
+    }
+
+    /// Drain every engine's span tap into the flight recorder. The ring
+    /// pollers drain taps at every poll edge; call this once after a
+    /// run so events recorded after the final poll are not stranded.
+    pub fn flush_spans(&mut self) {
+        for s in 0..self.runtime.config().shards {
+            let dce = self.sys.engine_mut(s).expect("one engine per shard");
+            dce.drain_spans(self.runtime.recorder_mut());
+        }
+    }
+
+    /// Freeze every layer's counters into one flat, named snapshot:
+    /// event-core timing, aggregate and per-shard host-interface and
+    /// engine counters, and per-tenant serving stats. Deterministic
+    /// emission order; works with telemetry disabled too (the counters
+    /// exist regardless).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(self.sys.now_ns());
+        self.sys
+            .timing_stats()
+            .counters("timing", &mut snap.counters);
+        self.runtime
+            .host_stats()
+            .counters("host", &mut snap.counters);
+        self.runtime
+            .queue_pairs()
+            .aggregate_stats()
+            .counters("ring", &mut snap.counters);
+        for (s, dce) in self.sys.engines().iter().enumerate() {
+            dce.stats()
+                .counters(&format!("shard{s}.dce"), &mut snap.counters);
+            self.runtime
+                .queue_pairs()
+                .shard(s)
+                .stats()
+                .counters(&format!("shard{s}.ring"), &mut snap.counters);
+        }
+        for (i, (name, stats)) in self.runtime.tenant_stats().into_iter().enumerate() {
+            stats.counters(&format!("tenant{i}.{name}"), &mut snap.counters);
+        }
+        snap
     }
 
     /// The underlying machine.
@@ -98,6 +190,30 @@ impl ServingSystem {
     pub fn step(&mut self) {
         let pending = self.sys.pending();
         let now_ns = ticks_to_ns(pending.now);
+        if let Some(smp) = &mut self.sampler {
+            if pending.contains(smp.dom) {
+                // Sample the pre-edge state: queue depths and counters
+                // as the host left them after the previous edge.
+                let shards = self.runtime.config().shards;
+                let qps = self.runtime.queue_pairs();
+                let mut row = Vec::with_capacity(3 + shards);
+                row.push(self.runtime.backlog() as f64);
+                row.push(
+                    (0..shards)
+                        .map(|s| qps.shard(s).in_flight_bytes())
+                        .sum::<u64>() as f64,
+                );
+                row.push(self.sys.timing_stats().edges_skipped as f64);
+                let serviced = self.runtime.serviced_by_shard();
+                for (s, total) in serviced.iter().enumerate().take(shards) {
+                    let delta = total - smp.last_serviced[s];
+                    smp.last_serviced[s] = *total;
+                    // bytes per ns = (decimal) GB/s.
+                    row.push(delta as f64 / smp.series.period_ns());
+                }
+                smp.series.record(now_ns, &row);
+            }
+        }
         if pending.contains(self.dom) {
             // Decision-clock edges slept while the host was quiescent:
             // account them (all strictly before the next arrival) so the

@@ -84,6 +84,15 @@ fn drive_sharded(
 ) -> Option<Vec<JobRecord>> {
     let shards = rt.config().shards;
     let mut dces: Vec<Dce> = (0..shards).map(|s| fresh_dce(s as u32)).collect();
+    // Mirror `ServingSystem::new`: when the runtime records spans, arm
+    // each engine's cycle-stamped tap so device-side lifecycle events
+    // reach the flight recorder through the poll path.
+    if rt.recorder().enabled() {
+        for dce in &mut dces {
+            let ns_per_cycle = dce.config().period_ps() as f64 / 1000.0;
+            dce.enable_span_tap(ns_per_cycle, 4096);
+        }
+    }
     let mut pending: Vec<VecDeque<(u64, Completion)>> =
         (0..shards).map(|_| VecDeque::new()).collect();
     for cycle in 0..max_cycles {

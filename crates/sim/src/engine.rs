@@ -16,6 +16,7 @@ use crate::clock::{ticks_to_ns, Clock, TICKS_PER_NS};
 use crate::timeq::TimeQ;
 use pim_dram::{Completion, MemRequest};
 use pim_mapping::MemSpace;
+use pim_telemetry::{CounterSet, Counters};
 
 /// A unit of work leaving a component at a clock edge.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +86,20 @@ impl StatsSnapshot {
             dce_lines: self.dce_lines - earlier.dce_lines,
             dce_busy_cycles: self.dce_busy_cycles - earlier.dce_busy_cycles,
         }
+    }
+}
+
+impl Counters for StatsSnapshot {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "core_active_cycles", self.core_active_cycles as f64);
+        out.push(prefix, "transfer_instr", self.transfer_instr as f64);
+        out.push(prefix, "llc_accesses", self.llc_accesses as f64);
+        out.push(prefix, "dram_activates", self.dram_activates as f64);
+        out.push(prefix, "dram_reads", self.dram_reads as f64);
+        out.push(prefix, "dram_writes", self.dram_writes as f64);
+        out.push(prefix, "dram_refreshes", self.dram_refreshes as f64);
+        out.push(prefix, "dce_lines", self.dce_lines as f64);
+        out.push(prefix, "dce_busy_cycles", self.dce_busy_cycles as f64);
     }
 }
 
@@ -164,6 +179,14 @@ pub struct TimingStats {
     /// Edges elided entirely while their domain was quiescent (each one
     /// a `tick` the cycle-stepped driver would have paid for).
     pub edges_skipped: u64,
+}
+
+impl Counters for TimingStats {
+    fn counters(&self, prefix: &str, out: &mut CounterSet) {
+        out.push(prefix, "events_fired", self.events_fired as f64);
+        out.push(prefix, "domain_ticks", self.domain_ticks as f64);
+        out.push(prefix, "edges_skipped", self.edges_skipped as f64);
+    }
 }
 
 /// The set of domains firing at one edge (result of

@@ -1,0 +1,141 @@
+//! A unified named-counter namespace over the per-layer stats structs.
+//!
+//! Each layer already keeps its own plain stats struct (`TimingStats`,
+//! `DceStats`, `HostQueueStats`, `TenantStats`, …). Implementing
+//! [`Counters`] flattens one of those into dotted `prefix.name` entries
+//! of a [`CounterSet`], so exporters and dashboards see a single flat,
+//! insertion-ordered namespace instead of N struct shapes.
+
+/// An insertion-ordered set of `(name, value)` counters. Order is the
+/// emission order, so exports are deterministic without sorting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSet {
+    entries: Vec<(String, f64)>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Append a counter under `prefix.name` (or bare `name` if the
+    /// prefix is empty).
+    pub fn push(&mut self, prefix: &str, name: &str, value: f64) {
+        let key = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}.{name}")
+        };
+        self.entries.push((key, value));
+    }
+
+    /// Look up a counter by its full dotted name (first match).
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Number of counters held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Absorb every counter of `other`, in order, after this set's.
+    pub fn extend_from(&mut self, other: &CounterSet) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+}
+
+/// Flatten a stats struct into named counters. Implementations must be
+/// deterministic: a fixed emission order and values derived only from
+/// the struct.
+pub trait Counters {
+    /// Append this struct's counters to `out`, each named
+    /// `prefix.<field>`.
+    fn counters(&self, prefix: &str, out: &mut CounterSet);
+}
+
+/// A point-in-time freeze of the whole stack's counters: one timestamp,
+/// one flat namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Simulated time the snapshot was taken, ns.
+    pub t_ns: f64,
+    /// The flattened counters.
+    pub counters: CounterSet,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot at `t_ns`.
+    pub fn new(t_ns: f64) -> Self {
+        TelemetrySnapshot {
+            t_ns,
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// Append a source's counters under `prefix`.
+    pub fn add(&mut self, prefix: &str, src: &dyn Counters) -> &mut Self {
+        src.counters(prefix, &mut self.counters);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        a: u64,
+        b: f64,
+    }
+
+    impl Counters for Fake {
+        fn counters(&self, prefix: &str, out: &mut CounterSet) {
+            out.push(prefix, "a", self.a as f64);
+            out.push(prefix, "b", self.b);
+        }
+    }
+
+    #[test]
+    fn counters_flatten_with_dotted_prefixes() {
+        let mut snap = TelemetrySnapshot::new(100.0);
+        snap.add("dce0", &Fake { a: 3, b: 0.5 });
+        snap.add("dce1", &Fake { a: 7, b: 1.5 });
+        assert_eq!(snap.counters.len(), 4);
+        assert_eq!(snap.counters.get("dce0.a"), Some(3.0));
+        assert_eq!(snap.counters.get("dce1.b"), Some(1.5));
+        assert_eq!(snap.counters.get("dce2.a"), None);
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["dce0.a", "dce0.b", "dce1.a", "dce1.b"]);
+    }
+
+    #[test]
+    fn empty_prefix_emits_bare_names() {
+        let mut set = CounterSet::new();
+        set.push("", "edges_skipped", 9.0);
+        assert_eq!(set.get("edges_skipped"), Some(9.0));
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn extend_preserves_order() {
+        let mut a = CounterSet::new();
+        a.push("x", "one", 1.0);
+        let mut b = CounterSet::new();
+        b.push("y", "two", 2.0);
+        a.extend_from(&b);
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["x.one", "y.two"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The span-event vocabulary: one fixed-size `Copy` record per
+//! lifecycle point, cheap enough to stamp on the hot path.
+
+/// `tenant` value for events not attributable to a tenant at emission
+/// time (device-side events know only their ring sequence number; the
+/// exporter joins them to an owner through the dispatch-pick event of
+/// the same `(shard, seq)`).
+pub const NO_TENANT: u32 = u32::MAX;
+/// `shard` value for events outside any shard (pre-dispatch lifecycle).
+pub const NO_SHARD: u32 = u32::MAX;
+/// `job` value for events not attributable to a job at emission time.
+pub const NO_JOB: u64 = u64::MAX;
+/// `seq` value for events without a ring sequence number.
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// A point in a job's lifecycle, in causal order: a job arrives, is
+/// enqueued, has chunks picked/doorbelled/started/retired (possibly
+/// suspended and resumed in between), and finally completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A tenant's generator produced the job (runtime, arrival time).
+    Arrival = 0,
+    /// The job entered its tenant's submission queue.
+    Enqueue = 1,
+    /// The policy picked one chunk of the job and staged it on a
+    /// shard's submission ring (`seq` = ring sequence number).
+    DispatchPick = 2,
+    /// A staged remainder of a previously suspended chunk was
+    /// re-dispatched (always paired with a [`DispatchPick`] of the same
+    /// `seq` at the same instant).
+    ///
+    /// [`DispatchPick`]: SpanKind::DispatchPick
+    Resume = 3,
+    /// A doorbell MMIO write published the shard's staged batch.
+    Doorbell = 4,
+    /// The engine installed the descriptor and began executing
+    /// (device-side, cycle-stamped).
+    DeviceStart = 5,
+    /// The host asked the engine to suspend its in-service descriptor
+    /// (the drain starts; the suspension itself lands later).
+    SuspendRequest = 6,
+    /// The engine quiesced and parked the descriptor mid-transfer: a
+    /// partial retirement surfaced on the completion ring
+    /// (device-side, cycle-stamped).
+    Suspend = 7,
+    /// The engine fully retired the descriptor (device-side,
+    /// cycle-stamped).
+    Retire = 8,
+    /// A completion interrupt was fielded on a shard (one per coalesced
+    /// batch).
+    Interrupt = 9,
+    /// The host claimed a recalled remainder at the interrupt and
+    /// re-attached it to its job for a later resume.
+    Recall = 10,
+    /// The job's last chunk was serviced; its completion record was
+    /// written (`t_ns` is the job's completion time, which can precede
+    /// the fielding edge's `now` only never — it is clamped to the
+    /// announcing interrupt).
+    Complete = 11,
+}
+
+impl SpanKind {
+    /// Every kind, in causal order.
+    pub const ALL: [SpanKind; 12] = [
+        SpanKind::Arrival,
+        SpanKind::Enqueue,
+        SpanKind::DispatchPick,
+        SpanKind::Resume,
+        SpanKind::Doorbell,
+        SpanKind::DeviceStart,
+        SpanKind::SuspendRequest,
+        SpanKind::Suspend,
+        SpanKind::Retire,
+        SpanKind::Interrupt,
+        SpanKind::Recall,
+        SpanKind::Complete,
+    ];
+
+    /// Stable label (exporter slice/event names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Arrival => "arrival",
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::DispatchPick => "dispatch-pick",
+            SpanKind::Resume => "resume",
+            SpanKind::Doorbell => "doorbell",
+            SpanKind::DeviceStart => "device-start",
+            SpanKind::SuspendRequest => "suspend-request",
+            SpanKind::Suspend => "suspend",
+            SpanKind::Retire => "retire",
+            SpanKind::Interrupt => "interrupt",
+            SpanKind::Recall => "recall",
+            SpanKind::Complete => "complete",
+        }
+    }
+}
+
+/// One recorded lifecycle point: a timestamp, the kind, and the
+/// tenant/shard/job/seq tags that let the exporter reassemble per-job
+/// and per-shard tracks. Fields that do not apply hold the `NO_*`
+/// sentinels. `Copy` and fixed-size by design — recording is a store,
+/// never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Simulation timestamp, ns.
+    pub t_ns: f64,
+    /// Lifecycle point.
+    pub kind: SpanKind,
+    /// Owning tenant index, or [`NO_TENANT`].
+    pub tenant: u32,
+    /// Shard (engine / ring) index, or [`NO_SHARD`].
+    pub shard: u32,
+    /// Job id, or [`NO_JOB`].
+    pub job: u64,
+    /// Ring sequence number on `shard`, or [`NO_SEQ`].
+    pub seq: u64,
+    /// Payload bytes the event covers (job bytes for arrival/complete,
+    /// chunk bytes for dispatch/device events; 0 where meaningless).
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    /// An event with every tag defaulted to its `NO_*` sentinel.
+    pub fn new(kind: SpanKind, t_ns: f64) -> Self {
+        SpanEvent {
+            t_ns,
+            kind,
+            tenant: NO_TENANT,
+            shard: NO_SHARD,
+            job: NO_JOB,
+            seq: NO_SEQ,
+            bytes: 0,
+        }
+    }
+
+    /// Builder: set the owning tenant.
+    pub fn tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant as u32;
+        self
+    }
+
+    /// Builder: set the shard.
+    pub fn shard(mut self, shard: usize) -> Self {
+        self.shard = shard as u32;
+        self
+    }
+
+    /// Builder: set the job id.
+    pub fn job(mut self, job: u64) -> Self {
+        self.job = job;
+        self
+    }
+
+    /// Builder: set the ring sequence number.
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Builder: set the payload byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_causally_ordered_and_named() {
+        for w in SpanKind::ALL.windows(2) {
+            assert!(w[0] < w[1], "{:?} < {:?}", w[0], w[1]);
+        }
+        let names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"device-start") && names.contains(&"complete"));
+    }
+
+    #[test]
+    fn builder_tags_compose() {
+        let e = SpanEvent::new(SpanKind::DispatchPick, 42.5)
+            .tenant(3)
+            .shard(1)
+            .job(7)
+            .seq(19)
+            .bytes(4096);
+        assert_eq!(e.t_ns, 42.5);
+        assert_eq!(
+            (e.tenant, e.shard, e.job, e.seq, e.bytes),
+            (3, 1, 7, 19, 4096)
+        );
+        let bare = SpanEvent::new(SpanKind::Doorbell, 0.0);
+        assert_eq!(bare.tenant, NO_TENANT);
+        assert_eq!(bare.seq, NO_SEQ);
+    }
+}

@@ -1,0 +1,336 @@
+//! The flight recorder: a bounded span-event ring with a configurable
+//! drop policy, plus the cycle-stamped [`SpanTap`] device components
+//! record through.
+
+use crate::event::SpanEvent;
+
+/// What to do when the flight recorder is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Keep the oldest events; new events are counted and discarded
+    /// (the deterministic default — the ring's contents are a prefix of
+    /// the run, so partial traces are still causally closed).
+    DropNewest,
+    /// Overwrite the oldest events, keeping a sliding window of the
+    /// most recent ones (classic flight-recorder behavior for
+    /// investigating how a long run *ended*).
+    DropOldest,
+}
+
+/// Telemetry configuration, carried inside the runtime config so one
+/// struct plumbs the whole stack. Disabled (the default) costs one
+/// predictable branch per would-be event and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Master switch: when false, no ring is allocated, no sampler
+    /// domain is registered, and every record call returns immediately.
+    pub enabled: bool,
+    /// Flight-recorder capacity in events (preallocated at enable).
+    pub capacity: usize,
+    /// Policy once `capacity` is reached.
+    pub drop: DropPolicy,
+    /// Time-series sampling cadence, ns.
+    pub sample_ns: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            capacity: 1 << 16,
+            drop: DropPolicy::DropNewest,
+            sample_ns: 5_000.0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled configuration with the default ring and cadence.
+    pub fn on() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// A bounded ring of [`SpanEvent`]s. The buffer is preallocated at
+/// construction; recording is a branch plus a `Copy` store. Iteration
+/// yields events in record order (oldest surviving first).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<SpanEvent>,
+    /// Index of the oldest event once the ring has wrapped
+    /// ([`DropPolicy::DropOldest`] only).
+    head: usize,
+    capacity: usize,
+    policy: DropPolicy,
+    enabled: bool,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder per `cfg` (disabled config ⇒ no allocation).
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        let capacity = if cfg.enabled { cfg.capacity.max(1) } else { 0 };
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            policy: cfg.drop,
+            enabled: cfg.enabled,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A permanently disabled recorder (no allocation).
+    pub fn off() -> Self {
+        FlightRecorder::new(TelemetryConfig::default())
+    }
+
+    /// Whether recording is live. Callers with nontrivial event
+    /// construction can guard on this; [`record`](Self::record) checks
+    /// it again either way.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event. Zero-allocation: the buffer never grows past
+    /// its preallocated capacity, and a disabled or full-with-
+    /// [`DropPolicy::DropNewest`] recorder only bumps a counter.
+    #[inline]
+    pub fn record(&mut self, ev: SpanEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            return;
+        }
+        match self.policy {
+            DropPolicy::DropNewest => self.dropped += 1,
+            DropPolicy::DropOldest => {
+                self.buf[self.head] = ev;
+                self.head = (self.head + 1) % self.capacity;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered to the recorder while enabled.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to the drop policy (dropped new ones or overwritten
+    /// old ones).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Surviving events in record order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        let (wrapped, start) = self.buf.split_at(self.head.min(self.buf.len()));
+        start.iter().chain(wrapped.iter())
+    }
+}
+
+/// A small cycle-stamped span buffer for device-side components that
+/// know engine cycles but not wall-clock nanoseconds. The owner
+/// records with cycle timestamps; the composer periodically
+/// [`drain_into`](Self::drain_into)s the shared [`FlightRecorder`],
+/// converting cycles to ns with the tap's `ns_per_cycle` and stamping
+/// the component's shard id. Disabled taps cost one branch per call.
+#[derive(Debug, Clone)]
+pub struct SpanTap {
+    enabled: bool,
+    ns_per_cycle: f64,
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanTap {
+    /// A disabled tap (the default state of every component).
+    pub fn off() -> Self {
+        SpanTap {
+            enabled: false,
+            ns_per_cycle: 0.0,
+            buf: Vec::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled tap converting local cycles at `ns_per_cycle`,
+    /// holding at most `capacity` undrained events (overflow drops the
+    /// newest and counts it).
+    pub fn new(ns_per_cycle: f64, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanTap {
+            enabled: true,
+            ns_per_cycle,
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether the tap records.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event whose timestamp is a local cycle count; the ns
+    /// conversion happens here (deterministic `f64` multiply).
+    #[inline]
+    pub fn record_at_cycle(&mut self, ev: SpanEvent, cycle: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let mut ev = ev;
+        ev.t_ns = cycle as f64 * self.ns_per_cycle;
+        self.buf.push(ev);
+    }
+
+    /// Undrained events held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the tap holds nothing to drain.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events lost to the capacity bound since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Move every buffered event into `rec`, stamping `shard` on each.
+    /// Record order is preserved, so the recorder's stream stays
+    /// deterministic.
+    pub fn drain_into(&mut self, rec: &mut FlightRecorder, shard: usize) {
+        for mut ev in self.buf.drain(..) {
+            ev.shard = shard as u32;
+            rec.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+
+    fn ev(t: f64) -> SpanEvent {
+        SpanEvent::new(SpanKind::Doorbell, t)
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let mut r = FlightRecorder::off();
+        r.record(ev(1.0));
+        assert!(!r.enabled() && r.is_empty());
+        assert_eq!(r.recorded(), 0);
+        assert_eq!(r.buf.capacity(), 0, "disabled recorder allocates nothing");
+    }
+
+    #[test]
+    fn drop_newest_keeps_the_prefix() {
+        let mut r = FlightRecorder::new(TelemetryConfig {
+            enabled: true,
+            capacity: 3,
+            drop: DropPolicy::DropNewest,
+            sample_ns: 1.0,
+        });
+        for i in 0..5 {
+            r.record(ev(i as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let ts: Vec<f64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, [0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_a_sliding_window() {
+        let mut r = FlightRecorder::new(TelemetryConfig {
+            enabled: true,
+            capacity: 3,
+            drop: DropPolicy::DropOldest,
+            sample_ns: 1.0,
+        });
+        for i in 0..5 {
+            r.record(ev(i as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<f64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, [2.0, 3.0, 4.0], "oldest surviving first");
+    }
+
+    #[test]
+    fn recording_never_reallocates() {
+        let mut r = FlightRecorder::new(TelemetryConfig {
+            enabled: true,
+            capacity: 8,
+            drop: DropPolicy::DropOldest,
+            sample_ns: 1.0,
+        });
+        let cap = r.buf.capacity();
+        for i in 0..100 {
+            r.record(ev(i as f64));
+        }
+        assert_eq!(r.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn tap_converts_cycles_and_stamps_shard() {
+        let mut tap = SpanTap::new(0.3125, 16);
+        tap.record_at_cycle(SpanEvent::new(SpanKind::DeviceStart, 0.0).seq(4), 32);
+        tap.record_at_cycle(SpanEvent::new(SpanKind::Retire, 0.0).seq(4), 100);
+        let mut rec = FlightRecorder::new(TelemetryConfig::on());
+        tap.drain_into(&mut rec, 2);
+        assert!(tap.is_empty());
+        let evs: Vec<&SpanEvent> = rec.iter().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].t_ns, 10.0);
+        assert_eq!(evs[1].t_ns, 31.25);
+        assert!(evs.iter().all(|e| e.shard == 2 && e.seq == 4));
+    }
+
+    #[test]
+    fn tap_overflow_drops_and_counts() {
+        let mut tap = SpanTap::new(1.0, 2);
+        for c in 0..4 {
+            tap.record_at_cycle(ev(0.0), c);
+        }
+        assert_eq!(tap.len(), 2);
+        assert_eq!(tap.dropped(), 2);
+        let mut off = SpanTap::off();
+        off.record_at_cycle(ev(0.0), 5);
+        assert!(off.is_empty() && !off.enabled());
+    }
+}

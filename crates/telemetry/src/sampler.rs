@@ -1,0 +1,120 @@
+//! A fixed-schema time series sampled at a configurable cadence.
+//!
+//! The composer owns a [`SampleSeries`], registers its cadence as a
+//! clock domain (so under event-driven timing the next sample deadline
+//! is an ordinary edge and idle-skip still engages), and calls
+//! [`record`](SampleSeries::record) whenever that domain fires. Rows
+//! are plain `f64` vectors in column order — deterministic to export,
+//! cheap to append.
+
+/// A time series with a fixed column schema. Rows are appended in
+/// time order; each row stores its timestamp plus one value per column.
+#[derive(Debug, Clone)]
+pub struct SampleSeries {
+    columns: Vec<String>,
+    times: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    period_ns: f64,
+}
+
+impl SampleSeries {
+    /// A series with the given column names, sampled every `period_ns`.
+    pub fn new(columns: &[&str], period_ns: f64) -> Self {
+        assert!(period_ns > 0.0, "sample period must be positive");
+        SampleSeries {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            times: Vec::new(),
+            rows: Vec::new(),
+            period_ns,
+        }
+    }
+
+    /// The sampling cadence, ns.
+    pub fn period_ns(&self) -> f64 {
+        self.period_ns
+    }
+
+    /// Column names, in schema order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Append one row at `t_ns`. `values` must match the schema width;
+    /// timestamps must be non-decreasing.
+    pub fn record(&mut self, t_ns: f64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match schema"
+        );
+        if let Some(&last) = self.times.last() {
+            assert!(t_ns >= last, "samples must be recorded in time order");
+        }
+        self.times.push(t_ns);
+        self.rows.push(values.to_vec());
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(t_ns, row)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.times
+            .iter()
+            .zip(self.rows.iter())
+            .map(|(&t, r)| (t, r.as_slice()))
+    }
+
+    /// The values of one column as `(t_ns, value)` pairs, by name.
+    pub fn column(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(
+            self.times
+                .iter()
+                .zip(self.rows.iter())
+                .map(|(&t, r)| (t, r[idx]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_record_in_schema_order() {
+        let mut s = SampleSeries::new(&["depth", "gbps"], 50.0);
+        s.record(0.0, &[3.0, 1.5]);
+        s.record(50.0, &[2.0, 2.5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.period_ns(), 50.0);
+        let depth = s.column("depth").unwrap();
+        assert_eq!(depth, [(0.0, 3.0), (50.0, 2.0)]);
+        assert!(s.column("missing").is_none());
+        let all: Vec<(f64, Vec<f64>)> = s.iter().map(|(t, r)| (t, r.to_vec())).collect();
+        assert_eq!(all[1], (50.0, vec![2.0, 2.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut s = SampleSeries::new(&["a", "b"], 1.0);
+        s.record(0.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_panics() {
+        let mut s = SampleSeries::new(&["a"], 1.0);
+        s.record(5.0, &[1.0]);
+        s.record(4.0, &[1.0]);
+    }
+}
