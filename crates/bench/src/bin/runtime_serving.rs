@@ -116,6 +116,7 @@ fn scenario_tenants(scenario: &str, n: usize) -> Vec<TenantSpec> {
                     },
                     priority: 1,
                     weight: 1,
+                    class: 0,
                 },
                 other => panic!("unknown scenario {other}"),
             };

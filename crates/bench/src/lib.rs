@@ -9,6 +9,7 @@
 pub mod goldens;
 pub mod json;
 pub mod perfetto;
+pub mod report;
 
 use json::Json;
 use pim_sim::{DesignPoint, SystemConfig, TimingStats};

@@ -25,7 +25,10 @@
 //! export byte-identical files.
 
 use crate::json::Json;
-use pim_runtime::{FlightRecorder, SampleSeries, SpanEvent, SpanKind, NO_SEQ, NO_TENANT};
+use pim_runtime::{
+    Attribution, FlightRecorder, JobWaterfall, SampleSeries, SloTracker, SpanEvent, SpanKind,
+    Stage, NO_SEQ, NO_TENANT,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Shard thread id on the machine process (tid 0 is reserved for the
@@ -113,6 +116,37 @@ pub fn chrome_trace(
     shards: usize,
     series: Option<&SampleSeries>,
 ) -> Json {
+    chrome_trace_full(rec, tenants, shards, series, None, None)
+}
+
+/// [`chrome_trace`] plus the PR 8 analysis layers:
+///
+/// * when `attribution` is given, every completed job's async slice
+///   opens with its stage waterfall (per-[`Stage`] nanoseconds, chunk
+///   and preemption counts) as slice `args`, so hovering a job in the
+///   Perfetto UI shows where its latency went;
+/// * when `slo` is given, the machine process grows an `slo` thread
+///   (tid `1 + shards`) carrying one instant per edge-triggered breach
+///   (named `{class} {kind}`, burn rates in `args`), and the tracker's
+///   sampled burn-rate/goodput series joins the counter tracks.
+pub fn chrome_trace_full(
+    rec: &FlightRecorder,
+    tenants: &[&str],
+    shards: usize,
+    series: Option<&SampleSeries>,
+    attribution: Option<&Attribution>,
+    slo: Option<&SloTracker>,
+) -> Json {
+    // Stage waterfalls keyed like the async job slices they decorate.
+    let waterfalls: HashMap<(u32, u64), &JobWaterfall> = attribution
+        .map(|a| {
+            a.jobs
+                .iter()
+                .filter(|w| w.complete)
+                .map(|w| ((w.tenant, w.job), w))
+                .collect()
+        })
+        .unwrap_or_default();
     let mut events: Vec<Json> = Vec::new();
 
     // Metadata first: process and thread names, in a fixed order.
@@ -134,6 +168,17 @@ pub fn chrome_trace(
             0,
             shard_tid(s as u32),
             &[args(&[("name", Json::Str(format!("dce-shard{s}")))])],
+        ));
+    }
+    if slo.is_some() {
+        events.push(event(
+            "thread_name",
+            "__metadata",
+            "M",
+            0.0,
+            0,
+            shard_tid(shards as u32),
+            &[args(&[("name", Json::str("slo"))])],
         ));
     }
     for (t, name) in tenants.iter().enumerate() {
@@ -192,6 +237,14 @@ pub fn chrome_trace(
                 } else {
                     RANK_CLOSE_ASYNC
                 };
+                let mut arg_pairs = vec![("bytes", Json::int(bytes))];
+                if let Some(w) = waterfalls.get(&(ev.tenant, ev.job)) {
+                    for stage in Stage::ALL {
+                        arg_pairs.push((stage.name(), Json::num(w.stages[stage as usize])));
+                    }
+                    arg_pairs.push(("chunks", Json::int(u64::from(w.chunks))));
+                    arg_pairs.push(("preemptions", Json::int(u64::from(w.preemptions))));
+                }
                 push(
                     start,
                     RANK_OPEN,
@@ -202,10 +255,7 @@ pub fn chrome_trace(
                         start,
                         1 + u64::from(ev.tenant),
                         1,
-                        &[
-                            ("id", Json::int(ev.job)),
-                            args(&[("bytes", Json::int(bytes))]),
-                        ],
+                        &[("id", Json::int(ev.job)), args(&arg_pairs)],
                     ),
                 );
                 push(
@@ -439,6 +489,49 @@ pub fn chrome_trace(
                     ),
                 );
             }
+        }
+    }
+
+    // SLO burn-rate counters and edge-triggered breach instants.
+    if let Some(slo) = slo {
+        for (t_ns, row) in slo.series().iter() {
+            for (col, &v) in slo.series().columns().iter().zip(row.iter()) {
+                push(
+                    t_ns,
+                    RANK_COUNTER,
+                    event(
+                        &format!("slo.{col}"),
+                        "counter",
+                        "C",
+                        t_ns,
+                        0,
+                        0,
+                        &[args(&[("value", Json::num(v))])],
+                    ),
+                );
+            }
+        }
+        for b in slo.breaches() {
+            let class = &slo.configs()[b.class].class;
+            push(
+                b.t_ns,
+                RANK_INSTANT,
+                event(
+                    &format!("{class} {}", b.kind.name()),
+                    "slo",
+                    "i",
+                    b.t_ns,
+                    0,
+                    shard_tid(shards as u32),
+                    &[
+                        ("s", Json::str("t")),
+                        args(&[
+                            ("fast_burn", Json::num(b.fast_burn)),
+                            ("slow_burn", Json::num(b.slow_burn)),
+                        ]),
+                    ],
+                ),
+            );
         }
     }
 
@@ -807,6 +900,71 @@ mod tests {
         ] {
             assert!(rendered.contains(needle), "missing `{needle}`");
         }
+    }
+
+    #[test]
+    fn full_trace_carries_waterfall_args_and_slo_tracks() {
+        use pim_runtime::{Attribution, SloConfig, SloTracker};
+        let rec = recorder_with(&[
+            SpanEvent::new(SpanKind::Arrival, 0.0)
+                .tenant(0)
+                .job(1)
+                .bytes(4096),
+            SpanEvent::new(SpanKind::Enqueue, 0.0)
+                .tenant(0)
+                .job(1)
+                .bytes(4096),
+            SpanEvent::new(SpanKind::DispatchPick, 10.0)
+                .tenant(0)
+                .shard(0)
+                .job(1)
+                .seq(0)
+                .bytes(4096),
+            SpanEvent::new(SpanKind::Doorbell, 12.0).shard(0),
+            SpanEvent::new(SpanKind::DeviceStart, 15.0)
+                .shard(0)
+                .seq(0)
+                .bytes(4096),
+            SpanEvent::new(SpanKind::Retire, 90.0)
+                .shard(0)
+                .seq(0)
+                .bytes(4096),
+            SpanEvent::new(SpanKind::Interrupt, 95.0).shard(0),
+            SpanEvent::new(SpanKind::Complete, 99.0)
+                .tenant(0)
+                .job(1)
+                .bytes(4096),
+        ]);
+        let attribution = Attribution::from_recorder(&rec);
+        // 5% error budget: an all-bad window burns at 20×, past the
+        // default 10× threshold in both windows.
+        let mut slo = SloTracker::new(
+            vec![SloConfig::latency("alpha", 50.0, 0.95).with_windows(100.0, 100.0)],
+            50.0,
+        );
+        slo.observe(0, 99.0, 99.0, 4096); // 99 ns > 50 ns objective: bad
+        slo.sample(100.0);
+        for i in 0..20 {
+            slo.observe(0, 151.0 + i as f64, 99.0, 1);
+        }
+        slo.sample(200.0);
+        assert!(!slo.breaches().is_empty(), "test setup must breach");
+
+        let trace = chrome_trace_full(&rec, &["alpha"], 1, None, Some(&attribution), Some(&slo));
+        let summary = validate_chrome_trace(&trace).expect("valid trace");
+        assert!(summary.counter_samples >= 6, "{}", summary.counter_samples);
+        let rendered = trace.render();
+        // Waterfall args on the job slice.
+        for needle in ["queue-wait", "device-service", "coalescing", "chunks"] {
+            assert!(rendered.contains(needle), "missing `{needle}`");
+        }
+        // The SLO thread, its counters, and the breach instant.
+        for needle in ["\"slo\"", "slo.alpha.burn_fast", "alpha latency-burn"] {
+            assert!(rendered.contains(needle), "missing `{needle}`");
+        }
+        // The plain exporter is unchanged by the new layers.
+        let plain = chrome_trace(&rec, &["alpha"], 1, None);
+        assert!(!plain.render().contains("queue-wait"));
     }
 
     #[test]

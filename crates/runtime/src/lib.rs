@@ -52,6 +52,7 @@
 //!     sizer: JobSizer::Fixed { per_core_bytes: 512, n_cores: 8 },
 //!     priority: 0,
 //!     weight: 1,
+//!     class: 0,
 //! };
 //! let cfg = RuntimeConfig { open_until_ns: 5_000.0, ..RuntimeConfig::default() };
 //! let runtime = Runtime::new(cfg, vec![tenant], Box::new(Fcfs));
@@ -91,10 +92,12 @@ pub use pim_sim::Tickable;
 pub use pim_hostq::{HostQueueConfig, HostQueueStats, QueuePair, QueuePairSet};
 
 // The observability vocabulary ([`RuntimeConfig::telemetry`], the
-// flight recorder behind [`Runtime::recorder`], and the unified
-// counter snapshot), re-exported so harnesses can enable tracing and
-// read it back without naming `pim_telemetry` directly.
+// flight recorder behind [`Runtime::recorder`], the unified counter
+// snapshot, and the analysis layers on top — latency attribution and
+// SLO burn-rate tracking), re-exported so harnesses can enable
+// tracing and read it back without naming `pim_telemetry` directly.
 pub use pim_telemetry::{
-    CounterSet, Counters, DropPolicy, FlightRecorder, SampleSeries, SpanEvent, SpanKind,
-    TelemetryConfig, TelemetrySnapshot, NO_JOB, NO_SEQ, NO_SHARD, NO_TENANT,
+    Attribution, BreachKind, CounterSet, Counters, DropPolicy, FlightRecorder, JobWaterfall,
+    SampleSeries, SloBreach, SloConfig, SloTracker, SpanEvent, SpanKind, Stage, TailAttribution,
+    TelemetryConfig, TelemetrySnapshot, NO_JOB, NO_SEQ, NO_SHARD, NO_TENANT, STAGE_COUNT,
 };

@@ -5,126 +5,10 @@
 use pim_hostq::HostQueueStats;
 use pim_telemetry::{CounterSet, Counters};
 
-/// Number of power-of-two buckets. Bucket `b` holds values whose bit
-/// width is `b` (i.e. `v ∈ [2^(b-1), 2^b)`), bucket 0 holds zero; the
-/// largest distinct bucket tops out at 2^47 ns ≈ 39 hours (anything
-/// larger clamps into it).
-pub const HIST_BUCKETS: usize = 48;
-
-/// A fixed-bucket log2 histogram over nanosecond values.
-///
-/// Quantiles come back as the *upper bound* of the bucket holding the
-/// requested rank — a ≤2x overestimate by construction, which is the
-/// usual trade for O(1) recording with zero allocation and no
-/// dependencies.
-#[derive(Debug, Clone)]
-pub struct LogHistogram {
-    buckets: [u64; HIST_BUCKETS],
-    count: u64,
-    sum: f64,
-    max: f64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        LogHistogram {
-            buckets: [0; HIST_BUCKETS],
-            count: 0,
-            sum: 0.0,
-            max: 0.0,
-        }
-    }
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LogHistogram::default()
-    }
-
-    /// Record one value (negative values clamp to zero).
-    pub fn record(&mut self, v_ns: f64) {
-        let v = v_ns.max(0.0);
-        let n = v as u64;
-        let b = (u64::BITS - n.leading_zeros()) as usize;
-        self.buckets[b.min(HIST_BUCKETS - 1)] += 1;
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of the recorded values (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max(&self) -> f64 {
-        self.max
-    }
-
-    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
-    /// the bucket containing that rank (0 when empty).
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return if b == 0 { 0.0 } else { (1u64 << b) as f64 };
-            }
-        }
-        (1u64 << (HIST_BUCKETS - 1)) as f64
-    }
-
-    /// Median (bucket upper bound).
-    pub fn p50(&self) -> f64 {
-        self.quantile(0.50)
-    }
-
-    /// 95th percentile (bucket upper bound).
-    pub fn p95(&self) -> f64 {
-        self.quantile(0.95)
-    }
-
-    /// 99th percentile (bucket upper bound).
-    pub fn p99(&self) -> f64 {
-        self.quantile(0.99)
-    }
-
-    /// 99.9th percentile (bucket upper bound) — the SLO tail. With a
-    /// log2 histogram this costs nothing extra over p99; it only starts
-    /// to differ from `max` once more than ~1000 values are recorded.
-    pub fn p999(&self) -> f64 {
-        self.quantile(0.999)
-    }
-
-    /// Iterate non-empty buckets as `(upper_bound_ns, count)` pairs, in
-    /// ascending bound order (bucket 0 reports bound 0.0). Exporters use
-    /// this to dump the distribution without reaching into the layout.
-    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(b, &n)| {
-                let bound = if b == 0 { 0.0 } else { (1u64 << b) as f64 };
-                (bound, n)
-            })
-    }
-}
+// The log2 histogram moved down into `pim-telemetry` (PR 8) so the SLO
+// tracker and attribution aggregates can use it; re-exported here to
+// keep every existing `pim_runtime::LogHistogram` path working.
+pub use pim_telemetry::{LogHistogram, HIST_BUCKETS};
 
 /// Jain's fairness index over per-tenant allocations:
 /// `(Σx)² / (n·Σx²)`. 1.0 means perfectly equal shares, `1/n` means one
@@ -306,71 +190,9 @@ impl Counters for TenantStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn histogram_quantiles_bound_the_data() {
-        let mut h = LogHistogram::new();
-        for v in [100.0, 200.0, 400.0, 800.0, 100_000.0] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        // p50 rank is the 3rd value (400) → bucket upper bound 512.
-        assert_eq!(h.p50(), 512.0);
-        // The tail lands in 100_000's bucket: 2^17 = 131072.
-        assert_eq!(h.p99(), 131072.0);
-        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
-        assert_eq!(h.max(), 100_000.0);
-        assert!((h.mean() - 20_300.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn histogram_edges() {
-        let mut h = LogHistogram::new();
-        assert_eq!(h.p99(), 0.0);
-        h.record(0.0);
-        h.record(-5.0);
-        assert_eq!(h.p50(), 0.0);
-        h.record(1e30); // clamps into the last bucket without panicking
-        assert_eq!(h.quantile(1.0), (1u64 << (HIST_BUCKETS - 1)) as f64);
-    }
-
-    #[test]
-    fn p999_tracks_the_extreme_tail() {
-        let mut h = LogHistogram::new();
-        // 1999 fast values and one 1 ms outlier: p99 stays in the fast
-        // bucket, p999 lands exactly at the rank of the outlier.
-        for _ in 0..1999 {
-            h.record(100.0);
-        }
-        h.record(1_000_000.0);
-        assert_eq!(h.p99(), 128.0);
-        assert_eq!(h.p999(), 128.0); // rank 2000*0.999 = 1998 → fast bucket
-        h.record(1_000_000.0);
-        h.record(1_000_000.0);
-        // 3 outliers of 2002: rank ⌈1999.998⌉ = 2000 > 1999 → outlier bucket.
-        assert_eq!(h.p999(), (1u64 << 20) as f64);
-        assert!(h.p99() <= h.p999());
-    }
-
-    #[test]
-    fn bucket_iteration_reconstructs_the_distribution() {
-        let mut h = LogHistogram::new();
-        h.record(0.0);
-        h.record(3.0);
-        h.record(3.5);
-        h.record(1000.0);
-        let got: Vec<(f64, u64)> = h.buckets().collect();
-        assert_eq!(got, [(0.0, 1), (4.0, 2), (1024.0, 1)]);
-        assert_eq!(got.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
-        assert!(LogHistogram::new().buckets().next().is_none());
-    }
-
-    #[test]
-    fn quantile_upper_bound_is_within_2x() {
-        let mut h = LogHistogram::new();
-        h.record(1000.0);
-        let q = h.p50();
-        assert!((1000.0..=2000.0).contains(&q), "{q}");
-    }
+    // The LogHistogram unit tests moved with the type to
+    // `pim_telemetry::hist`; what stays here exercises the
+    // runtime-specific metrics (Jain, host-interface, bandwidth).
 
     #[test]
     fn satisfaction_jain_normalizes_by_demand() {

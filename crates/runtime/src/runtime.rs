@@ -165,11 +165,16 @@ pub struct TenantSpec {
     pub priority: u32,
     /// DRR weight (quantum multiplier).
     pub weight: u32,
+    /// SLO class tag: index into the serving composer's SLO config
+    /// table (see `ServingSystem::attach_slo`). Purely observational —
+    /// scheduling never reads it; tenants sharing a tag share latency
+    /// and goodput objectives. 0 by default.
+    pub class: u32,
 }
 
 impl TenantSpec {
     /// A plain open-loop Poisson tenant with fixed-size jobs, priority
-    /// class 1 and weight 1.
+    /// class 1, weight 1 and SLO class 0.
     pub fn poisson(name: &str, mean_ns: f64, per_core_bytes: u64, n_cores: u32) -> Self {
         TenantSpec {
             name: name.to_string(),
@@ -181,7 +186,14 @@ impl TenantSpec {
             },
             priority: 1,
             weight: 1,
+            class: 0,
         }
+    }
+
+    /// Builder: set the SLO class tag.
+    pub fn with_class(mut self, class: u32) -> Self {
+        self.class = class;
+        self
     }
 }
 
@@ -427,6 +439,13 @@ impl Runtime {
         &self.serviced_by_shard
     }
 
+    /// Each tenant's SLO class tag ([`TenantSpec::class`]), indexed by
+    /// tenant id — the lookup the serving composer uses to route a
+    /// completed job's latency to the right objective.
+    pub fn tenant_classes(&self) -> Vec<u32> {
+        self.tenants.iter().map(|t| t.spec.class).collect()
+    }
+
     /// Per-tenant statistics.
     pub fn tenant_stats(&self) -> Vec<(&str, &TenantStats)> {
         self.tenants
@@ -503,28 +522,47 @@ impl Runtime {
     }
 
     /// Whether the host is *stalled on the driver*: jobs are queued but
-    /// every shard's driver is still busy with an earlier doorbell or
-    /// interrupt (`driver_ready_ns[s] > now` for all `s`), every ring is
-    /// idle and no suspended remainder awaits recall. In that state
+    /// every shard that could serve them is still busy with an earlier
+    /// doorbell or interrupt (`driver_ready_ns[s] > now`), every ring
+    /// is idle and no suspended remainder awaits recall. In that state
     /// every dispatch edge early-outs before consulting the policy
     /// (driver-busy gating under hash-pin, an empty eligible set under
     /// least-loaded, and no kickable victim anywhere since no ring holds
     /// an in-flight descriptor), so the decision clock may sleep until
-    /// the earliest `driver_ready_ns` — returned here — or the next
-    /// arrival, whichever is first. Returns `None` when the host is not
-    /// in that state. Callers must additionally check that every engine
-    /// is idle before sleeping on this: the runtime cannot see
-    /// retirements still held inside an engine.
+    /// the earliest *eligible* `driver_ready_ns` — returned here — or
+    /// the next arrival, whichever is first. Returns `None` when the
+    /// host is not in that state. Callers must additionally check that
+    /// every engine is idle before sleeping on this: the runtime cannot
+    /// see retirements still held inside an engine.
+    ///
+    /// Eligibility is per shard: under [`Placement::HashPin`] only the
+    /// shards some queued tenant is pinned to can dispatch, so a wide
+    /// machine sleeps through busy drivers on shards that have nothing
+    /// to do anyway (the pinned dispatch path's pre-check provably
+    /// dispatches nothing there, and with idle rings there is no kick
+    /// victim either). Under
+    /// [`Placement::LeastLoaded`] any shard can steal any tenant's
+    /// head, so every shard is eligible.
     pub fn driver_stall_ns(&self, now_ns: f64) -> Option<f64> {
         if self.backlog() == 0 || !self.suspended.is_empty() || !self.qps.is_idle() {
             return None;
         }
-        let ready = self
-            .driver_ready_ns
-            .iter()
-            .copied()
+        let eligible = |s: usize| match self.cfg.placement {
+            Placement::LeastLoaded => true,
+            Placement::HashPin => self.tenants.iter().enumerate().any(|(i, t)| {
+                self.tenant_shard(i) == s && t.queue.iter().any(|j| j.has_dispatchable())
+            }),
+        };
+        let ready = (0..self.cfg.shards)
+            .filter(|&s| eligible(s))
+            .map(|s| self.driver_ready_ns[s])
             .fold(f64::INFINITY, f64::min);
-        (ready > now_ns).then_some(ready)
+        // With idle rings and nothing suspended, every queued job is
+        // dispatchable, so some shard is always eligible under either
+        // placement; an empty eligible set (infinite horizon) would
+        // only arise from a new placement violating that invariant —
+        // fail safe by not sleeping.
+        (ready > now_ns && ready.is_finite()).then_some(ready)
     }
 
     /// The earliest future arrival any tenant's generator can deliver

@@ -21,7 +21,7 @@
 
 use crate::runtime::Runtime;
 use pim_sim::{ticks_to_ns, DomainId, System, SystemConfig, Tickable, TimingMode};
-use pim_telemetry::{Counters, SampleSeries, TelemetrySnapshot};
+use pim_telemetry::{Counters, SampleSeries, SloConfig, SloTracker, TelemetrySnapshot};
 
 /// Undrained device-side span events a DCE's tap can hold between ring
 /// polls. Polls drain every few ns, so this is generous headroom.
@@ -35,6 +35,18 @@ struct Sampler {
     dom: DomainId,
     series: SampleSeries,
     last_serviced: Vec<u64>,
+}
+
+/// The online SLO monitor: the tracker itself, each tenant's class
+/// index (resolved once from [`TenantSpec::class`]), and a cursor into
+/// the runtime's completed-job records marking how many have already
+/// been fed to the tracker.
+///
+/// [`TenantSpec::class`]: crate::TenantSpec::class
+struct Slo {
+    tracker: SloTracker,
+    class: Vec<usize>,
+    fed: usize,
 }
 
 /// A [`System`] serving sustained multi-tenant transfer traffic.
@@ -52,6 +64,8 @@ pub struct ServingSystem {
     ///
     /// [`RuntimeConfig::telemetry`]: crate::RuntimeConfig::telemetry
     sampler: Option<Sampler>,
+    /// Present only after [`attach_slo`](Self::attach_slo).
+    slo: Option<Slo>,
 }
 
 impl ServingSystem {
@@ -116,7 +130,58 @@ impl ServingSystem {
             dom,
             poller,
             sampler,
+            slo: None,
         }
+    }
+
+    /// Attach an online SLO tracker: one [`SloConfig`] per tenant
+    /// class, indexed by [`TenantSpec::class`]. Completed jobs stream
+    /// into the tracker as they are recorded; burn rates are evaluated
+    /// at the telemetry sampling edge. Attach after construction
+    /// (objectives carry class-name strings, so they do not live in the
+    /// `Copy` [`RuntimeConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when telemetry is disabled (there is no sampling edge to
+    /// evaluate at) or when a tenant's class has no objective.
+    ///
+    /// [`TenantSpec::class`]: crate::TenantSpec::class
+    /// [`RuntimeConfig`]: crate::RuntimeConfig
+    pub fn attach_slo(&mut self, cfgs: Vec<SloConfig>) {
+        let sampler = self.sampler.as_ref().expect(
+            "SLO tracking samples at the telemetry cadence: enable RuntimeConfig::telemetry first",
+        );
+        let class: Vec<usize> = self
+            .runtime
+            .tenant_classes()
+            .into_iter()
+            .map(|c| {
+                assert!(
+                    (c as usize) < cfgs.len(),
+                    "tenant class {c} has no SloConfig (got {})",
+                    cfgs.len()
+                );
+                c as usize
+            })
+            .collect();
+        self.slo = Some(Slo {
+            tracker: SloTracker::new(cfgs, sampler.series.period_ns()),
+            class,
+            fed: self.runtime.records().len(),
+        });
+    }
+
+    /// The attached SLO tracker (None until [`attach_slo`](Self::attach_slo)).
+    pub fn slo(&self) -> Option<&SloTracker> {
+        self.slo.as_ref().map(|s| &s.tracker)
+    }
+
+    /// Arm the machine's wall-time self-profile (see
+    /// [`System::enable_self_profile`]); the composer's own host-side
+    /// domains (`runtime`, `hostq`, `telemetry`) are credited too.
+    pub fn enable_self_profile(&mut self) {
+        self.sys.enable_self_profile();
     }
 
     /// The runtime (queues, stats, records).
@@ -190,8 +255,15 @@ impl ServingSystem {
     pub fn step(&mut self) {
         let pending = self.sys.pending();
         let now_ns = ticks_to_ns(pending.now);
+        // Host-side wall-time credit (self-profile only; None otherwise
+        // so the disabled path never reads the host clock).
+        let profiling = self.sys.self_profile_enabled();
+        let timer = || profiling.then(std::time::Instant::now);
+        let elapsed =
+            |t0: Option<std::time::Instant>| t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         if let Some(smp) = &mut self.sampler {
             if pending.contains(smp.dom) {
+                let t0 = timer();
                 // Sample the pre-edge state: queue depths and counters
                 // as the host left them after the previous edge.
                 let shards = self.runtime.config().shards;
@@ -212,9 +284,12 @@ impl ServingSystem {
                     row.push(delta as f64 / smp.series.period_ns());
                 }
                 smp.series.record(now_ns, &row);
+                let dom = smp.dom;
+                self.sys.credit_domain_wall_ns(dom, elapsed(t0));
             }
         }
         if pending.contains(self.dom) {
+            let t0 = timer();
             // Decision-clock edges slept while the host was quiescent:
             // account them (all strictly before the next arrival) so the
             // runtime's edge-indexed clock stays exact.
@@ -223,8 +298,10 @@ impl ServingSystem {
                 Tickable::skip(&mut self.runtime, missed);
             }
             Tickable::tick(&mut self.runtime);
+            self.sys.credit_domain_wall_ns(self.dom, elapsed(t0));
         }
         if pending.contains(self.poller) {
+            let t0 = timer();
             let missed = self.sys.pending_missed(self.poller);
             for s in 0..self.runtime.config().shards {
                 if missed > 0 {
@@ -234,8 +311,32 @@ impl ServingSystem {
                 let dce = self.sys.engine_mut(s).expect("one engine per shard");
                 self.runtime.poll_shard(s, dce, now_ns);
             }
+            self.sys.credit_domain_wall_ns(self.poller, elapsed(t0));
+        }
+        if let Some(slo) = &mut self.slo {
+            // Stream completions recorded by this step's polls (and any
+            // earlier step's) into the tracker, then evaluate burn
+            // rates at the telemetry sampling edge.
+            let records = self.runtime.records();
+            for r in &records[slo.fed..] {
+                slo.tracker.observe(
+                    slo.class[r.tenant],
+                    r.complete_ns,
+                    r.complete_ns - r.submit_ns,
+                    r.bytes,
+                );
+            }
+            slo.fed = records.len();
+            let sampler = self
+                .sampler
+                .as_ref()
+                .expect("attach_slo requires telemetry");
+            if pending.contains(sampler.dom) {
+                slo.tracker.sample(now_ns);
+            }
         }
         if pending.contains(self.dom) {
+            let t0 = timer();
             // Dispatch stamps descriptors with engine cycle counts: make
             // sure slept engines read as of this tick, then ring the
             // doorbell wake so a newly staged chunk's engine fires
@@ -243,6 +344,7 @@ impl ServingSystem {
             self.sys.sync_engines_to(pending.now);
             self.runtime.dispatch(self.sys.engines_mut(), now_ns);
             self.sys.wake_engines(pending.now);
+            self.sys.credit_domain_wall_ns(self.dom, elapsed(t0));
         }
         self.sys.step();
         self.set_host_horizons();
@@ -329,6 +431,7 @@ mod tests {
             },
             priority: 0,
             weight: 1,
+            class: 0,
         }
     }
 
@@ -353,6 +456,65 @@ mod tests {
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.bytes_completed, 3 * 8 * 256);
         assert_eq!(serving.runtime().missed_dispatches(), 0);
+    }
+
+    #[test]
+    fn slo_tracker_streams_completions_and_samples() {
+        let cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+        let mut rt_cfg = RuntimeConfig {
+            open_until_ns: 1_000.0,
+            ..RuntimeConfig::default()
+        };
+        rt_cfg.telemetry = pim_telemetry::TelemetryConfig::on();
+        rt_cfg.telemetry.sample_ns = 1_000.0;
+        let runtime = Runtime::new(
+            rt_cfg,
+            vec![tiny_tenant(vec![0.0, 100.0, 200.0])],
+            Box::new(Fcfs),
+        );
+        let mut serving = ServingSystem::new(cfg, runtime);
+        assert!(serving.slo().is_none());
+        serving.attach_slo(vec![
+            pim_telemetry::SloConfig::latency("all", 1e6, 0.9).with_windows(10_000.0, 50_000.0)
+        ]);
+        serving.run_for(30_000.0);
+        assert_eq!(serving.runtime().records().len(), 3);
+        let slo = serving.slo().unwrap();
+        // One burn-rate row per telemetry edge, even after drain.
+        assert!(slo.series().len() >= 20, "{}", slo.series().len());
+        // A 1 ms objective against ~µs jobs: nothing burns.
+        let fast = slo.series().column("all.burn_fast").unwrap();
+        assert!(fast.iter().all(|&(_, v)| v == 0.0));
+        assert!(slo.breaches().is_empty());
+        // A goodput row is nonzero while the trace is being served.
+        let goodput = slo.series().column("all.goodput_gbps").unwrap();
+        assert!(goodput.iter().any(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry")]
+    fn slo_without_telemetry_is_rejected() {
+        let runtime = Runtime::new(
+            RuntimeConfig::default(),
+            vec![tiny_tenant(vec![0.0])],
+            Box::new(Fcfs),
+        );
+        let mut serving = ServingSystem::new(SystemConfig::table1(DesignPoint::BaseDHP), runtime);
+        serving.attach_slo(vec![pim_telemetry::SloConfig::latency("all", 1e6, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no SloConfig")]
+    fn unmapped_tenant_class_is_rejected() {
+        let rt_cfg = RuntimeConfig {
+            telemetry: pim_telemetry::TelemetryConfig::on(),
+            ..RuntimeConfig::default()
+        };
+        let mut t = tiny_tenant(vec![0.0]);
+        t.class = 3;
+        let runtime = Runtime::new(rt_cfg, vec![t], Box::new(Fcfs));
+        let mut serving = ServingSystem::new(SystemConfig::table1(DesignPoint::BaseDHP), runtime);
+        serving.attach_slo(vec![pim_telemetry::SloConfig::latency("only", 1e6, 0.9)]);
     }
 
     #[test]

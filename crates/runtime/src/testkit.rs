@@ -56,6 +56,7 @@ pub fn trace_tenant(name: &str, times: Vec<f64>, per_core_bytes: u64, n_cores: u
         },
         priority: 0,
         weight: 1,
+        class: 0,
     }
 }
 

@@ -60,6 +60,7 @@ fn e2e_of_one_job(driver: DriverModel, per_core_bytes: u64, chunk_bytes: u64) ->
         },
         priority: 0,
         weight: 1,
+        class: 0,
     };
     let mut rt = Runtime::new(cfg, vec![tenant], Box::new(Fcfs));
     let mut dce = fresh_dce();
@@ -207,6 +208,7 @@ fn interrupt_fielding_cannot_shorten_the_doorbell_busy_window() {
         },
         priority: 0,
         weight: 1,
+        class: 0,
     };
     let mut rt = Runtime::new(cfg, vec![tenant], Box::new(Fcfs));
     let mut dce = fresh_dce();

@@ -88,6 +88,7 @@ fn closed_loop_tenant_drains_with_every_policy() {
                 },
                 priority: 0,
                 weight: 1,
+                class: 0,
             },
             trace_tenant("trace", vec![0.0, 10.0], 64, 1),
         ];

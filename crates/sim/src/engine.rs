@@ -225,6 +225,9 @@ struct Domain {
     delivered: u64,
     pending_skip: u64,
     armed: bool,
+    /// Deliveries actually taken ([`ClockDomains::take_due`] successes);
+    /// `delivered - fires` is the edges idle-skip elided for this domain.
+    fires: u64,
 }
 
 impl Domain {
@@ -300,6 +303,7 @@ impl ClockDomains {
             delivered: 0,
             pending_skip: 0,
             armed: true,
+            fires: 0,
         };
         self.domains.push(d);
         self.labels.push(label);
@@ -382,6 +386,7 @@ impl ClockDomains {
         let skipped = dom.pending_skip;
         dom.delivered += skipped + 1;
         dom.pending_skip = 0;
+        dom.fires += 1;
         let next = dom.next();
         self.stats.domain_ticks += 1;
         self.stats.edges_skipped += skipped;
@@ -472,6 +477,19 @@ impl ClockDomains {
             e += 1;
         }
         e
+    }
+
+    /// Deliveries actually taken for `d` (ticks its component ran).
+    pub fn domain_fires(&self, d: DomainId) -> u64 {
+        self.domains[d.0].fires
+    }
+
+    /// Edges of `d` elided by idle-skip (delivered as fold-ins rather
+    /// than ticks). Together with [`domain_fires`](Self::domain_fires)
+    /// this attributes [`TimingStats`] per clock domain.
+    pub fn domain_skipped(&self, d: DomainId) -> u64 {
+        let dom = &self.domains[d.0];
+        dom.delivered - dom.fires
     }
 
     /// Count one processed event (a visited edge / one `System` step).

@@ -39,5 +39,5 @@ pub use config::TimingMode;
 pub use config::{DesignPoint, SystemConfig, ThreadAssignment};
 pub use engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable, TimingStats};
 pub use result::{PowerSample, TransferResult};
-pub use system::System;
+pub use system::{DomainProfile, System};
 pub use transfer::{run_memcpy, run_transfer, ContenderSpec, TransferSpec, HOST_BUFFER_BASE};

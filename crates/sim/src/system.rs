@@ -69,6 +69,12 @@ pub struct System {
     domains: Domains,
     snap: Snapshot,
     power_samples: Vec<PowerSample>,
+    /// Whether the wall-time self-profile is armed (off by default; the
+    /// per-domain fire/skip counters in [`ClockDomains`] are always on).
+    profile: bool,
+    /// Host wall nanoseconds per domain slot (empty until profiling is
+    /// enabled; grown on demand so late credit never panics).
+    wall_ns: Vec<u64>,
 }
 
 /// Timestamped counter snapshot for windowed power computation.
@@ -76,6 +82,26 @@ pub struct System {
 struct Snapshot {
     t_ns: f64,
     counters: StatsSnapshot,
+}
+
+/// One clock domain's slice of the simulator's own cost: how many edges
+/// its component actually ticked, how many idle-skip elided, and (when
+/// [`System::enable_self_profile`] is on) the host wall time spent in
+/// its tick phase. `fires`/`skipped` are deterministic simulation
+/// outputs; `wall_ns` is host-machine measurement and must never feed
+/// back into simulated state or byte-compared artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainProfile {
+    /// The label the domain was registered under.
+    pub label: &'static str,
+    /// Deliveries actually taken (component ticks run).
+    pub fires: u64,
+    /// Edges elided by idle-skip (folded into later fires).
+    pub skipped: u64,
+    /// Host wall time spent ticking this domain, in nanoseconds; 0
+    /// unless self-profiling is enabled (and for composer-owned domains
+    /// the composer never credited).
+    pub wall_ns: u64,
 }
 
 impl System {
@@ -123,6 +149,8 @@ impl System {
             domains,
             snap: Snapshot::default(),
             power_samples: Vec::new(),
+            profile: false,
+            wall_ns: Vec::new(),
             cfg,
         }
     }
@@ -221,6 +249,55 @@ impl System {
     /// skipped by idle-skip).
     pub fn timing_stats(&self) -> TimingStats {
         self.clocks.timing_stats()
+    }
+
+    /// Arm the wall-time self-profile: from now on [`step`](Self::step)
+    /// measures host wall time around each internal domain's tick phase
+    /// and [`credit_domain_wall_ns`](Self::credit_domain_wall_ns)
+    /// accepts composer credit for external domains. Off by default —
+    /// the measurement is host-machine noise and must stay out of every
+    /// deterministic artifact, so nothing here ever touches simulated
+    /// state.
+    pub fn enable_self_profile(&mut self) {
+        self.profile = true;
+        self.wall_ns.resize(self.clocks.len().max(64), 0);
+    }
+
+    /// Whether the wall-time self-profile is armed.
+    pub fn self_profile_enabled(&self) -> bool {
+        self.profile
+    }
+
+    /// Credit host wall time spent ticking an external (composer-owned)
+    /// domain. No-op unless self-profiling is enabled, so composers can
+    /// call it unconditionally.
+    pub fn credit_domain_wall_ns(&mut self, d: DomainId, wall_ns: u64) {
+        if !self.profile {
+            return;
+        }
+        if d.index() >= self.wall_ns.len() {
+            self.wall_ns.resize(d.index() + 1, 0);
+        }
+        self.wall_ns[d.index()] += wall_ns;
+    }
+
+    /// The simulator's self-profile: one [`DomainProfile`] per
+    /// registered clock domain, in registration order. The fire/skip
+    /// attribution is always live (and deterministic); `wall_ns` is
+    /// populated only while [`enable_self_profile`](Self::enable_self_profile)
+    /// is on.
+    pub fn self_profile(&self) -> Vec<DomainProfile> {
+        (0..self.clocks.len())
+            .map(|i| {
+                let d = DomainId::from_index(i);
+                DomainProfile {
+                    label: self.clocks.label(d),
+                    fires: self.clocks.domain_fires(d),
+                    skipped: self.clocks.domain_skipped(d),
+                    wall_ns: self.wall_ns.get(i).copied().unwrap_or(0),
+                }
+            })
+            .collect()
     }
 
     /// How many elided edges domain `d`'s next fire will fold in — the
@@ -411,6 +488,20 @@ impl System {
         }
     }
 
+    /// Start a phase timer iff the self-profile is armed.
+    #[inline]
+    fn phase_timer(&self) -> Option<std::time::Instant> {
+        self.profile.then(std::time::Instant::now)
+    }
+
+    /// Fold a finished phase timer into domain `d`'s wall-time bucket.
+    #[inline]
+    fn phase_credit(&mut self, d: DomainId, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.credit_domain_wall_ns(d, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
     /// Advance the simulation by one event (the earliest due clock edge).
     /// Returns which domains fired, so a composer can tick external
     /// participants registered via [`register_domain`](Self::register_domain).
@@ -431,6 +522,7 @@ impl System {
 
         if self.clocks.take_due(self.domains.cpu, now).is_some() {
             mask |= 1 << self.domains.cpu.index();
+            let t0 = self.phase_timer();
             let target = self.clocks.delivered(self.domains.cpu) - 1;
             let deficit = target.saturating_sub(self.cluster.clock());
             if deficit > 0 {
@@ -446,10 +538,12 @@ impl System {
                 now,
                 PhasePos::PRE,
             );
+            self.phase_credit(self.domains.cpu, t0);
         }
         for s in 0..self.engines.len() {
             if self.clocks.take_due(self.domains.dce[s], now).is_some() {
                 mask |= 1 << self.domains.dce[s].index();
+                let t0 = self.phase_timer();
                 let target = self.clocks.delivered(self.domains.dce[s]) - 1;
                 let dce = &mut self.engines[s];
                 let deficit = target.saturating_sub(dce.cycle());
@@ -466,10 +560,12 @@ impl System {
                     now,
                     PhasePos::PRE,
                 );
+                self.phase_credit(self.domains.dce[s], t0);
             }
         }
         if self.clocks.take_due(self.domains.dram, now).is_some() {
             mask |= 1 << self.domains.dram.index();
+            let t0 = self.phase_timer();
             let target = self.clocks.delivered(self.domains.dram) - 1;
             self.tick_controllers(MemSpace::Dram, target);
             // Controllers freed queue slots: top the queues back up.
@@ -477,19 +573,24 @@ impl System {
                 dram: true,
                 pim: false,
             });
+            self.phase_credit(self.domains.dram, t0);
         }
         if self.clocks.take_due(self.domains.pim, now).is_some() {
             mask |= 1 << self.domains.pim.index();
+            let t0 = self.phase_timer();
             let target = self.clocks.delivered(self.domains.pim) - 1;
             self.tick_controllers(MemSpace::Pim, target);
             self.refill_controller_queues(PhasePos {
                 dram: true,
                 pim: true,
             });
+            self.phase_credit(self.domains.pim, t0);
         }
         if self.clocks.take_due(self.domains.sample, now).is_some() {
             mask |= 1 << self.domains.sample.index();
+            let t0 = self.phase_timer();
             self.sample();
+            self.phase_credit(self.domains.sample, t0);
         }
         // External domains (registered composers) deliver last; their
         // owners act on `pending()` before calling `step`.
@@ -810,6 +911,41 @@ mod tests {
         // the t = 0 edge the other components already processed.
         sys.step();
         sys.register_domain("late", 312);
+    }
+
+    #[test]
+    fn self_profile_attributes_scheduler_work_per_domain() {
+        let mut cfg = SystemConfig::table1(DesignPoint::BaseDHP);
+        cfg.timing = TimingMode::EventDriven;
+        let mut sys = System::new(cfg, vec![]);
+        assert!(!sys.self_profile_enabled());
+        sys.enable_self_profile();
+        assert!(sys.self_profile_enabled());
+        sys.run_until(10_000.0, |_| false);
+
+        let prof = sys.self_profile();
+        assert_eq!(prof.len(), sys.clock_domains().len());
+        assert!(prof.iter().any(|p| p.label == "cpu"));
+        // The per-domain attribution partitions the aggregate counters.
+        let stats = sys.timing_stats();
+        assert_eq!(
+            prof.iter().map(|p| p.fires).sum::<u64>(),
+            stats.domain_ticks
+        );
+        assert_eq!(
+            prof.iter().map(|p| p.skipped).sum::<u64>(),
+            stats.edges_skipped
+        );
+        // An idle machine elides most edges somewhere.
+        assert!(prof.iter().any(|p| p.skipped > 0));
+        // Wall time was measured (host clocks on this platform are ns
+        // resolution; thousands of phase timings cannot sum to zero).
+        assert!(prof.iter().map(|p| p.wall_ns).sum::<u64>() > 0);
+        // Composer credit lands in the right bucket.
+        let d = DomainId::from_index(0);
+        let before = sys.self_profile()[0].wall_ns;
+        sys.credit_domain_wall_ns(d, 17);
+        assert_eq!(sys.self_profile()[0].wall_ns, before + 17);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Fixed-bucket log2 latency histograms — deterministic, O(1) to
+//! record, zero-allocation. Moved here from `pim-runtime` so the SLO
+//! tracker and the attribution aggregates (which live below the
+//! runtime) can stream onto the same structure the tenant metrics use.
+
+/// Number of power-of-two buckets. Bucket `b` holds values whose bit
+/// width is `b` (i.e. `v ∈ [2^(b-1), 2^b)`), bucket 0 holds zero; the
+/// largest distinct bucket tops out at 2^47 ns ≈ 39 hours (anything
+/// larger clamps into it).
+pub const HIST_BUCKETS: usize = 48;
+
+/// A fixed-bucket log2 histogram over nanosecond values.
+///
+/// Quantiles come back as the *upper bound* of the bucket holding the
+/// requested rank — a ≤2x overestimate by construction, which is the
+/// usual trade for O(1) recording with zero allocation and no
+/// dependencies.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one value (negative values clamp to zero).
+    pub fn record(&mut self, v_ns: f64) {
+        let v = v_ns.max(0.0);
+        let n = v as u64;
+        let b = (u64::BITS - n.leading_zeros()) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the recorded values (after the negative clamp).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 { 0.0 } else { (1u64 << b) as f64 };
+            }
+        }
+        (1u64 << (HIST_BUCKETS - 1)) as f64
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (bucket upper bound) — the SLO tail. With a
+    /// log2 histogram this costs nothing extra over p99; it only starts
+    /// to differ from `max` once more than ~1000 values are recorded.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Iterate non-empty buckets as `(upper_bound_ns, count)` pairs, in
+    /// ascending bound order (bucket 0 reports bound 0.0). Exporters use
+    /// this to dump the distribution without reaching into the layout.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let bound = if b == 0 { 0.0 } else { (1u64 << b) as f64 };
+                (bound, n)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let mut h = LogHistogram::new();
+        for v in [100.0, 200.0, 400.0, 800.0, 100_000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 rank is the 3rd value (400) → bucket upper bound 512.
+        assert_eq!(h.p50(), 512.0);
+        // The tail lands in 100_000's bucket: 2^17 = 131072.
+        assert_eq!(h.p99(), 131072.0);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert_eq!(h.max(), 100_000.0);
+        assert!((h.mean() - 20_300.0).abs() < 1e-9);
+        assert!((h.sum() - 101_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.p50(), 0.0);
+        h.record(1e30); // clamps into the last bucket without panicking
+        assert_eq!(h.quantile(1.0), (1u64 << (HIST_BUCKETS - 1)) as f64);
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        let mut h = LogHistogram::new();
+        // 1999 fast values and one 1 ms outlier: p99 stays in the fast
+        // bucket, p999 lands exactly at the rank of the outlier.
+        for _ in 0..1999 {
+            h.record(100.0);
+        }
+        h.record(1_000_000.0);
+        assert_eq!(h.p99(), 128.0);
+        assert_eq!(h.p999(), 128.0); // rank 2000*0.999 = 1998 → fast bucket
+        h.record(1_000_000.0);
+        h.record(1_000_000.0);
+        // 3 outliers of 2002: rank ⌈1999.998⌉ = 2000 > 1999 → outlier bucket.
+        assert_eq!(h.p999(), (1u64 << 20) as f64);
+        assert!(h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn bucket_iteration_reconstructs_the_distribution() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(3.0);
+        h.record(3.5);
+        h.record(1000.0);
+        let got: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(got, [(0.0, 1), (4.0, 2), (1024.0, 1)]);
+        assert_eq!(got.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
+        assert!(LogHistogram::new().buckets().next().is_none());
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_within_2x() {
+        let mut h = LogHistogram::new();
+        h.record(1000.0);
+        let q = h.p50();
+        assert!((1000.0..=2000.0).contains(&q), "{q}");
+    }
+
+    /// Exact nearest-rank quantile of a sorted slice (rank
+    /// `⌈q·n⌉ ≥ 1`), mirroring the histogram's rank arithmetic.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantile_matches_exact_rank_on_known_distributions() {
+        // A known multiset: 10× 10ns, 80× 100ns, 9× 1000ns, 1× 50000ns
+        // (a caricatured fast/medium/slow/outlier latency mix).
+        let mut vals = Vec::new();
+        vals.extend(std::iter::repeat_n(10.0, 10));
+        vals.extend(std::iter::repeat_n(100.0, 80));
+        vals.extend(std::iter::repeat_n(1000.0, 9));
+        vals.push(50_000.0);
+        let mut h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        // The histogram's answer must equal the bucket upper bound of
+        // the *exact* nearest-rank quantile, for a dense grid of q.
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let exact = exact_quantile(&vals, q);
+            let n = exact as u64;
+            let b = (u64::BITS - n.leading_zeros()) as usize;
+            let bound = if b == 0 { 0.0 } else { (1u64 << b) as f64 };
+            assert_eq!(h.quantile(q), bound, "q={q}, exact={exact}");
+            // And it brackets the exact quantile within its 2x bound.
+            assert!(h.quantile(q) >= exact, "q={q}");
+            assert!(h.quantile(q) <= (2.0 * exact).max(1.0), "q={q}");
+        }
+        // Spot-check the interesting ranks directly.
+        assert_eq!(h.quantile(0.05), 16.0); // rank 5 → 10ns bucket (8,16]
+        assert_eq!(h.p50(), 128.0); // rank 50 → 100ns bucket
+        assert_eq!(h.p95(), 1024.0); // rank 95 → 1000ns bucket
+        assert_eq!(h.quantile(1.0), 65536.0); // rank 100 → the outlier
+        assert_eq!(h.count(), 100);
+        let exact_mean: f64 = vals.iter().sum::<f64>() / 100.0;
+        assert!((h.mean() - exact_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_on_uniform_ladder_is_monotone_and_tight() {
+        // 1..=512: every bucket from 1 to 10 populated with known counts.
+        let mut h = LogHistogram::new();
+        let vals: Vec<f64> = (1..=512).map(|v| v as f64).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            let got = h.quantile(q);
+            assert!(got >= prev, "quantile must be monotone in q");
+            prev = got;
+            let exact = exact_quantile(&vals, q);
+            assert!(
+                got >= exact && got <= 2.0 * exact,
+                "q={q} got={got} exact={exact}"
+            );
+        }
+    }
+}

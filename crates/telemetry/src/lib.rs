@@ -26,16 +26,36 @@
 //!   engages and sampling cost is proportional to samples taken, not
 //!   simulated time.
 //!
+//! On top of the raw signal sit the *analysis* layers (PR 8):
+//!
+//! * **Latency attribution** ([`attribution`]): a span joiner +
+//!   stage-waterfall engine folding the recorder into per-job stage
+//!   durations (queue-wait → dispatch → ring → device service →
+//!   suspended → coalescing → completion tail) that sum exactly to the
+//!   job's end-to-end latency, with per-tenant × per-stage
+//!   [`LogHistogram`] aggregation and a slowest-decile tail view.
+//! * **SLO tracking** ([`slo`]): per-class latency/goodput objectives
+//!   with fast+slow-window burn rates and edge-triggered breach
+//!   instants — the signal surface a shard autoscaler consumes.
+//! * **Histograms** ([`hist`]): the fixed-bucket log2 [`LogHistogram`]
+//!   (moved down from `pim-runtime` so the layers above share it).
+//!
 //! This crate is dependency-free and sits below every other workspace
 //! crate; the Perfetto/Chrome-trace exporter lives in `pim-bench`
 //! (where the deterministic JSON writer is).
 
+pub mod attribution;
 pub mod counters;
 pub mod event;
+pub mod hist;
 pub mod recorder;
 pub mod sampler;
+pub mod slo;
 
+pub use attribution::{Attribution, JobWaterfall, Stage, TailAttribution, STAGE_COUNT};
 pub use counters::{CounterSet, Counters, TelemetrySnapshot};
 pub use event::{SpanEvent, SpanKind, NO_JOB, NO_SEQ, NO_SHARD, NO_TENANT};
+pub use hist::{LogHistogram, HIST_BUCKETS};
 pub use recorder::{DropPolicy, FlightRecorder, SpanTap, TelemetryConfig};
 pub use sampler::SampleSeries;
+pub use slo::{BreachKind, SloBreach, SloConfig, SloTracker};

@@ -101,14 +101,21 @@ impl FlightRecorder {
     /// Record one event. Zero-allocation: the buffer never grows past
     /// its preallocated capacity, and a disabled or full-with-
     /// [`DropPolicy::DropNewest`] recorder only bumps a counter.
+    ///
+    /// Accounting invariant: `recorded() + dropped()` equals the total
+    /// number of events ever offered to an enabled recorder, under
+    /// *both* drop policies — `recorded` counts events currently
+    /// retained, `dropped` counts events lost to the policy (a
+    /// [`DropPolicy::DropOldest`] overwrite retains the new event and
+    /// drops the overwritten one: one in, one out).
     #[inline]
     pub fn record(&mut self, ev: SpanEvent) {
         if !self.enabled {
             return;
         }
-        self.recorded += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
+            self.recorded += 1;
             return;
         }
         match self.policy {
@@ -131,7 +138,9 @@ impl FlightRecorder {
         self.buf.is_empty()
     }
 
-    /// Total events offered to the recorder while enabled.
+    /// Events currently retained in the ring, as a counter
+    /// (== [`len`](Self::len)). `recorded() + dropped()` is the total
+    /// offered while enabled, under both drop policies.
     pub fn recorded(&self) -> u64 {
         self.recorded
     }
@@ -140,6 +149,12 @@ impl FlightRecorder {
     /// old ones).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total events ever offered to the recorder while enabled:
+    /// `recorded() + dropped()`.
+    pub fn offered(&self) -> u64 {
+        self.recorded + self.dropped
     }
 
     /// Surviving events in record order (oldest first).
@@ -269,7 +284,8 @@ mod tests {
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
-        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.recorded(), 3, "recorded counts retained events");
+        assert_eq!(r.offered(), 5);
         let ts: Vec<f64> = r.iter().map(|e| e.t_ns).collect();
         assert_eq!(ts, [0.0, 1.0, 2.0]);
     }
@@ -287,6 +303,8 @@ mod tests {
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 3, "an overwrite is one in, one out");
+        assert_eq!(r.offered(), 5);
         let ts: Vec<f64> = r.iter().map(|e| e.t_ns).collect();
         assert_eq!(ts, [2.0, 3.0, 4.0], "oldest surviving first");
     }

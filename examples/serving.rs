@@ -32,6 +32,7 @@ fn tenants() -> Vec<TenantSpec> {
             },
             priority: 0, // most important under strict priority
             weight: 1,
+            class: 0,
         },
         TenantSpec {
             name: "batch".into(),
@@ -46,6 +47,7 @@ fn tenants() -> Vec<TenantSpec> {
             },
             priority: 2,
             weight: 2,
+            class: 1,
         },
         TenantSpec {
             name: "bg".into(),
@@ -57,6 +59,7 @@ fn tenants() -> Vec<TenantSpec> {
             },
             priority: 1,
             weight: 1,
+            class: 1,
         },
     ]
 }

@@ -45,6 +45,7 @@ fn single_tenant_fcfs_reproduces_the_transfer_harness_bit_identically() {
         },
         priority: 0,
         weight: 1,
+        class: 0,
     };
     let runtime = Runtime::new(rt_cfg, vec![tenant], Box::new(Fcfs));
     let mut serving = ServingSystem::new(cfg, runtime);

@@ -185,6 +185,7 @@ fn run_serving(sc: &Scenario, mode: TimingMode) -> (ServingSystem, bool) {
                 sizer: t.sizer,
                 priority: t.priority,
                 weight: t.weight,
+                class: t.class,
             })
             .collect(),
         policy_by_name(sc.policy, sc.rt_cfg.chunk_bytes).expect("known policy"),
