@@ -5,13 +5,21 @@
 //! 6.0x); throughput scales with the number of *channels*, not ranks.
 
 use pim_bench::json::{write_json, Json};
-use pim_bench::{cfg, geomean, HarnessArgs};
+use pim_bench::{cfg, flag_val, geomean, HarnessArgs};
 use pim_mapping::Organization;
 use pim_sim::{run_batch, BatchPoint, DesignPoint};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let bytes: u64 = if args.full { 64 << 20 } else { 16 << 20 };
+    // Smoke keeps the CI gate cheap; the speedup shape survives even at
+    // 2 MiB because it is bandwidth-bound, not latency-bound.
+    let bytes: u64 = if args.smoke {
+        2 << 20
+    } else if args.full {
+        64 << 20
+    } else {
+        16 << 20
+    };
     // 'xC-yR': x channels, y total ranks (y/x per channel), as in Fig. 14.
     let configs = [(2u32, 4u32), (4, 8), (4, 16)];
 
@@ -72,6 +80,7 @@ fn main() {
         ("paper_avg_speedup", Json::num(4.9)),
         ("rows", Json::Arr(rows)),
     ]);
-    write_json("BENCH_fig14.json", &doc).expect("write results file");
-    println!("wrote BENCH_fig14.json");
+    let out = flag_val("--out").unwrap_or_else(|| "BENCH_fig14.json".to_string());
+    write_json(&out, &doc).expect("write results file");
+    println!("wrote {out}");
 }

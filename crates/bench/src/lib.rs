@@ -15,12 +15,16 @@ use json::Json;
 use pim_sim::{DesignPoint, SystemConfig, TimingStats};
 use std::time::Instant;
 
-/// Parse harness CLI flags (`--full` for paper-scale sizes, `--threads N`
-/// to bound the batch-harness worker pool).
+/// Parse harness CLI flags (`--full` for paper-scale sizes, `--smoke`
+/// for the cheapest CI-gate sizes, `--threads N` to bound the
+/// batch-harness worker pool).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Run the full paper-scale sweep.
     pub full: bool,
+    /// Run the minimal CI-smoke sweep (wins over `full` when both are
+    /// passed — CI gates must stay cheap no matter what).
+    pub smoke: bool,
     /// Explicit worker count for `pim_sim::batch` (default: all cores).
     pub threads: Option<usize>,
 }
@@ -33,20 +37,33 @@ impl HarnessArgs {
     /// Panics if `--threads` is present without a positive integer value.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let full = args.iter().any(|a| a == "--full");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let full = !smoke && args.iter().any(|a| a == "--full");
         let threads = args.iter().position(|a| a == "--threads").map(|i| {
             args.get(i + 1)
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n > 0)
                 .expect("--threads requires a positive integer")
         });
-        HarnessArgs { full, threads }
+        HarnessArgs {
+            full,
+            smoke,
+            threads,
+        }
     }
 
     /// The worker-pool size to hand to [`pim_sim::run_batch`].
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(pim_sim::default_threads)
     }
+}
+
+/// The value following a `--flag` on the command line, if present.
+pub fn flag_val(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Table-I config with a given design point and a sampling interval that
@@ -164,11 +181,13 @@ mod tests {
     fn threads_defaults_to_host_parallelism() {
         let args = HarnessArgs {
             full: false,
+            smoke: false,
             threads: None,
         };
         assert_eq!(args.threads(), pim_sim::default_threads());
         let pinned = HarnessArgs {
             full: false,
+            smoke: false,
             threads: Some(3),
         };
         assert_eq!(pinned.threads(), 3);

@@ -53,8 +53,13 @@ impl DceConfig {
     }
 
     /// In-flight 64 B lines the data buffer can hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured buffer holds more than `u32::MAX` lines
+    /// (a nonsensical configuration caught at setup, not mid-run).
     pub fn data_buffer_lines(&self) -> u32 {
-        (self.data_buffer_bytes / 64) as u32
+        u32::try_from(self.data_buffer_bytes / 64).expect("data-buffer line count fits u32")
     }
 
     /// Per-core entries the address buffer can hold.

@@ -773,7 +773,11 @@ mod tests {
     #[test]
     fn transfers_every_line_exactly_once() {
         let mut dce = setup();
-        let op = PimMmuOp::to_pim((0..32).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        let op = PimMmuOp::to_pim(
+            (0..32).map(|i| (PhysAddr(i * 4096), u32::try_from(i).unwrap())),
+            4096,
+            0,
+        );
         let total = op.total_bytes() / 64;
         dce.submit(op, DceMode::PimMs).unwrap();
         run_to_completion(&mut dce, 20, 1_000_000);
@@ -840,7 +844,11 @@ mod tests {
     #[test]
     fn buffer_capacity_bounds_inflight_lines() {
         let mut dce = setup();
-        let op = PimMmuOp::to_pim((0..64).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        let op = PimMmuOp::to_pim(
+            (0..64).map(|i| (PhysAddr(i * 65536), u32::try_from(i).unwrap())),
+            65536,
+            0,
+        );
         dce.submit(op, DceMode::PimMs).unwrap();
         // Never complete anything: reads pile up until the buffer is full.
         for _ in 0..10_000 {
@@ -855,7 +863,11 @@ mod tests {
     #[test]
     fn coarse_mode_pipelines_shallowly() {
         let mut dce = setup();
-        let op = PimMmuOp::to_pim((0..64).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        let op = PimMmuOp::to_pim(
+            (0..64).map(|i| (PhysAddr(i * 65536), u32::try_from(i).unwrap())),
+            65536,
+            0,
+        );
         dce.submit(op, DceMode::Coarse).unwrap();
         for _ in 0..10_000 {
             dce.tick();
@@ -922,7 +934,12 @@ mod tests {
         let mut dce = setup();
         for k in 0..3u64 {
             let op = PimMmuOp::to_pim(
-                (0..8).map(|i| (PhysAddr(k * (1 << 20) + i * 4096), i as u32)),
+                (0..8).map(|i| {
+                    (
+                        PhysAddr(k * (1 << 20) + i * 4096),
+                        u32::try_from(i).unwrap(),
+                    )
+                }),
                 4096,
                 k * 4096,
             );
@@ -980,7 +997,11 @@ mod tests {
     fn enqueue_on_idle_engine_starts_like_submit() {
         let mut a = setup();
         let mut b = setup();
-        let op = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        let op = PimMmuOp::to_pim(
+            (0..8).map(|i| (PhysAddr(i * 4096), u32::try_from(i).unwrap())),
+            4096,
+            0,
+        );
         a.submit(op.clone(), DceMode::PimMs).unwrap();
         b.enqueue(op, DceMode::PimMs).unwrap();
         let done_a = run_to_completion(&mut a, 20, 1_000_000);
@@ -1103,7 +1124,11 @@ mod tests {
     #[test]
     fn suspend_partially_retires_and_resume_finishes_the_job() {
         let mut dce = setup();
-        let op = PimMmuOp::to_pim((0..16).map(|i| (PhysAddr(i * 8192), i as u32)), 8192, 0);
+        let op = PimMmuOp::to_pim(
+            (0..16).map(|i| (PhysAddr(i * 8192), u32::try_from(i).unwrap())),
+            8192,
+            0,
+        );
         let total_bytes = op.total_bytes();
         dce.enqueue(op, DceMode::PimMs).unwrap();
         let recs = drive_until_records(&mut dce, 10, 1_000_000, 1, Some(40));
@@ -1152,7 +1177,11 @@ mod tests {
     #[test]
     fn suspension_chains_to_the_next_pending_descriptor() {
         let mut dce = setup();
-        let big = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 65536), i as u32)), 65536, 0);
+        let big = PimMmuOp::to_pim(
+            (0..8).map(|i| (PhysAddr(i * 65536), u32::try_from(i).unwrap())),
+            65536,
+            0,
+        );
         let small = PimMmuOp::to_pim([(PhysAddr(1 << 24), 100)], 128, 0);
         dce.enqueue(big, DceMode::PimMs).unwrap();
         dce.enqueue(small, DceMode::PimMs).unwrap();

@@ -261,7 +261,11 @@ mod tests {
 
     #[test]
     fn valid_op_passes() {
-        let op = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 4096), i as u32)), 4096, 0);
+        let op = PimMmuOp::to_pim(
+            (0..8).map(|i| (PhysAddr(i * 4096), u32::try_from(i).unwrap())),
+            4096,
+            0,
+        );
         assert_eq!(op.total_bytes(), 8 * 4096);
         assert!(op.validate(4096).is_ok());
     }
@@ -322,7 +326,11 @@ mod tests {
 
     #[test]
     fn chunks_partition_the_transfer_exactly() {
-        let op = PimMmuOp::to_pim((0..8).map(|i| (PhysAddr(i * 8192), i as u32)), 8192, 0);
+        let op = PimMmuOp::to_pim(
+            (0..8).map(|i| (PhysAddr(i * 8192), u32::try_from(i).unwrap())),
+            8192,
+            0,
+        );
         let chunks = op.chunks(16 << 10, 4096).unwrap();
         assert!(chunks.len() > 1);
         // Every chunk is independently valid and byte totals add up.
@@ -360,7 +368,11 @@ mod tests {
 
     #[test]
     fn chunks_respect_entry_and_byte_budgets() {
-        let op = PimMmuOp::to_pim((0..100).map(|i| (PhysAddr(i * 640), i as u32)), 640, 0);
+        let op = PimMmuOp::to_pim(
+            (0..100).map(|i| (PhysAddr(i * 640), u32::try_from(i).unwrap())),
+            640,
+            0,
+        );
         let chunks = op.chunks(64 << 10, 32).unwrap();
         for c in &chunks {
             assert!(c.entries.len() <= 32);
@@ -382,7 +394,11 @@ mod tests {
 
     #[test]
     fn rejects_overflow() {
-        let op = PimMmuOp::to_pim((0..100).map(|i| (PhysAddr(i * 64), i as u32)), 64, 0);
+        let op = PimMmuOp::to_pim(
+            (0..100).map(|i| (PhysAddr(i * 64), u32::try_from(i).unwrap())),
+            64,
+            0,
+        );
         assert!(matches!(
             op.validate(64),
             Err(OpError::AddressBufferOverflow {

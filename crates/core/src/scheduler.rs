@@ -426,7 +426,7 @@ mod tests {
             mode in prop_oneof![Just(DceMode::PimMs), Just(DceMode::Coarse)],
         ) {
             let s = space();
-            let cores: Vec<u32> = (0..n_cores as u32).map(|i| i * 7 % 512).collect();
+            let cores: Vec<u32> = (0..u32::try_from(n_cores).unwrap()).map(|i| i * 7 % 512).collect();
             let mut dedup: Vec<u32> = cores.clone();
             dedup.sort_unstable();
             dedup.dedup();

@@ -138,8 +138,8 @@ proptest! {
         let credited: u64 = trace.records.iter().map(|r| r.bytes).sum();
         prop_assert_eq!(credited, total_bytes, "records must sum to the payload");
         let partials = trace.records.len() - 1;
-        prop_assert_eq!(dce.stats().suspensions as usize, partials);
-        prop_assert_eq!(dce.stats().resumes as usize, partials);
+        prop_assert_eq!(dce.stats().suspensions, partials as u64);
+        prop_assert_eq!(dce.stats().resumes, partials as u64);
 
         // Emission is a permutation: every source line read exactly
         // once, every destination line written exactly once.

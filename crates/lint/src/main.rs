@@ -1,0 +1,22 @@
+//! CI gate: lint the workspace rooted at the given directory (default:
+//! the current directory), print every violation, and exit non-zero if
+//! any were found.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::current_dir().expect("cwd"));
+    let violations = pim_lint::lint_workspace(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("pim-lint: clean ({} rules)", pim_lint::RULES.len());
+    } else {
+        eprintln!("pim-lint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

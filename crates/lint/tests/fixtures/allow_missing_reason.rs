@@ -1,0 +1,10 @@
+// Fixture: a bare allow without a justification does NOT silence the
+// rule and is itself reported as `allow-missing-reason`; an allow for
+// a rule this linter doesn't know is reported as `unknown-rule`.
+pub fn lane_of(idx: usize) -> u32 {
+    idx as u32 // lint:allow(truncating-cast)
+}
+
+pub fn other(idx: usize) -> u32 {
+    u32::try_from(idx).unwrap() // lint:allow(made-up-rule) -- not a real rule
+}

@@ -1,0 +1,10 @@
+// Fixture: justified allows silence their rule — linted under
+// crates/core/src/, neither cast below may be reported.
+pub fn lane_of(idx: usize) -> u32 {
+    idx as u32 // lint:allow(truncating-cast) -- idx < 2^16 lanes by construction
+}
+
+pub fn bank_of(addr: u64) -> u16 {
+    // lint:allow(truncating-cast) -- low 4 bits only, masked on the previous line
+    (addr & 0xF) as u16
+}

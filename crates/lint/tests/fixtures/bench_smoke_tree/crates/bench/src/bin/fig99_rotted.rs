@@ -1,0 +1,6 @@
+// Fixture bin: commits a BENCH_*.json artifact but supports no quick
+// mode and has no CI step — must trip `bench-smoke` twice.
+fn main() {
+    std::fs::write("BENCH_fig99.json", "{}").unwrap();
+    println!("wrote BENCH_fig99.json");
+}

@@ -1,0 +1,12 @@
+// Fixture: trips `hash-collections` when linted under a path inside
+// crates/sim/src/. The commented use below must NOT trip (comments are
+// skipped): use std::collections::HashMap;
+use std::collections::HashMap;
+
+pub struct Scoreboard {
+    by_shard: HashMap<u32, u64>,
+}
+
+pub fn drain(s: &Scoreboard) -> u64 {
+    s.by_shard.values().sum()
+}

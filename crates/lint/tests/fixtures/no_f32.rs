@@ -1,0 +1,5 @@
+// Fixture: trips `no-f32` when linted under a path inside
+// crates/sim/src/ — single-precision arithmetic in a model crate.
+pub fn bandwidth_gbps(bytes: u64, ns: f32) -> f32 {
+    bytes as f32 / ns
+}

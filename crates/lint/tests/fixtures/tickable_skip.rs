@@ -1,0 +1,32 @@
+// Fixture: trips `tickable-skip` — the first impl overrides
+// `next_event` but not `skip`, so idle-skip would jump it past its
+// horizon without delivering the skipped cycles. The second impl is
+// conforming and must NOT trip.
+pub struct Sloppy {
+    due: u64,
+}
+
+impl Tickable for Sloppy {
+    fn tick(&mut self) {}
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        Some(self.due)
+    }
+}
+
+pub struct Careful {
+    due: u64,
+    caught_up: u64,
+}
+
+impl Tickable for Careful {
+    fn tick(&mut self) {}
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        Some(self.due)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.caught_up += cycles;
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: trips `truncating-cast` when linted under a path inside
+// crates/core/src/ — a bare narrowing cast that silently wraps.
+pub fn lane_of(idx: usize) -> u32 {
+    idx as u32
+}
+
+// Widening casts must NOT trip.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,8 @@
+// Fixture: trips `wall-clock` when linted under any non-whitelisted
+// path — host time leaking into the simulated world.
+use std::time::Instant;
+
+pub fn timestamp_event() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -265,7 +265,8 @@ impl JobSizer {
                 n_cores,
             } => (per_core_bytes, n_cores),
             JobSizer::Suite { cap_bytes, n_cores } => {
-                let shape = shapes[rng.below(shapes.len() as u64) as usize];
+                // `below` returns a value < len, which fits usize.
+                let shape = shapes[usize::try_from(rng.below(shapes.len() as u64)).unwrap()];
                 (
                     shape.scaled_per_core(suite_max, cap_bytes, n_cores),
                     n_cores,

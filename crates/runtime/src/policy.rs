@@ -277,7 +277,7 @@ mod tests {
     fn view(tenant: usize, submit: f64, total: u64, in_service: bool) -> QueueView {
         QueueView {
             tenant,
-            priority: tenant as u32,
+            priority: u32::try_from(tenant).unwrap(),
             weight: 1,
             backlog: 1,
             head: Some(HeadView {
@@ -293,7 +293,7 @@ mod tests {
     fn empty(tenant: usize) -> QueueView {
         QueueView {
             tenant,
-            priority: tenant as u32,
+            priority: u32::try_from(tenant).unwrap(),
             weight: 1,
             backlog: 0,
             head: None,
@@ -372,7 +372,7 @@ mod tests {
     fn in_flight(tenant: usize) -> QueueView {
         QueueView {
             tenant,
-            priority: tenant as u32,
+            priority: u32::try_from(tenant).unwrap(),
             weight: 1,
             backlog: 1,
             head: None,

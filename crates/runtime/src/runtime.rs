@@ -43,7 +43,7 @@ use pim_sim::{
 };
 use pim_telemetry::{FlightRecorder, SpanEvent, SpanKind, TelemetryConfig};
 use pim_workloads::JobShape;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Where a policy-picked chunk is placed in a sharded runtime (which
 /// engine's queue pair receives it).
@@ -305,7 +305,10 @@ pub struct Runtime {
     /// Mid-transfer state claimed from a suspending engine at the ring
     /// drain, held until the recall's interrupt is fielded and the
     /// remainder re-attaches to its job. Keyed by `(shard, ring seq)`.
-    suspended: HashMap<(usize, u64), SuspendedTransfer>,
+    /// A `BTreeMap` so any future iteration is key-ordered: hash-order
+    /// iteration here would break bit-identical replay (`pim-lint`
+    /// enforces this workspace-wide).
+    suspended: BTreeMap<(usize, u64), SuspendedTransfer>,
     next_job_id: u64,
     records: Vec<JobRecord>,
     /// Dispatch opportunities where backlog existed but the policy
@@ -384,7 +387,7 @@ impl Runtime {
             qps: QueuePairSet::new(cfg.hostq, cfg.shards),
             driver_ready_ns: vec![0.0; cfg.shards],
             completed_via_shard: vec![0; cfg.shards],
-            suspended: HashMap::new(),
+            suspended: BTreeMap::new(),
             next_job_id: 0,
             records: Vec::new(),
             missed_dispatches: 0,
@@ -611,7 +614,10 @@ impl Runtime {
         self.tenants
             .iter()
             .enumerate()
-            .map(|(i, t)| i as u32 * self.cfg.core_stride + t.spec.sizer.n_cores())
+            .map(|(i, t)| {
+                u32::try_from(i).expect("tenant count fits u32") * self.cfg.core_stride
+                    + t.spec.sizer.n_cores()
+            })
             .max()
             .unwrap_or(0)
     }
@@ -653,7 +659,8 @@ impl Runtime {
                     kind: t.spec.kind,
                     per_core_bytes,
                     n_cores,
-                    core_base: ti as u32 * self.cfg.core_stride,
+                    core_base: u32::try_from(ti).expect("tenant count fits u32")
+                        * self.cfg.core_stride,
                     dram_base: PhysAddr(HOST_BUFFER_BASE + ti as u64 * self.cfg.dram_stride),
                     heap_offset: ti as u64 * self.cfg.heap_stride,
                 };

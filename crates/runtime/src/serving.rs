@@ -104,6 +104,9 @@ impl ServingSystem {
         let dom = sys.register_domain("runtime", period_ps);
         let poller = sys.register_domain("hostq", poll_ps);
         let sampler = telemetry.enabled.then(|| {
+            // Truncation intended: sub-ps remainders of the configured
+            // sampling interval cannot matter.
+            #[allow(clippy::cast_possible_truncation)]
             let period_ps = (telemetry.sample_ns * 1000.0).max(1.0) as u64;
             let columns: Vec<String> = ["backlog", "in_flight_bytes", "edges_skipped"]
                 .into_iter()
@@ -259,8 +262,11 @@ impl ServingSystem {
         // so the disabled path never reads the host clock).
         let profiling = self.sys.self_profile_enabled();
         let timer = || profiling.then(std::time::Instant::now);
-        let elapsed =
-            |t0: Option<std::time::Instant>| t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let elapsed = |t0: Option<std::time::Instant>| {
+            t0.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+        };
         if let Some(smp) = &mut self.sampler {
             if pending.contains(smp.dom) {
                 let t0 = timer();

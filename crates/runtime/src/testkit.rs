@@ -84,7 +84,9 @@ fn drive_sharded(
     stop_at_drain: bool,
 ) -> Option<Vec<JobRecord>> {
     let shards = rt.config().shards;
-    let mut dces: Vec<Dce> = (0..shards).map(|s| fresh_dce(s as u32)).collect();
+    let mut dces: Vec<Dce> = (0..shards)
+        .map(|s| fresh_dce(u32::try_from(s).expect("shard count fits u32")))
+        .collect();
     // Mirror `ServingSystem::new`: when the runtime records spans, arm
     // each engine's cycle-stamped tap so device-side lifecycle events
     // reach the flight recorder through the poll path.

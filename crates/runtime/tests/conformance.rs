@@ -252,8 +252,9 @@ proptest! {
                 TenantSpec::poisson("c", 800.0, 4_096, 2),
             ];
             for (i, t) in tenants.iter_mut().enumerate() {
-                t.priority = (2 - i) as u32; // a is the bulk low class
-                t.weight = 1 + i as u32;
+                let i = u32::try_from(i).unwrap();
+                t.priority = 2 - i; // a is the bulk low class
+                t.weight = 1 + i;
             }
             Runtime::new(cfg, tenants, policy_by_name(policy, 2_048).unwrap())
         };

@@ -31,7 +31,7 @@ proptest! {
                 .map(|(i, times)| {
                     let mut times = times.clone();
                     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    trace_tenant(&format!("t{i}"), times, 256, 2 + i as u32)
+                    trace_tenant(&format!("t{i}"), times, 256, 2 + u32::try_from(i).unwrap())
                 })
                 .collect();
             let cfg = RuntimeConfig {

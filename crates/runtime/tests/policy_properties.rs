@@ -43,7 +43,7 @@ proptest! {
             .map(|(i, times)| {
                 let mut times = times.clone();
                 times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                trace_tenant(&format!("t{i}"), times, 128, 1 + (i as u32 % 4))
+                trace_tenant(&format!("t{i}"), times, 128, 1 + (u32::try_from(i).unwrap() % 4))
             })
             .collect();
         let cfg = RuntimeConfig {

@@ -279,9 +279,10 @@ fn tiny_ring_overflow_keeps_accounting_and_joiner_never_panics() {
     for case in 0..10 {
         for drop in [DropPolicy::DropNewest, DropPolicy::DropOldest] {
             let capacity = 16 << rng.below(4); // 16..128 slots
-            let policy = POLICY_NAMES[rng.below(POLICY_NAMES.len() as u64) as usize];
-            let preemption = modes[rng.below(modes.len() as u64) as usize];
-            let shards = 1 + rng.below(3) as usize;
+            let policy =
+                POLICY_NAMES[usize::try_from(rng.below(POLICY_NAMES.len() as u64)).unwrap()];
+            let preemption = modes[usize::try_from(rng.below(modes.len() as u64)).unwrap()];
+            let shards = 1 + usize::try_from(rng.below(3)).unwrap();
             let label = format!(
                 "case {case} {policy}/{}/{shards}-shard {drop:?} cap={capacity}",
                 preemption.name()

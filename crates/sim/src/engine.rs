@@ -468,6 +468,8 @@ impl ClockDomains {
         let ticks = ns * TICKS_PER_NS as f64;
         // Start from a safe underestimate, then walk forward using the
         // exact conversion (the walk is a couple of iterations at most).
+        // Truncation toward zero is exactly the underestimate we want.
+        #[allow(clippy::cast_possible_truncation)]
         let mut e = if ticks <= dom.origin as f64 {
             0
         } else {
@@ -477,6 +479,27 @@ impl ClockDomains {
             e += 1;
         }
         e
+    }
+
+    /// Whether `d` is armed (has a pending delivery on the agenda).
+    /// Parked domains deliver nothing until re-armed by
+    /// [`wake_at`](Self::wake_at) / [`defer_to_edge`](Self::defer_to_edge).
+    pub fn armed(&self, d: DomainId) -> bool {
+        self.domains[d.0].armed
+    }
+
+    /// The tick of `d`'s pending delivery. Meaningful only while
+    /// [`armed`](Self::armed); used by shadow checkers comparing the
+    /// agenda against independently re-derived component horizons.
+    pub fn next_tick(&self, d: DomainId) -> u64 {
+        self.domains[d.0].next()
+    }
+
+    /// The grid-edge index of `d`'s pending delivery
+    /// (`delivered + pending_skip`).
+    pub fn pending_edge(&self, d: DomainId) -> u64 {
+        let dom = &self.domains[d.0];
+        dom.delivered + dom.pending_skip
     }
 
     /// Deliveries actually taken for `d` (ticks its component ran).

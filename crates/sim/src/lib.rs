@@ -29,6 +29,8 @@ pub mod components;
 pub mod config;
 pub mod engine;
 pub mod result;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod system;
 pub mod timeq;
 pub mod transfer;
@@ -39,5 +41,7 @@ pub use config::TimingMode;
 pub use config::{DesignPoint, SystemConfig, ThreadAssignment};
 pub use engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable, TimingStats};
 pub use result::{PowerSample, TransferResult};
+#[cfg(feature = "sanitize")]
+pub use sanitize::{SanitizeKind, SanitizeViolation};
 pub use system::{DomainProfile, System};
 pub use transfer::{run_memcpy, run_transfer, ContenderSpec, TransferSpec, HOST_BUFFER_BASE};

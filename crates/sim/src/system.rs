@@ -6,7 +6,7 @@
 //! [`Tickable`] surface, and `step` is pure composition — advance to the
 //! earliest edge, tick whichever domains fired, wire outputs together.
 
-use crate::clock::{ticks_to_ns, TICKS_PER_NS};
+use crate::clock::{ns_ticks_floor, ticks_to_ns};
 use crate::config::{SystemConfig, TimingMode};
 use crate::engine::{ClockDomains, DomainId, Fired, Output, StatsSnapshot, Tickable, TimingStats};
 use crate::result::PowerSample;
@@ -75,6 +75,10 @@ pub struct System {
     /// Host wall nanoseconds per domain slot (empty until profiling is
     /// enabled; grown on demand so late credit never panics).
     wall_ns: Vec<u64>,
+    /// Shadow checker for scheduler invariants (pure reads: simulated
+    /// state is bit-identical with the feature on or off).
+    #[cfg(feature = "sanitize")]
+    sanitizer: crate::sanitize::Sanitizer,
 }
 
 /// Timestamped counter snapshot for windowed power computation.
@@ -113,7 +117,10 @@ impl System {
         let engines: Vec<Dce> = if cfg.design.uses_dce() {
             let space = PimAddrSpace::new(mapper.pim_base(), cfg.pim_org);
             (0..cfg.dce_count.max(1))
-                .map(|s| Dce::with_shard(cfg.dce, mapper.clone(), space, s as u32))
+                .map(|s| {
+                    let shard = u32::try_from(s).expect("shard count fits u32");
+                    Dce::with_shard(cfg.dce, mapper.clone(), space, shard)
+                })
                 .collect()
         } else {
             Vec::new()
@@ -135,7 +142,7 @@ impl System {
                 .iter()
                 .map(|_| clocks.add_period_ps("dce", cfg.dce.period_ps()))
                 .collect(),
-            sample: clocks.add_period_ticks("sample", (cfg.sample_ns * TICKS_PER_NS as f64) as u64),
+            sample: clocks.add_period_ticks("sample", ns_ticks_floor(cfg.sample_ns)),
         };
         System {
             mapper,
@@ -151,6 +158,8 @@ impl System {
             power_samples: Vec::new(),
             profile: false,
             wall_ns: Vec::new(),
+            #[cfg(feature = "sanitize")]
+            sanitizer: crate::sanitize::Sanitizer::default(),
             cfg,
         }
     }
@@ -498,7 +507,11 @@ impl System {
     #[inline]
     fn phase_credit(&mut self, d: DomainId, t0: Option<std::time::Instant>) {
         if let Some(t0) = t0 {
-            self.credit_domain_wall_ns(d, t0.elapsed().as_nanos() as u64);
+            // Saturating: a phase cannot plausibly exceed u64 wall ns.
+            self.credit_domain_wall_ns(
+                d,
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
     }
 
@@ -607,6 +620,8 @@ impl System {
         if self.cfg.timing == TimingMode::EventDriven {
             self.apply_horizons(mask);
         }
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check(now);
         Fired::new(now, mask)
     }
 
@@ -673,7 +688,7 @@ impl System {
     /// Run until `pred` returns true or `max_ns` elapses. Returns whether
     /// the predicate fired.
     pub fn run_until(&mut self, max_ns: f64, mut pred: impl FnMut(&System) -> bool) -> bool {
-        let max_ticks = (max_ns * TICKS_PER_NS as f64) as u64;
+        let max_ticks = ns_ticks_floor(max_ns);
         while self.t < max_ticks {
             if pred(self) {
                 return true;
@@ -826,6 +841,194 @@ impl System {
     }
 }
 
+/// The scheduler shadow checker (see [`crate::sanitize`]). Everything
+/// here is pure reads over `clocks` and the components; the only
+/// mutation is the sanitizer's own log. The fault-injection entry
+/// points exist so tests can prove the checker actually fires — they
+/// corrupt scheduler state the way a real horizon bug would.
+#[cfg(feature = "sanitize")]
+impl System {
+    /// Collect violations instead of panicking (fault-injection tests).
+    pub fn sanitize_record_only(&mut self) {
+        self.sanitizer.record_only();
+    }
+
+    /// Violations recorded so far (record mode only; panic mode aborts
+    /// on the first finding).
+    pub fn sanitize_violations(&self) -> &[crate::sanitize::SanitizeViolation] {
+        self.sanitizer.violations()
+    }
+
+    /// Inject a **stale horizon**: re-aim the DRAM group's domain well
+    /// past its true re-derived horizon, as if `apply_horizons` had
+    /// trusted a buggy `next_event` that overshot. The next `step` must
+    /// flag it. (Merely *suppressing* a re-aim is not a fault —
+    /// `take_due`'s default re-arm at the next grid edge is
+    /// conservative — so the injection overshoots instead.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DRAM group is fully quiescent (nothing to
+    /// overshoot past; with refresh modeled this cannot happen).
+    pub fn sanitize_inject_stale_horizon(&mut self) {
+        let h = Self::group_horizon(&self.dram).expect("DRAM group has a horizon to overshoot");
+        let e = h.max(self.clocks.delivered(self.domains.dram));
+        self.clocks.defer_to_edge(self.domains.dram, e + 64);
+    }
+
+    /// Inject a **lost wakeup**: park the DRAM group's domain even
+    /// though its controllers still report pending work (the classic
+    /// missed-doorbell shape). The next `step` must flag it.
+    pub fn sanitize_inject_lost_wakeup(&mut self) {
+        assert!(
+            Self::group_horizon(&self.dram).is_some(),
+            "DRAM group must have work for the park to lose"
+        );
+        self.clocks.park(self.domains.dram);
+    }
+
+    /// Run every shadow check for the step that just completed at tick
+    /// `now` (checks 1–5 of [`crate::sanitize`]).
+    fn sanitize_check(&mut self, now: u64) {
+        use crate::sanitize::{SanitizeKind, SanitizeViolation};
+        self.sanitizer.observe_event(now);
+
+        let mut findings: Vec<SanitizeViolation> = Vec::new();
+        // Check 2: no domain (internal or composer-registered) may hold
+        // a pending delivery at or before the edge just processed —
+        // every due domain was delivered this step.
+        for i in 0..self.clocks.len() {
+            let d = DomainId::from_index(i);
+            if self.clocks.armed(d) && self.clocks.next_tick(d) <= now {
+                findings.push(SanitizeViolation {
+                    kind: SanitizeKind::ArmedInPast,
+                    domain: self.clocks.label(d),
+                    t: now,
+                    detail: format!(
+                        "armed at tick {} which is not after the current event",
+                        self.clocks.next_tick(d)
+                    ),
+                });
+            }
+        }
+
+        // Check 3: skip reconciliation — neither a component's clock
+        // nor a domain's delivered count may run ahead of the grid.
+        let mut clock_ahead = |domain: &'static str, clock: u64, limit: u64, what: &str| {
+            if clock > limit {
+                findings.push(SanitizeViolation {
+                    kind: SanitizeKind::ClockAhead,
+                    domain,
+                    t: now,
+                    detail: format!("{what} {clock} exceeds grid edges {limit} at t={now}"),
+                });
+            }
+        };
+        for i in 0..self.clocks.len() {
+            let d = DomainId::from_index(i);
+            clock_ahead(
+                self.clocks.label(d),
+                self.clocks.delivered(d),
+                self.clocks.edges_through(d, now),
+                "delivered edges",
+            );
+        }
+        clock_ahead(
+            "cpu",
+            self.cluster.clock(),
+            self.clocks.edges_through(self.domains.cpu, now),
+            "component clock",
+        );
+        for (s, e) in self.engines.iter().enumerate() {
+            clock_ahead(
+                "dce",
+                e.cycle(),
+                self.clocks.edges_through(self.domains.dce[s], now),
+                "component clock",
+            );
+        }
+        for (dom, ctrls) in [
+            (self.domains.dram, &self.dram),
+            (self.domains.pim, &self.pim),
+        ] {
+            for c in ctrls.iter() {
+                clock_ahead(
+                    self.clocks.label(dom),
+                    c.clock(),
+                    self.clocks.edges_through(dom, now),
+                    "component clock",
+                );
+            }
+        }
+
+        // Check 4: lost-wakeup / stale-horizon — re-derive every
+        // internal component's horizon from scratch and compare it with
+        // the armed wake. (The sample domain has no component and
+        // composer-registered domains manage their own horizons.)
+        let mut horizons: Vec<(DomainId, Option<u64>)> = vec![
+            (
+                self.domains.cpu,
+                Tickable::next_event(&self.cluster, self.cluster.clock()),
+            ),
+            (self.domains.dram, Self::group_horizon(&self.dram)),
+            (self.domains.pim, Self::group_horizon(&self.pim)),
+        ];
+        for (s, e) in self.engines.iter().enumerate() {
+            horizons.push((self.domains.dce[s], Tickable::next_event(e, e.cycle())));
+        }
+        for (d, h) in horizons {
+            let Some(e) = h else { continue };
+            // `next_event` horizons at or before the delivered count
+            // mean "tick me at the very next edge".
+            let want = e.max(self.clocks.delivered(d));
+            if !self.clocks.armed(d) {
+                findings.push(SanitizeViolation {
+                    kind: SanitizeKind::LostWakeup,
+                    domain: self.clocks.label(d),
+                    t: now,
+                    detail: format!(
+                        "component needs edge {want} but its domain is parked — the work would sleep forever"
+                    ),
+                });
+            } else if self.clocks.pending_edge(d) > want {
+                findings.push(SanitizeViolation {
+                    kind: SanitizeKind::StaleHorizon,
+                    domain: self.clocks.label(d),
+                    t: now,
+                    detail: format!(
+                        "armed for edge {} but the re-derived horizon is edge {want} — the wake would arrive after the work was due",
+                        self.clocks.pending_edge(d)
+                    ),
+                });
+            }
+        }
+
+        // Check 5: the agenda head must equal the minimum armed next().
+        let derived = (0..self.clocks.len())
+            .map(DomainId::from_index)
+            .filter(|&d| self.clocks.armed(d))
+            .map(|d| self.clocks.next_tick(d))
+            .min();
+        if let Some(min) = derived {
+            let head = self.clocks.next_edge();
+            if head != min {
+                findings.push(SanitizeViolation {
+                    kind: SanitizeKind::AgendaMismatch,
+                    domain: "-",
+                    t: now,
+                    detail: format!(
+                        "agenda head at tick {head}, minimum armed next() at tick {min}"
+                    ),
+                });
+            }
+        }
+
+        for v in findings {
+            self.sanitizer.report(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,7 +1071,7 @@ mod tests {
         // cpu + dram + pim + sample + one domain per engine.
         assert_eq!(sys.clock_domains().len(), 8);
         for (s, e) in sys.engines().iter().enumerate() {
-            assert_eq!(e.shard(), s as u32);
+            assert_eq!(e.shard(), u32::try_from(s).unwrap());
         }
         // The single-engine accessors alias shard 0.
         assert_eq!(sys.dce().unwrap().shard(), 0);

@@ -23,7 +23,7 @@
 //! record with zeroed stages — counted, never panicking, and never
 //! polluting the aggregates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::event::{SpanEvent, SpanKind, NO_JOB, NO_TENANT};
 use crate::hist::LogHistogram;
@@ -239,12 +239,12 @@ pub struct Attribution {
 impl Attribution {
     /// Fold a span stream (in record order) into an attribution.
     pub fn from_events<'a>(events: impl Iterator<Item = &'a SpanEvent>) -> Self {
-        let mut owners: HashMap<(u32, u64), u64> = HashMap::new();
-        let mut builds: HashMap<u64, JobBuild> = HashMap::new();
+        let mut owners: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        let mut builds: BTreeMap<u64, JobBuild> = BTreeMap::new();
         // Per shard: (job, chunk index) staged since the last doorbell.
-        let mut pending_doorbell: HashMap<u32, Vec<(u64, usize)>> = HashMap::new();
+        let mut pending_doorbell: BTreeMap<u32, Vec<(u64, usize)>> = BTreeMap::new();
         // Per shard: (job, chunk index) retired since the last interrupt.
-        let mut pending_interrupt: HashMap<u32, Vec<(u64, usize)>> = HashMap::new();
+        let mut pending_interrupt: BTreeMap<u32, Vec<(u64, usize)>> = BTreeMap::new();
         let mut unowned = 0u64;
 
         for ev in events {
@@ -480,7 +480,7 @@ impl Attribution {
     /// through each shard. Shards are reported in index order; shards
     /// that completed nothing are omitted.
     pub fn tail_attribution(&self) -> Vec<TailAttribution> {
-        let mut by_shard: HashMap<u32, Vec<&JobWaterfall>> = HashMap::new();
+        let mut by_shard: BTreeMap<u32, Vec<&JobWaterfall>> = BTreeMap::new();
         for j in self.jobs.iter().filter(|j| j.complete) {
             by_shard.entry(j.shard).or_default().push(j);
         }
@@ -872,6 +872,64 @@ mod tests {
         assert_eq!(t.threshold_ns, 1103.0);
         // Whole-run view: device service dominates.
         assert_eq!(a.dominant_stage(), Some(Stage::DeviceService));
+    }
+
+    /// The join tables are `BTreeMap`s precisely so no output ordering
+    /// can depend on hash-iteration order: jobs fold out sorted by id
+    /// and tail attribution reports shards in ascending index order,
+    /// regardless of the order ids and shards appear in the stream.
+    #[test]
+    fn output_order_is_independent_of_insertion_order() {
+        // Jobs land in scrambled id order, completing on shards 3,1,2.
+        let mut evs = Vec::new();
+        for (k, (id, shard)) in [(9u64, 3usize), (2, 1), (5, 2), (7, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            let base = 1000.0 * k as f64;
+            evs.extend([
+                SpanEvent::new(SpanKind::Arrival, base)
+                    .tenant(0)
+                    .job(id)
+                    .bytes(64),
+                SpanEvent::new(SpanKind::Enqueue, base).tenant(0).job(id),
+                SpanEvent::new(SpanKind::DispatchPick, base + 10.0)
+                    .tenant(0)
+                    .shard(shard)
+                    .job(id)
+                    .seq(id)
+                    .bytes(64),
+                SpanEvent::new(SpanKind::Doorbell, base + 10.0).shard(shard),
+                SpanEvent::new(SpanKind::DeviceStart, base + 12.0)
+                    .shard(shard)
+                    .seq(id),
+                SpanEvent::new(SpanKind::Retire, base + 50.0)
+                    .shard(shard)
+                    .seq(id)
+                    .bytes(64),
+                SpanEvent::new(SpanKind::Interrupt, base + 55.0).shard(shard),
+                SpanEvent::new(SpanKind::Complete, base + 60.0)
+                    .tenant(0)
+                    .shard(shard)
+                    .job(id)
+                    .bytes(64),
+            ]);
+        }
+        let a = stream(&evs);
+        let ids: Vec<u64> = a.jobs.iter().map(|j| j.job).collect();
+        assert_eq!(ids, vec![2, 5, 7, 9], "jobs sorted by id, not stream order");
+        let shards: Vec<u32> = a.tail_attribution().iter().map(|t| t.shard).collect();
+        assert_eq!(
+            shards,
+            vec![1, 2, 3],
+            "shards in index order, not completion order"
+        );
+        // Folding the identical stream twice is structurally identical.
+        let b = stream(&evs);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.job, y.job);
+            assert_eq!(x.stages, y.stages);
+        }
     }
 
     #[test]
