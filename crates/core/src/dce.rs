@@ -119,6 +119,13 @@ pub struct DceStats {
     /// and the partial retirement (read issue stopped, in-flight lines
     /// draining).
     pub drain_cycles: u64,
+    /// Chunk descriptors that continued their predecessor's channel
+    /// sweep ([`Dce::enqueue_continuation`] hits).
+    pub continuations: u64,
+    /// Continuation descriptors whose predecessor cursor was gone or
+    /// mismatched (suspended, reordered, different core set) — the
+    /// engine fell back to building a fresh schedule.
+    pub continuation_fallbacks: u64,
 }
 
 impl Counters for DceStats {
@@ -136,7 +143,30 @@ impl Counters for DceStats {
         out.push(prefix, "suspensions", self.suspensions as f64);
         out.push(prefix, "resumes", self.resumes as f64);
         out.push(prefix, "drain_cycles", self.drain_cycles as f64);
+        out.push(prefix, "continuations", self.continuations as f64);
+        out.push(
+            prefix,
+            "continuation_fallbacks",
+            self.continuation_fallbacks as f64,
+        );
     }
+}
+
+/// A fused predecessor chunk awaiting its retirement record: a
+/// continuation successor took its live sweep cursor the moment the
+/// sweep exhausted (while the tail still drained), so the predecessor's
+/// completion is emitted once the cumulative landed-line count crosses
+/// `end_lines`. The count is pipeline-order, not sweep-order, so the
+/// crossing is an approximation of the exact boundary — exact whenever
+/// the pipeline drains (quiesce, final retirement).
+#[derive(Debug, Clone, Copy)]
+struct SegBoundary {
+    /// The fused chunk's descriptor sequence number.
+    seq: u64,
+    /// Cumulative job line count at which this chunk's payload ends.
+    end_lines: u64,
+    /// Engine cycle the chunk's execution began.
+    started_at: u64,
 }
 
 #[derive(Debug)]
@@ -151,21 +181,27 @@ struct Job {
     lines_written: u64,
     total: u64,
     completed_at: Option<u64>,
-    /// Descriptor sequence number (enqueue order).
+    /// Descriptor sequence number (enqueue order). For a fused chain
+    /// this is the *newest* segment's; earlier ones sit in `segments`.
     seq: u64,
-    /// Engine cycle execution began.
+    /// Engine cycle execution began (of the newest fused segment).
     started_at: u64,
     /// Queued descriptors ([`Dce::enqueue`]) retire themselves into the
     /// completion ring; one-shot submissions ([`Dce::submit`]) wait for
     /// the host's explicit [`Dce::retire_job`].
     auto_retire: bool,
-    /// Lines already credited by earlier activations' (partial)
-    /// retirement records — 0 for a fresh descriptor; a resumed job
-    /// reports only `lines_written - base_lines` in its next record.
+    /// Lines already credited by earlier retirement records — a
+    /// resumed activation's partial record, or a fused segment's
+    /// ([`SegBoundary`]) — so the next record reports only
+    /// `lines_written - base_lines`. 0 for a fresh descriptor.
     base_lines: u64,
     /// A suspension is pending: read issue has stopped and the job is
     /// extracted as soon as the in-flight pipeline drains.
     suspend_requested: bool,
+    /// Fused predecessor chunks (oldest first) whose sweeps this job
+    /// continued live; each retires when the landed-line count crosses
+    /// its boundary. Empty unless continuations fused mid-flight.
+    segments: VecDeque<SegBoundary>,
 }
 
 /// A descriptor waiting on the engine's pending ring: either a fresh
@@ -174,6 +210,10 @@ struct Job {
 enum PendingDesc {
     Fresh(PimMmuOp, DceMode),
     Resumed(SuspendedTransfer),
+    /// A chunk declaring its predecessor's sequence number: if that
+    /// descriptor's sweep cursor is still held when this one installs,
+    /// the schedule continues it instead of rebuilding.
+    Continuation(PimMmuOp, DceMode, u64),
 }
 
 /// The Data Copy Engine (Fig. 9/11).
@@ -203,6 +243,13 @@ pub struct Dce {
     /// [`take_suspended`](Self::take_suspended), keyed by descriptor
     /// sequence number.
     suspended: VecDeque<(u64, SuspendedTransfer)>,
+    /// The most recently retired queued descriptor's sweep cursor,
+    /// keyed by its sequence number — the state a continuation chunk
+    /// ([`enqueue_continuation`](Self::enqueue_continuation)) picks up.
+    /// Overwritten at every full retirement; a suspension parks its
+    /// cursor in `suspended` instead, so a continuation staged behind a
+    /// recalled chunk finds no match and falls back to a fresh build.
+    held_cursor: Option<(u64, PairScheduler)>,
     next_seq: u64,
     outbox: VecDeque<DceRequest>,
     outbox_cap: usize,
@@ -236,6 +283,7 @@ impl Dce {
             pending: VecDeque::new(),
             completions: VecDeque::new(),
             suspended: VecDeque::new(),
+            held_cursor: None,
             next_seq: 0,
             outbox: VecDeque::new(),
             outbox_cap: 64,
@@ -248,6 +296,13 @@ impl Dce {
     /// Engine configuration.
     pub fn config(&self) -> &DceConfig {
         &self.cfg
+    }
+
+    /// The PIM address space this engine schedules against — the
+    /// host-side dispatcher reads per-core channel coordinates from it
+    /// to build channel-affinity footprints.
+    pub fn addr_space(&self) -> &PimAddrSpace {
+        &self.space
     }
 
     /// This engine's shard index (0 in a single-engine system).
@@ -369,6 +424,46 @@ impl Dce {
         Ok(())
     }
 
+    /// Queue a chunk that *continues* descriptor `predecessor`'s channel
+    /// sweep (the serving-aware PIM-MS path): when the predecessor
+    /// retires in full, its live [`PairScheduler`] — per-channel
+    /// round-robin cursors and the channel cursor — is held device-side,
+    /// and this chunk re-installs it advanced to its own byte range
+    /// instead of rebuilding a schedule from scratch. Ordering and
+    /// retirement are exactly [`enqueue`](Self::enqueue)'s.
+    ///
+    /// The continuation is best-effort: if the predecessor's cursor is
+    /// unavailable at install time (it was suspended by a recall, a
+    /// different descriptor retired in between, the mode differs, or the
+    /// chunk names a different core set) the engine falls back to a
+    /// fresh schedule — counted in
+    /// [`DceStats::continuation_fallbacks`] — and the transfer is
+    /// correct either way, merely unaided.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor validation failures and rejects mixing
+    /// with the synchronous path ([`OpError::EngineBusy`]), exactly
+    /// like [`enqueue`](Self::enqueue).
+    pub fn enqueue_continuation(
+        &mut self,
+        op: PimMmuOp,
+        mode: DceMode,
+        predecessor: u64,
+    ) -> Result<(), OpError> {
+        op.validate(self.cfg.addr_buffer_entries())?;
+        if self.job.as_ref().is_some_and(|j| !j.auto_retire) {
+            return Err(OpError::EngineBusy);
+        }
+        if self.job.is_none() {
+            self.install_continuation(op, mode, predecessor);
+        } else {
+            self.pending
+                .push_back(PendingDesc::Continuation(op, mode, predecessor));
+        }
+        Ok(())
+    }
+
     /// Re-install a suspended transfer: the channel sweep continues from
     /// the captured cursor instead of restarting. Ordering mirrors
     /// [`enqueue`](Self::enqueue) — an idle engine starts it on the next
@@ -422,6 +517,7 @@ impl Dce {
             auto_retire,
             base_lines: 0,
             suspend_requested: false,
+            segments: VecDeque::new(),
         });
     }
 
@@ -453,6 +549,55 @@ impl Dce {
             auto_retire: true,
             base_lines: st.lines_written,
             suspend_requested: false,
+            segments: VecDeque::new(),
+        });
+    }
+
+    /// Install a chunk continuing `predecessor`'s sweep if its cursor is
+    /// held and rebinds onto this chunk's core set; fresh build (and a
+    /// fallback count) otherwise.
+    fn install_continuation(&mut self, op: PimMmuOp, mode: DceMode, predecessor: u64) {
+        let mut continued = None;
+        // Taking the cursor unconditionally is right even on a miss: a
+        // continuation names its *immediate* predecessor, so any other
+        // held cursor is stale and can only go staler.
+        if let Some((seq, mut sched)) = self.held_cursor.take() {
+            if seq == predecessor && sched.mode() == mode && sched.continue_into(&op, &self.space) {
+                continued = Some(sched);
+            }
+        }
+        let Some(sched) = continued else {
+            self.stats.continuation_fallbacks += 1;
+            self.install(op, mode, true);
+            return;
+        };
+        self.stats.continuations += 1;
+        let total = sched.total_lines();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tap.record_at_cycle(
+            SpanEvent::new(SpanKind::DeviceStart, 0.0)
+                .seq(seq)
+                .bytes(total * LINE_BYTES),
+            self.clock,
+        );
+        self.job = Some(Job {
+            kind: op.kind,
+            sched,
+            transpose_q: VecDeque::new(),
+            write_ready: VecDeque::new(),
+            inflight_reads: HashMap::new(),
+            inflight_writes: 0,
+            buffer_used: 0,
+            lines_written: 0,
+            total,
+            completed_at: None,
+            seq,
+            started_at: self.clock,
+            auto_retire: true,
+            base_lines: 0,
+            suspend_requested: false,
+            segments: VecDeque::new(),
         });
     }
 
@@ -460,6 +605,7 @@ impl Dce {
         match desc {
             PendingDesc::Fresh(op, mode) => self.install(op, mode, true),
             PendingDesc::Resumed(st) => self.install_resumed(st),
+            PendingDesc::Continuation(op, mode, pred) => self.install_continuation(op, mode, pred),
         }
     }
 
@@ -595,6 +741,52 @@ impl Dce {
             self.stats.writes_issued += 1;
         }
 
+        // Serving-aware chaining (fusion): the moment the active
+        // chunk's sweep is exhausted, a continuation already staged
+        // behind it takes the live cursor — the successor's reads
+        // issue this very cycle, while the predecessor's tail still
+        // drains, so the line stream never sees the chunk boundary.
+        // The predecessor becomes a fused segment whose retirement
+        // record is emitted once its lines land (below); a shape
+        // mismatch leaves the descriptor for the ordinary retirement
+        // path, which falls back to a fresh build.
+        if job.auto_retire
+            && !job.suspend_requested
+            && job.sched.remaining() == 0
+            && matches!(
+                self.pending.front(),
+                Some(PendingDesc::Continuation(_, mode, pred))
+                    if *pred == job.seq && *mode == job.sched.mode()
+            )
+        {
+            let Some(PendingDesc::Continuation(op, mode, pred)) = self.pending.pop_front() else {
+                unreachable!("front matched a continuation above");
+            };
+            if job.sched.continue_into(&op, &self.space) {
+                self.stats.continuations += 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let added = job.sched.total_lines();
+                self.tap.record_at_cycle(
+                    SpanEvent::new(SpanKind::DeviceStart, 0.0)
+                        .seq(seq)
+                        .bytes(added * LINE_BYTES),
+                    now,
+                );
+                job.segments.push_back(SegBoundary {
+                    seq: job.seq,
+                    end_lines: job.total,
+                    started_at: job.started_at,
+                });
+                job.seq = seq;
+                job.started_at = now;
+                job.total += added;
+            } else {
+                self.pending
+                    .push_front(PendingDesc::Continuation(op, mode, pred));
+            }
+        }
+
         // (1)-(3) Issue reads while the data buffer has room. A pending
         // suspension stops read issue cold — the drain is what bounds
         // the preemption latency to the in-flight pipeline depth.
@@ -634,6 +826,33 @@ impl Dce {
             }
         }
 
+        // Fused-segment retirements: a predecessor chunk completes when
+        // the landed-line count crosses its boundary, and its record
+        // surfaces on the completion ring exactly as if it had retired
+        // unfused — same seq, same byte accounting, strictly in order.
+        while let Some(seg) = job.segments.front().copied() {
+            if job.lines_written < seg.end_lines {
+                break;
+            }
+            job.segments.pop_front();
+            let bytes = (seg.end_lines - job.base_lines) * LINE_BYTES;
+            self.tap.record_at_cycle(
+                SpanEvent::new(SpanKind::Retire, 0.0)
+                    .seq(seg.seq)
+                    .bytes(bytes),
+                now,
+            );
+            self.completions.push_back(DceCompletion {
+                seq: seg.seq,
+                started_at: seg.started_at,
+                completed_at: now,
+                bytes,
+                resumable: false,
+            });
+            self.stats.jobs_done += 1;
+            job.base_lines = seg.end_lines;
+        }
+
         // Completion check: every line written and nothing in flight.
         let pipeline_empty = job.inflight_reads.is_empty()
             && job.inflight_writes == 0
@@ -665,6 +884,10 @@ impl Dce {
                 resumable: false,
             });
             self.stats.jobs_done += 1;
+            // Hold the retired sweep cursor for a possible continuation
+            // chunk — exhausted, but its round-robin state is the warm
+            // start the successor re-arms via `continue_into`.
+            self.held_cursor = Some((job.seq, job.sched));
             if let Some(desc) = self.pending.pop_front() {
                 // `clock` is already `now + 1`: the successor's first
                 // busy cycle is the very next engine cycle.
@@ -678,6 +901,15 @@ impl Dce {
             // descriptor — a suspension frees the engine exactly like a
             // retirement.
             let job = self.job.take().expect("suspending job is active");
+            // Every fused boundary is behind the quiesced pipeline: a
+            // segment's reads were fully issued before its successor
+            // fused, so its lines all landed — the drain above already
+            // emitted every boundary record, and the partial record
+            // below covers only the newest segment.
+            debug_assert!(
+                job.segments.is_empty(),
+                "quiesced pipeline implies every fused boundary crossed"
+            );
             let bytes = (job.lines_written - job.base_lines) * LINE_BYTES;
             self.tap.record_at_cycle(
                 SpanEvent::new(SpanKind::Suspend, 0.0)
@@ -1160,6 +1392,119 @@ mod tests {
         // Every line read and written exactly once across activations.
         assert_eq!(dce.stats().lines_done, total_bytes / 64);
         assert_eq!(dce.stats().reads_issued, total_bytes / 64);
+    }
+
+    #[test]
+    fn continuation_chunks_conserve_bytes_and_chain() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim(
+            (0..16).map(|i| (PhysAddr(i * 8192), u32::try_from(i).unwrap())),
+            8192,
+            0,
+        );
+        let chunks = op.chunks(32 << 10, 4096).unwrap();
+        assert!(chunks.len() > 2, "need several chunks to chain");
+        for (i, c) in chunks.iter().enumerate() {
+            if i == 0 {
+                dce.enqueue(c.clone(), DceMode::PimMs).unwrap();
+            } else {
+                // FIFO install order: chunk i's predecessor got seq i-1.
+                let pred = u64::try_from(i).unwrap() - 1;
+                dce.enqueue_continuation(c.clone(), DceMode::PimMs, pred)
+                    .unwrap();
+            }
+        }
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, chunks.len(), None);
+        assert_eq!(recs.len(), chunks.len());
+        assert_eq!(
+            recs.iter().map(|r| r.bytes).sum::<u64>(),
+            op.total_bytes(),
+            "byte conservation across continuation boundaries"
+        );
+        for w in recs.windows(2) {
+            // Fusion lets the successor's reads issue while the
+            // predecessor's tail drains: it starts no later than the
+            // cycle after its predecessor retires — and strictly
+            // earlier whenever the chunks fused.
+            assert!(
+                w[1].started_at <= w[0].completed_at + 1,
+                "device-side chain"
+            );
+            assert!(w[1].completed_at >= w[0].completed_at, "retire in order");
+        }
+        let overlapped = recs
+            .windows(2)
+            .any(|w| w[1].started_at <= w[0].completed_at);
+        assert!(overlapped, "at least one boundary fused mid-flight");
+        assert_eq!(
+            dce.stats().continuations,
+            u64::try_from(chunks.len()).unwrap() - 1
+        );
+        assert_eq!(dce.stats().continuation_fallbacks, 0);
+        let lines = op.total_bytes() / 64;
+        assert_eq!(dce.stats().reads_issued, lines);
+        assert_eq!(dce.stats().writes_issued, lines);
+        assert_eq!(dce.stats().lines_done, lines);
+    }
+
+    #[test]
+    fn continuation_behind_a_suspension_falls_back_cleanly() {
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim(
+            (0..16).map(|i| (PhysAddr(i * 8192), u32::try_from(i).unwrap())),
+            8192,
+            0,
+        );
+        let chunks = op.chunks(64 << 10, 4096).unwrap();
+        assert_eq!(chunks.len(), 2);
+        dce.enqueue(chunks[0].clone(), DceMode::PimMs).unwrap();
+        dce.enqueue_continuation(chunks[1].clone(), DceMode::PimMs, 0)
+            .unwrap();
+        // Recall chunk 0 mid-transfer: its cursor is parked for the
+        // host, not held for the continuation, which must rebuild.
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, 2, Some(20));
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].resumable, "chunk 0 partially retired");
+        assert!(!recs[1].resumable, "chunk 1 ran fresh behind it");
+        assert_eq!(dce.stats().continuations, 0);
+        assert_eq!(dce.stats().continuation_fallbacks, 1);
+        // The recalled remainder resumes and the job still conserves
+        // bytes across all three records.
+        let st = dce.take_suspended(recs[0].seq).unwrap();
+        dce.resume(st).unwrap();
+        let recs2 = drive_until_records(&mut dce, 10, 1_000_000, 1, None);
+        assert_eq!(
+            recs[0].bytes + recs[1].bytes + recs2[0].bytes,
+            op.total_bytes()
+        );
+        let lines = op.total_bytes() / 64;
+        assert_eq!(dce.stats().lines_done, lines);
+        assert_eq!(dce.stats().reads_issued, lines);
+    }
+
+    #[test]
+    fn continuation_on_an_idle_engine_picks_up_the_held_cursor() {
+        // The host-round-trip shape: the predecessor retires, the ring
+        // drains, and only then is the next chunk dispatched. The
+        // cursor is still held device-side, so the continuation is
+        // taken even without deep queueing.
+        let mut dce = setup();
+        let op = PimMmuOp::to_pim(
+            (0..8).map(|i| (PhysAddr(i * 4096), u32::try_from(i).unwrap())),
+            4096,
+            0,
+        );
+        let chunks = op.chunks(16 << 10, 4096).unwrap();
+        assert!(chunks.len() >= 2);
+        dce.enqueue(chunks[0].clone(), DceMode::PimMs).unwrap();
+        let recs = drive_until_records(&mut dce, 10, 1_000_000, 1, None);
+        assert!(!dce.busy(), "engine idle between chunks");
+        dce.enqueue_continuation(chunks[1].clone(), DceMode::PimMs, recs[0].seq)
+            .unwrap();
+        let recs2 = drive_until_records(&mut dce, 10, 1_000_000, 1, None);
+        assert_eq!(recs2.len(), 1);
+        assert_eq!(dce.stats().continuations, 1);
+        assert_eq!(dce.stats().continuation_fallbacks, 0);
     }
 
     #[test]

@@ -57,6 +57,34 @@ impl DriverModel {
         self.submit_fixed_ns + self.submit_per_entry_ns * total_entries as f64
     }
 
+    /// Driver-cost weight, in per-core-entry units, of a descriptor
+    /// that *continues* its predecessor's sweep over the same `cores`
+    /// rather than reloading the whole address buffer: the per-core
+    /// bases advance by a fixed stride, so the driver publishes one
+    /// packed context word per 64 cores instead of one entry per core
+    /// (floored at a single word). This is the same shape as a resume's
+    /// context reload — priced off the core count — but cheaper,
+    /// because no cursor state crosses the bus: the cursor never left
+    /// the device. The result feeds [`doorbell_ns`](Self::doorbell_ns)
+    /// / [`round_trip_ns`](Self::round_trip_ns) in place of the full
+    /// entry count.
+    pub fn continuation_entries(&self, cores: usize) -> usize {
+        cores.div_ceil(64).max(1)
+    }
+
+    /// Cost of a doorbell ring whose batch is *entirely* continuation
+    /// descriptors, ns. There is nothing to marshal — the per-core
+    /// sweep context is already device-side, so the host writes only
+    /// the packed context words
+    /// ([`continuation_entries`](Self::continuation_entries) per
+    /// descriptor) plus the tail-register poke, priced as one more
+    /// entry. The fixed syscall + descriptor-marshalling share of
+    /// [`doorbell_ns`](Self::doorbell_ns) does not apply; a batch with
+    /// even one ordinary descriptor pays the full fixed cost.
+    pub fn continuation_doorbell_ns(&self, total_entries: usize) -> f64 {
+        self.submit_per_entry_ns * (total_entries as f64 + 1.0)
+    }
+
     /// Cost of fielding one completion interrupt, ns — independent of
     /// how many ring completions it announces. A coalesced interrupt
     /// (N completions, one wake-up) therefore costs the same as an
@@ -108,5 +136,29 @@ mod tests {
         assert!(serial - batched == 7.0 * d.submit_fixed_ns);
         // One coalesced interrupt costs a single wake-up.
         assert_eq!(d.coalesced_interrupt_ns(), d.interrupt_ns);
+    }
+
+    #[test]
+    fn continuation_reload_is_cheaper_than_a_full_submission() {
+        let d = DriverModel::default();
+        // 512 cores pack into 8 context words; even one core costs a
+        // word. Strictly cheaper than re-publishing every entry for
+        // anything past 64 cores, and never free.
+        assert_eq!(d.continuation_entries(512), 8);
+        assert_eq!(d.continuation_entries(64), 1);
+        assert_eq!(d.continuation_entries(65), 2);
+        assert_eq!(d.continuation_entries(1), 1);
+        assert!(d.doorbell_ns(d.continuation_entries(512)) < d.doorbell_ns(512));
+    }
+
+    #[test]
+    fn an_all_continuation_doorbell_skips_the_fixed_cost() {
+        let d = DriverModel::default();
+        // 8 context words + the tail poke: 36 ns vs the 1532 ns a
+        // single ordinary 8-entry batch pays. Never free, and always
+        // cheaper than the marshalling path for the same entry count.
+        assert_eq!(d.continuation_doorbell_ns(8), d.submit_per_entry_ns * 9.0);
+        assert!(d.continuation_doorbell_ns(0) > 0.0);
+        assert!(d.continuation_doorbell_ns(64) < d.doorbell_ns(64));
     }
 }

@@ -11,6 +11,7 @@
 use crate::config::DceMode;
 use crate::op::{PimMmuOp, XferKind};
 use pim_mapping::{PhysAddr, PimAddrSpace, LINE_BYTES};
+use std::collections::BTreeMap;
 
 /// One 64 B line transfer: read `src`, (transpose), write `dst`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,13 @@ pub struct LinePair {
 /// folded in (Algorithm 1 lines 8-14).
 #[derive(Debug, Clone, Copy)]
 struct CoreCursor {
+    /// The PIM core this cursor's entry targets.
+    core: u32,
+    /// The PIM channel that core lives on — carried per cursor so
+    /// emitted pairs are tagged correctly in *both* modes (Coarse keeps
+    /// all cores in one logical queue, so the queue's channel field
+    /// cannot stand in for it).
+    channel: u32,
     src_base: PhysAddr,
     dst_base: PhysAddr,
     bytes: u64,
@@ -35,14 +43,14 @@ struct CoreCursor {
 }
 
 impl CoreCursor {
-    fn next_pair(&mut self, pim_channel: u32) -> Option<LinePair> {
+    fn next_pair(&mut self) -> Option<LinePair> {
         if self.offset >= self.bytes {
             return None;
         }
         let p = LinePair {
             src: self.src_base.offset(self.offset),
             dst: self.dst_base.offset(self.offset),
-            pim_channel,
+            pim_channel: self.channel,
         };
         self.offset += LINE_BYTES; // min_access_granularity
         Some(p)
@@ -51,7 +59,6 @@ impl CoreCursor {
 
 #[derive(Debug)]
 struct ChannelQueue {
-    channel: u32,
     cores: Vec<CoreCursor>,
     rr: usize,
     remaining_lines: u64,
@@ -66,7 +73,7 @@ impl ChannelQueue {
         for _ in 0..n {
             let i = self.rr;
             self.rr = (self.rr + 1) % n;
-            if let Some(p) = self.cores[i].next_pair(self.channel) {
+            if let Some(p) = self.cores[i].next_pair() {
                 self.remaining_lines -= 1;
                 return Some(p);
             }
@@ -113,6 +120,8 @@ impl PairScheduler {
                     ra,
                     bg,
                     CoreCursor {
+                        core,
+                        channel: ch,
                         src_base: src,
                         dst_base: dst,
                         bytes: op.size_per_pim,
@@ -139,7 +148,6 @@ impl PairScheduler {
                     if !cores.is_empty() {
                         let remaining_lines = cores.len() as u64 * lines_per_core;
                         channels.push(ChannelQueue {
-                            channel: ch,
                             cores,
                             rr: 0,
                             remaining_lines,
@@ -154,11 +162,10 @@ impl PairScheduler {
                 // the cursor moves on (rr stays put until exhaustion).
                 let cores: Vec<CoreCursor> = keyed.iter().map(|&(.., cur)| cur).collect();
                 let remaining_lines = cores.len() as u64 * lines_per_core;
-                // Tag pairs with their true PIM channel for stats; done in
-                // next() below via coords recomputation is costly, so we
-                // store per-core channel via a parallel vec.
+                // Each cursor carries its own true PIM channel, so pairs
+                // are tagged correctly even though Coarse collapses every
+                // core into this one logical queue.
                 channels.push(ChannelQueue {
-                    channel: 0,
                     cores,
                     rr: 0,
                     remaining_lines,
@@ -212,6 +219,59 @@ impl PairScheduler {
         }
     }
 
+    /// Rebind an exhausted (or mid-flight) schedule onto the *next*
+    /// chunk of the same job, preserving the sweep state — per-channel
+    /// round-robin positions and the channel cursor — instead of
+    /// rebuilding from scratch. This is the serving-aware PIM-MS
+    /// continuation: successive chunks of one op then emit the exact
+    /// per-channel visitation order the unchunked op would have.
+    ///
+    /// Succeeds only when `op` addresses exactly the core set this
+    /// schedule was built over (the shape [`PimMmuOp::chunks`] produces
+    /// for chunks of one group). On success every cursor's byte range is
+    /// advanced to `op`'s entries and the line accounting resets for the
+    /// new chunk; on mismatch the schedule is left untouched and the
+    /// caller must fall back to [`PairScheduler::new`]. Returns whether
+    /// the continuation was taken.
+    pub fn continue_into(&mut self, op: &PimMmuOp, space: &PimAddrSpace) -> bool {
+        let mut by_core: BTreeMap<u32, PhysAddr> = BTreeMap::new();
+        for &(dram_addr, core) in &op.entries {
+            if by_core.insert(core, dram_addr).is_some() {
+                return false;
+            }
+        }
+        if by_core.len() != self.core_count() {
+            return false;
+        }
+        // Validate the full core-set match before mutating anything.
+        for q in &self.channels {
+            for cur in &q.cores {
+                if !by_core.contains_key(&cur.core) {
+                    return false;
+                }
+            }
+        }
+        let lines_per_core = op.size_per_pim / LINE_BYTES;
+        for q in &mut self.channels {
+            for cur in &mut q.cores {
+                let dram_addr = by_core[&cur.core];
+                let pim_addr = space.core_phys(cur.core, op.heap_offset);
+                let (src, dst) = match op.kind {
+                    XferKind::DramToPim => (dram_addr, pim_addr),
+                    XferKind::PimToDram => (pim_addr, dram_addr),
+                };
+                cur.src_base = src;
+                cur.dst_base = dst;
+                cur.bytes = op.size_per_pim;
+                cur.offset = 0;
+            }
+            q.remaining_lines = q.cores.len() as u64 * lines_per_core;
+        }
+        self.total_lines = op.entries.len() as u64 * lines_per_core;
+        self.yielded = 0;
+        true
+    }
+
     /// Yield the next pair.
     ///
     /// * [`DceMode::PimMs`]: round-robin across PIM channels (line 28's
@@ -237,7 +297,7 @@ impl PairScheduler {
                 let ncores = q.cores.len();
                 for _ in 0..ncores {
                     let i = q.rr;
-                    if let Some(p) = q.cores[i].next_pair(0) {
+                    if let Some(p) = q.cores[i].next_pair() {
                         q.remaining_lines -= 1;
                         self.yielded += 1;
                         return Some(p);
@@ -342,6 +402,64 @@ mod tests {
         );
     }
 
+    #[test]
+    fn coarse_tags_pairs_with_true_channel() {
+        let s = space();
+        // Cores spread over all four channels, scrambled descriptor
+        // order, so a hardcoded channel tag cannot pass by accident.
+        let cores = [
+            s.core_id(2, 0, 1, 0),
+            s.core_id(0, 1, 0, 1),
+            s.core_id(3, 0, 0, 0),
+            s.core_id(1, 1, 1, 1),
+        ];
+        for kind in [XferKind::DramToPim, XferKind::PimToDram] {
+            let o = PimMmuOp::try_new(
+                kind,
+                cores.iter().map(|&c| (PhysAddr(c as u64 * 256), c)),
+                256,
+                0,
+            )
+            .unwrap();
+            let mut sched = PairScheduler::new(&o, &s, DceMode::Coarse);
+            let mut seen_channels = HashSet::new();
+            while let Some(p) = sched.next_pair() {
+                // The PIM-side address is dst for DRAM→PIM, src for
+                // PIM→DRAM; its channel coordinate is the true tag.
+                let pim_side = match kind {
+                    XferKind::DramToPim => p.dst,
+                    XferKind::PimToDram => p.src,
+                };
+                let (core, _) = s.locate(pim_side);
+                let (ch, ..) = s.core_coords(core);
+                assert_eq!(p.pim_channel, ch, "pair {p:?} mislabeled");
+                seen_channels.insert(p.pim_channel);
+            }
+            assert_eq!(seen_channels.len(), 4, "all four channels must appear");
+        }
+    }
+
+    #[test]
+    fn continuation_rejects_a_different_core_set() {
+        let s = space();
+        let mut sched = PairScheduler::new(&op(vec![0, 1, 2], 128), &s, DceMode::PimMs);
+        while sched.next_pair().is_some() {}
+        // Disjoint core set (a chunk from another group): refused, and
+        // the schedule is left exhausted rather than half-rebound.
+        let other = op(vec![3, 4, 5], 128);
+        assert!(!sched.continue_into(&other, &s));
+        assert_eq!(sched.remaining(), 0);
+        // Same cores: taken, and the full chunk re-emits.
+        let next = op(vec![0, 1, 2], 128);
+        assert!(sched.continue_into(&next, &s));
+        assert_eq!(sched.remaining(), 6);
+        let mut n = 0;
+        while sched.next_pair().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
     /// `n` distinct PIM cores chosen pseudo-randomly from `seed` (odd
     /// stride modulo the 512-core space, so all picks are distinct).
     fn distinct_cores(seed: u64, n: usize) -> Vec<u32> {
@@ -417,6 +535,52 @@ mod tests {
                     .collect();
                 prop_assert_eq!(seen, expected, "channel {} order diverged", ch);
             }
+        }
+
+        #[test]
+        fn continuation_preserves_the_unchunked_per_channel_order(
+            seed in 0u64..500,
+            n_cores in 2usize..48,
+            lines_per_core in 2u64..8,
+            chunk_lines in 1u64..5,
+        ) {
+            let s = space();
+            let cores = distinct_cores(seed, n_cores);
+            let o = op(cores, lines_per_core * 64);
+            // Unchunked reference sweep.
+            let mut reference = PairScheduler::new(&o, &s, DceMode::PimMs);
+            let mut want: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+            while let Some(p) = reference.next_pair() {
+                want.entry(p.pim_channel).or_default().push((p.src.0, p.dst.0));
+            }
+            // Chunked sweep, each chunk continuing the predecessor's
+            // scheduler instead of rebuilding.
+            let chunks = o
+                .chunks(chunk_lines * 64 * n_cores as u64, usize::MAX)
+                .unwrap();
+            let mut sched: Option<PairScheduler> = None;
+            let mut got: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+            let mut total = 0u64;
+            for c in &chunks {
+                let continued = match sched.as_mut() {
+                    Some(sch) => sch.continue_into(c, &s),
+                    None => false,
+                };
+                prop_assert!(sched.is_none() || continued, "same-group chunk refused");
+                if !continued {
+                    sched = Some(PairScheduler::new(c, &s, DceMode::PimMs));
+                }
+                let sch = sched.as_mut().unwrap();
+                while let Some(p) = sch.next_pair() {
+                    got.entry(p.pim_channel).or_default().push((p.src.0, p.dst.0));
+                    total += 64;
+                }
+            }
+            // Byte conservation across arbitrary chunk boundaries, and
+            // the per-channel visitation order is *identical* to the
+            // unchunked sweep — the continuation truly continues.
+            prop_assert_eq!(total, o.total_bytes());
+            prop_assert_eq!(got, want);
         }
 
         #[test]

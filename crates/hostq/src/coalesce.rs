@@ -23,6 +23,14 @@ pub struct InterruptCoalescer {
     timeout_ns: f64,
     pending: u32,
     armed_at_ns: Option<f64>,
+    /// When the pending count first *reached* the threshold — the
+    /// instant the count condition tripped, recorded so a later
+    /// [`fire`](Self::fire) can attribute the cause to whichever
+    /// condition actually went due first rather than re-checking the
+    /// count at fire time (a completion landing on the same edge the
+    /// timer expires must not flip a timer-bound delivery to
+    /// [`FireCause::Count`]).
+    count_due_at_ns: Option<f64>,
     fired_on_count: u64,
     fired_on_timer: u64,
 }
@@ -42,6 +50,7 @@ impl InterruptCoalescer {
             timeout_ns,
             pending: 0,
             armed_at_ns: None,
+            count_due_at_ns: None,
             fired_on_count: 0,
             fired_on_timer: 0,
         }
@@ -52,6 +61,9 @@ impl InterruptCoalescer {
         self.pending += 1;
         if self.armed_at_ns.is_none() {
             self.armed_at_ns = Some(done_ns);
+        }
+        if self.pending == self.threshold {
+            self.count_due_at_ns = Some(done_ns);
         }
     }
 
@@ -79,7 +91,19 @@ impl InterruptCoalescer {
     /// Panics if nothing is pending.
     pub fn fire(&mut self, _now_ns: f64) -> (u32, FireCause) {
         assert!(self.pending > 0, "no pending completions to announce");
-        let cause = if self.pending >= self.threshold {
+        // Attribute the cause to the condition that went due *first*,
+        // not whichever happens to hold at fire time: with coalescing
+        // enabled, a batch whose count crossing landed only at (or
+        // after) the timer deadline was a timer-bound wait. Threshold 1
+        // is coalescing disabled — always a count delivery.
+        let deadline = self.armed_at_ns.map(|armed| armed + self.timeout_ns);
+        let count_won = self.threshold == 1
+            || match (self.count_due_at_ns, deadline) {
+                (Some(count_at), Some(deadline)) => count_at < deadline,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+        let cause = if count_won {
             self.fired_on_count += 1;
             FireCause::Count
         } else {
@@ -89,6 +113,7 @@ impl InterruptCoalescer {
         let n = self.pending;
         self.pending = 0;
         self.armed_at_ns = None;
+        self.count_due_at_ns = None;
         (n, cause)
     }
 
@@ -141,6 +166,40 @@ mod tests {
         c.on_completion(1_000.0);
         assert!(!c.due(1_400.0));
         assert!(c.due(1_500.0));
+    }
+
+    #[test]
+    fn same_edge_race_is_a_timer_delivery() {
+        // Regression: a completion landing on the exact edge the timer
+        // expires used to flip the attribution to Count because `fire`
+        // re-checked `pending >= threshold` at fire time. The timer
+        // went due first (the crossing was not strictly earlier), so
+        // this is a timer-bound delivery.
+        let mut c = InterruptCoalescer::new(2, 500.0);
+        c.on_completion(100.0); // armed at 100, deadline 600
+        c.on_completion(600.0); // threshold crossed *on* the deadline
+        assert!(c.due(600.0));
+        assert_eq!(c.fire(600.0), (2, FireCause::Timer));
+        assert_eq!(c.fired_on_timer(), 1);
+        assert_eq!(c.fired_on_count(), 0);
+    }
+
+    #[test]
+    fn late_fire_still_attributes_an_early_crossing_to_count() {
+        // The poll that delivers the batch may run well after both
+        // conditions went due; attribution follows whichever tripped
+        // first, not the state at fire time.
+        let mut c = InterruptCoalescer::new(2, 500.0);
+        c.on_completion(100.0);
+        c.on_completion(300.0); // crossed at 300, deadline 600
+        assert_eq!(c.fire(700.0), (2, FireCause::Count));
+        // And a crossing that only happened after the deadline is a
+        // timer delivery even though the count holds when fired.
+        c.on_completion(1_000.0); // deadline 1500
+        c.on_completion(1_600.0);
+        assert_eq!(c.fire(1_600.0), (2, FireCause::Timer));
+        assert_eq!(c.fired_on_count(), 1);
+        assert_eq!(c.fired_on_timer(), 1);
     }
 
     #[test]

@@ -40,11 +40,7 @@
 //! use pim_mmu::DriverModel;
 //!
 //! let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
-//! let d = Descriptor {
-//!     tag: DescriptorTag { tenant: 0, job: 0 },
-//!     entries: 64,
-//!     bytes: 64 << 10,
-//! };
+//! let d = Descriptor::new(DescriptorTag { tenant: 0, job: 0 }, 64, 64 << 10);
 //! qp.stage(d, 0.0, 0).unwrap();
 //! qp.stage(d, 0.0, 0).unwrap();
 //! // One MMIO write publishes both descriptors.

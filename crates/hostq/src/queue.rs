@@ -28,6 +28,45 @@ pub struct Descriptor {
     pub entries: usize,
     /// Payload bytes.
     pub bytes: u64,
+    /// Ring sequence number of the descriptor whose channel sweep this
+    /// one *continues* (`None` for an ordinary descriptor). Declaring
+    /// the predecessor lets the device hand the sweep cursor straight
+    /// to this chunk at install time — no host round trip — and lets
+    /// the host price the doorbell as a context reload instead of a
+    /// full address-buffer publish.
+    pub predecessor: Option<u64>,
+    /// Bit `c` set when the descriptor's transfer sweeps PIM channel
+    /// `c` — the footprint a channel-affinity placement reads to keep
+    /// co-scheduled chunks on one shard off each other's channels.
+    /// Zero when the dispatcher doesn't track affinity.
+    pub channel_mask: u64,
+}
+
+impl Descriptor {
+    /// An ordinary descriptor: no predecessor, no channel footprint.
+    pub fn new(tag: DescriptorTag, entries: usize, bytes: u64) -> Self {
+        Descriptor {
+            tag,
+            entries,
+            bytes,
+            predecessor: None,
+            channel_mask: 0,
+        }
+    }
+
+    /// Declare this descriptor a continuation of ring sequence `seq`.
+    #[must_use]
+    pub fn continuation_of(mut self, seq: u64) -> Self {
+        self.predecessor = Some(seq);
+        self
+    }
+
+    /// Attach the PIM-channel footprint of the descriptor's sweep.
+    #[must_use]
+    pub fn with_channel_mask(mut self, mask: u64) -> Self {
+        self.channel_mask = mask;
+        self
+    }
 }
 
 /// A descriptor after its doorbell rang: in flight device-side.
@@ -68,6 +107,12 @@ pub struct RingCompletion {
     /// suspension recalled the descriptor's remainder); the host
     /// re-submits the rest as a resumed transfer.
     pub resumable: bool,
+    /// `true` when the descriptor retired straight into a posted
+    /// chained successor: the device handed the sweep cursor over with
+    /// no host round trip, so this completion raises no interrupt — the
+    /// ring poller reaps it ([`QueuePair::reap_chained`]) at the next
+    /// poll edge.
+    pub chained: bool,
 }
 
 /// Ring errors surfaced to the poster.
@@ -105,6 +150,10 @@ pub struct HostQueueStats {
     /// Descriptors recalled by an engine-side suspension (partial
     /// retirements; their remainders re-enter the host queues).
     pub recalled: u64,
+    /// Completions that never woke the host: the chained successor was
+    /// already posted, so the device handed the sweep cursor over and
+    /// the completion rode the chain tail's interrupt.
+    pub chain_silent: u64,
     /// Largest device-side in-flight depth observed at a doorbell.
     pub max_in_flight: usize,
     /// Sum of in-flight depths sampled at each doorbell (mean =
@@ -123,6 +172,7 @@ impl Counters for HostQueueStats {
         out.push(prefix, "fired_on_count", self.fired_on_count as f64);
         out.push(prefix, "fired_on_timer", self.fired_on_timer as f64);
         out.push(prefix, "recalled", self.recalled as f64);
+        out.push(prefix, "chain_silent", self.chain_silent as f64);
         out.push(prefix, "max_in_flight", self.max_in_flight as f64);
         out.push(prefix, "inflight_sum", self.inflight_sum as f64);
         out.push(prefix, "polls", self.polls as f64);
@@ -143,6 +193,7 @@ impl HostQueueStats {
         self.fired_on_count += other.fired_on_count;
         self.fired_on_timer += other.fired_on_timer;
         self.recalled += other.recalled;
+        self.chain_silent += other.chain_silent;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
         self.inflight_sum += other.inflight_sum;
         self.polls += other.polls;
@@ -274,18 +325,27 @@ impl QueuePair {
 
     /// Publish every staged descriptor with one MMIO doorbell write;
     /// returns the driver-side cost of the write (`None` when nothing is
-    /// staged). The fixed MMIO cost is paid once for the whole batch.
+    /// staged). The fixed MMIO cost is paid once for the whole batch —
+    /// unless *every* staged descriptor continues a predecessor, in
+    /// which case there are no address buffers to marshal and the ring
+    /// costs only the packed context words
+    /// ([`DriverModel::continuation_doorbell_ns`]).
     pub fn ring_doorbell(&mut self, driver: &DriverModel) -> Option<f64> {
         if self.staged.is_empty() {
             return None;
         }
         let total_entries: usize = self.staged.iter().map(|p| p.desc.entries).sum();
+        let all_continuations = self.staged.iter().all(|p| p.desc.predecessor.is_some());
         self.stats.posted += self.staged.len() as u64;
         self.stats.doorbells += 1;
         self.sq.extend(self.staged.drain(..));
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.sq.len());
         self.stats.inflight_sum += self.sq.len() as u64;
-        Some(driver.doorbell_ns(total_entries))
+        Some(if all_continuations {
+            driver.continuation_doorbell_ns(total_entries)
+        } else {
+            driver.doorbell_ns(total_entries)
+        })
     }
 
     /// The device retired the ring's oldest descriptor at engine cycle
@@ -296,6 +356,12 @@ impl QueuePair {
     /// is below the posted byte count and the host owns the remainder.
     /// Either way the slot follows the normal completion path — it
     /// frees when the batch's interrupt is fielded.
+    ///
+    /// A full retirement whose *chained successor* is already posted is
+    /// chain-silent: the device hands the sweep cursor straight to the
+    /// successor with no host round trip, so this completion does not
+    /// arm the coalescer — it is announced by the chain tail's
+    /// interrupt. Recalls always wake the host; it owns the remainder.
     ///
     /// # Panics
     ///
@@ -325,6 +391,7 @@ impl QueuePair {
             resumable || bytes_moved == posted.desc.bytes,
             "a full retirement moves every posted byte"
         );
+        let chained = !resumable && self.sq.iter().any(|p| p.desc.predecessor == Some(seq));
         self.cq.push_back(RingCompletion {
             posted,
             started_cycle,
@@ -332,12 +399,40 @@ impl QueuePair {
             done_ns,
             bytes_moved,
             resumable,
+            chained,
         });
-        self.coalescer.on_completion(done_ns);
+        if chained {
+            // The engine retires in order, so the last completion of
+            // any busy stretch has no posted successor and always arms
+            // the coalescer — silent entries can never strand the ring.
+            self.stats.chain_silent += 1;
+        } else {
+            self.coalescer.on_completion(done_ns);
+        }
         self.stats.completed += 1;
         if resumable {
             self.stats.recalled += 1;
         }
+    }
+
+    /// The sequence number the *next* [`stage`](Self::stage) will
+    /// assign. A dispatcher staging a continuation checks that its
+    /// predecessor's seq is exactly one behind — any interleaved
+    /// descriptor would invalidate the held cursor device-side, so the
+    /// continuation claim would only waste a fallback.
+    pub fn peek_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// OR of the channel masks of every descriptor staged or in flight
+    /// — the set of PIM channels this shard's accepted work is (or will
+    /// shortly be) sweeping. Completed-but-unfielded descriptors are
+    /// excluded: their sweeps are done.
+    pub fn channel_footprint(&self) -> u64 {
+        self.staged
+            .iter()
+            .chain(self.sq.iter())
+            .fold(0, |m, p| m | p.desc.channel_mask)
     }
 
     /// The oldest posted-and-unretired descriptor — the one the engine
@@ -362,8 +457,22 @@ impl QueuePair {
         self.coalescer.due(now_ns)
     }
 
+    /// Reap the chain-silent prefix of the completion ring without an
+    /// interrupt: a completion that handed its sweep cursor to a posted
+    /// successor raised no wake-up, so the ring poller collects it (and
+    /// frees its slot) at the next poll edge for free. Stops at the
+    /// first completion that armed the coalescer, so interrupt batches
+    /// stay in retirement order behind it. Returns an empty vector on
+    /// the ordinary (no-continuation) path.
+    pub fn reap_chained(&mut self) -> Vec<RingCompletion> {
+        let n = self.cq.iter().take_while(|c| c.chained).count();
+        self.cq.drain(..n).collect()
+    }
+
     /// Field the pending interrupt: drain the completion ring (freeing
     /// its slots) and return the completed batch in retirement order.
+    /// The batch may hold more entries than the coalescer announced —
+    /// chain-silent completions ride along without having armed it.
     ///
     /// # Panics
     ///
@@ -371,7 +480,7 @@ impl QueuePair {
     /// [`interrupt_due`](Self::interrupt_due)).
     pub fn field_interrupt(&mut self, now_ns: f64) -> Vec<RingCompletion> {
         let (n, cause) = self.coalescer.fire(now_ns);
-        debug_assert_eq!(n as usize, self.cq.len());
+        debug_assert!(n as usize <= self.cq.len());
         self.stats.interrupts += 1;
         match cause {
             FireCause::Count => self.stats.fired_on_count += 1,
@@ -399,11 +508,122 @@ mod tests {
     use super::*;
 
     fn desc(bytes: u64) -> Descriptor {
-        Descriptor {
-            tag: DescriptorTag { tenant: 0, job: 0 },
-            entries: 4,
-            bytes,
-        }
+        Descriptor::new(DescriptorTag { tenant: 0, job: 0 }, 4, bytes)
+    }
+
+    #[test]
+    fn continuation_metadata_rides_the_ring() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
+        assert_eq!(qp.peek_seq(), 0);
+        qp.stage(desc(64).with_channel_mask(0b0011), 0.0, 0)
+            .unwrap();
+        assert_eq!(qp.peek_seq(), 1);
+        let d = desc(64).continuation_of(0).with_channel_mask(0b0100);
+        let seq = qp.stage(d, 0.0, 0).unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(qp.channel_footprint(), 0b0111, "staged masks OR together");
+        qp.ring_doorbell(&DriverModel::default());
+        assert_eq!(
+            qp.channel_footprint(),
+            0b0111,
+            "in-flight masks still count"
+        );
+        qp.on_device_completion(0, 0, 10, 3.125, 64, false);
+        qp.on_device_completion(1, 11, 20, 6.25, 64, false);
+        assert_eq!(
+            qp.channel_footprint(),
+            0,
+            "completed sweeps leave the footprint"
+        );
+        let batch = qp.field_interrupt(6.25);
+        assert_eq!(batch[0].posted.desc.predecessor, None);
+        assert_eq!(batch[1].posted.desc.predecessor, Some(0));
+    }
+
+    #[test]
+    fn chained_completions_ride_the_tail_interrupt() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        qp.stage(desc(64).continuation_of(0), 0.0, 0).unwrap();
+        qp.stage(desc(64).continuation_of(1), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        // Seq 0 and 1 complete with their successors still posted: the
+        // device hands the cursor over without waking the host.
+        qp.on_device_completion(0, 0, 10, 3.125, 64, false);
+        assert!(!qp.interrupt_due(3.125), "chained into posted seq 1");
+        qp.on_device_completion(1, 11, 20, 6.25, 64, false);
+        assert!(!qp.interrupt_due(6.25), "chained into posted seq 2");
+        // Seq 2 is the chain tail — nothing posted behind it — so its
+        // interrupt announces the whole chain.
+        qp.on_device_completion(2, 21, 30, 9.375, 64, false);
+        assert!(qp.interrupt_due(9.375));
+        let batch = qp.field_interrupt(9.375);
+        assert_eq!(
+            batch.iter().map(|c| c.posted.seq).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(qp.stats().interrupts, 1);
+        assert_eq!(qp.stats().chain_silent, 2);
+        assert_eq!(qp.free_slots(), 4, "the tail interrupt freed every slot");
+    }
+
+    #[test]
+    fn the_poller_reaps_silent_completions_between_interrupts() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(3));
+        qp.stage(desc(64), 0.0, 0).unwrap();
+        qp.stage(desc(64).continuation_of(0), 0.0, 0).unwrap();
+        qp.stage(desc(64).continuation_of(1), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        assert!(qp.reap_chained().is_empty(), "nothing completed yet");
+        qp.on_device_completion(0, 0, 10, 3.125, 64, false);
+        // The poller collects the silent completion at the next edge:
+        // its slot frees with no interrupt, keeping the ring fed.
+        let reaped = qp.reap_chained();
+        assert_eq!(reaped.len(), 1);
+        assert!(reaped[0].chained);
+        assert_eq!(qp.free_slots(), 1);
+        assert_eq!(qp.stats().interrupts, 0);
+        // The chain tail still arrives by interrupt.
+        qp.on_device_completion(1, 11, 20, 6.25, 64, false);
+        qp.on_device_completion(2, 21, 30, 9.375, 64, false);
+        assert!(qp.interrupt_due(9.375));
+        let batch = qp.field_interrupt(9.375);
+        assert_eq!(batch.len(), 2, "one silent rider plus the tail");
+        assert!(!batch[1].chained);
+        assert_eq!(qp.free_slots(), 3);
+    }
+
+    #[test]
+    fn a_recall_always_wakes_the_host_even_mid_chain() {
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
+        qp.stage(desc(4096), 0.0, 0).unwrap();
+        qp.stage(desc(4096).continuation_of(0), 0.0, 0).unwrap();
+        qp.ring_doorbell(&DriverModel::default());
+        // The engine recalls seq 0 mid-transfer; even with the chained
+        // successor posted, the host owns the remainder and must wake.
+        qp.on_device_completion(0, 0, 50, 15.6, 1024, true);
+        assert!(qp.interrupt_due(15.6));
+        assert_eq!(qp.stats().chain_silent, 0);
+        let batch = qp.field_interrupt(16.0);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].resumable);
+    }
+
+    #[test]
+    fn all_continuation_batches_ring_without_the_fixed_cost() {
+        let driver = DriverModel::default();
+        let mut qp = QueuePair::new(HostQueueConfig::with_depth(4));
+        // A batch made purely of chained descriptors publishes only
+        // packed context words — no fixed marshalling share.
+        qp.stage(desc(64).continuation_of(0), 0.0, 0).unwrap();
+        qp.stage(desc(64).continuation_of(1), 0.0, 0).unwrap();
+        let cost = qp.ring_doorbell(&driver).unwrap();
+        assert_eq!(cost, driver.continuation_doorbell_ns(8));
+        assert!(cost < driver.doorbell_ns(8));
+        // One ordinary descriptor in the batch restores full pricing.
+        qp.stage(desc(64).continuation_of(2), 1.0, 10).unwrap();
+        qp.stage(desc(64), 1.0, 10).unwrap();
+        assert_eq!(qp.ring_doorbell(&driver).unwrap(), driver.doorbell_ns(8));
     }
 
     #[test]

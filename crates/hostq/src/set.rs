@@ -102,11 +102,7 @@ mod tests {
     use pim_mmu::DriverModel;
 
     fn desc(bytes: u64) -> Descriptor {
-        Descriptor {
-            tag: DescriptorTag { tenant: 0, job: 0 },
-            entries: 4,
-            bytes,
-        }
+        Descriptor::new(DescriptorTag { tenant: 0, job: 0 }, 4, bytes)
     }
 
     #[test]
@@ -160,6 +156,7 @@ mod tests {
             fired_on_count: 1,
             fired_on_timer: 0,
             recalled: 0,
+            chain_silent: 0,
             max_in_flight: 2,
             inflight_sum: 4,
             polls: 10,
@@ -172,6 +169,7 @@ mod tests {
             fired_on_count: 0,
             fired_on_timer: 1,
             recalled: 1,
+            chain_silent: 0,
             max_in_flight: 5,
             inflight_sum: 5,
             polls: 10,

@@ -27,14 +27,14 @@ fn drive(cfg: HostQueueConfig, steps: &[u8], entries: &[usize]) -> (Vec<String>,
         cycle += 320;
         match step % 3 {
             0 => {
-                let d = Descriptor {
-                    tag: DescriptorTag {
+                let d = Descriptor::new(
+                    DescriptorTag {
                         tenant: i % 3,
                         job: i as u64,
                     },
-                    entries: entries[i % entries.len()],
-                    bytes: 64 * (1 + (i as u64 % 8)),
-                };
+                    entries[i % entries.len()],
+                    64 * (1 + (i as u64 % 8)),
+                );
                 match qp.stage(d, now_ns, cycle) {
                     Ok(seq) => {
                         let cost = qp.ring_doorbell(&driver).expect("staged one");

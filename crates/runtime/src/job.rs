@@ -52,6 +52,27 @@ impl JobSpec {
     }
 }
 
+/// Where a job's most recently dispatched *fresh* chunk went — the
+/// anchor a sweep continuation chains from. A follow-up chunk may claim
+/// the predecessor's held scheduler cursor only when it lands on the
+/// same shard, its ring seq is exactly one past the anchor's (no other
+/// descriptor interleaved on that ring), and it targets the identical
+/// core set (`op.chunks` preserves entry order, so first core + entry
+/// count pin the set exactly). A recall invalidates the anchor: the
+/// suspended cursor went back to the host, not into the engine's held
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkAnchor {
+    /// Shard whose ring holds the predecessor.
+    pub shard: usize,
+    /// The predecessor's ring sequence number.
+    pub seq: u64,
+    /// First PIM core the predecessor's entries target.
+    pub first_core: u32,
+    /// Number of per-core entries the predecessor named.
+    pub n_entries: usize,
+}
+
 /// A queued job: its spec plus scheduling state. The pending chunk list
 /// is materialized at submission, so dispatch is a pop.
 #[derive(Debug)]
@@ -78,6 +99,10 @@ pub struct Job {
     pub first_dispatch_ns: Option<f64>,
     /// Bytes whose chunks have completed.
     pub bytes_done: u64,
+    /// The sweep-continuation anchor of the last fresh chunk dispatched
+    /// (`None` until the first dispatch, and cleared whenever a recall
+    /// or a resume breaks the device-side chain).
+    pub anchor: Option<ChunkAnchor>,
 }
 
 impl Job {
@@ -106,6 +131,7 @@ impl Job {
             resume: VecDeque::new(),
             first_dispatch_ns: None,
             bytes_done: 0,
+            anchor: None,
         })
     }
 

@@ -71,7 +71,7 @@ pub mod serving;
 pub mod testkit;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
-pub use job::{Job, JobRecord, JobSpec};
+pub use job::{ChunkAnchor, Job, JobRecord, JobSpec};
 pub use metrics::{
     jain_index, jain_satisfaction, HostIfaceStats, LogHistogram, TenantStats, HIST_BUCKETS,
 };

@@ -220,6 +220,7 @@ mod tests {
             fired_on_count: 3,
             fired_on_timer: 2,
             recalled: 1,
+            chain_silent: 0,
             max_in_flight: 3,
             inflight_sum: 8,
             polls: 100,

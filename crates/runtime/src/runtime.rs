@@ -1,6 +1,6 @@
 //! The transfer-queue runtime: per-tenant submission queues fed by
 //! arrival generators, a pluggable QoS scheduler posting chunked
-//! [`PimMmuOp`](pim_mmu::PimMmuOp)s through a doorbell/queue-pair host
+//! [`pim_mmu::PimMmuOp`]s through a doorbell/queue-pair host
 //! interface ([`pim_hostq::QueuePair`]), and the completion path
 //! routing ring retirements back to the owning tenant through the
 //! driver latency model.
@@ -32,12 +32,12 @@
 //! in `tests/hostq_regression.rs`).
 
 use crate::arrival::{ArrivalGen, ArrivalProcess, JobSizer, Rng};
-use crate::job::{Job, JobRecord, JobSpec};
+use crate::job::{ChunkAnchor, Job, JobRecord, JobSpec};
 use crate::metrics::{jain_index, jain_satisfaction, HostIfaceStats, TenantStats};
 use crate::policy::{HeadView, QueuePolicy, QueueView};
 use pim_hostq::{Descriptor, DescriptorTag, HostQueueConfig, QueuePairSet};
-use pim_mapping::PhysAddr;
-use pim_mmu::{Dce, DceMode, DriverModel, SuspendedTransfer, XferKind};
+use pim_mapping::{PhysAddr, PimAddrSpace};
+use pim_mmu::{Dce, DceMode, DriverModel, PimMmuOp, SuspendedTransfer, XferKind};
 use pim_sim::{
     ticks_to_ns, Clock, Output, StatsSnapshot, Tickable, HOST_BUFFER_BASE, TICKS_PER_NS,
 };
@@ -246,6 +246,23 @@ pub struct RuntimeConfig {
     /// time-series sampler cadence. Disabled by default — the goldens
     /// and every historical configuration are unperturbed.
     pub telemetry: TelemetryConfig,
+    /// Serving-aware PIM-MS: when a job's next fresh chunk is staged
+    /// directly behind its predecessor on the same ring (seq exactly
+    /// one past, same core set), declare it a continuation — the engine
+    /// hands the retired chunk's channel-sweep cursor straight to it
+    /// and the driver prices the doorbell as a context reload
+    /// ([`DriverModel::continuation_entries`]) instead of a full
+    /// address-buffer publish. Off by default: with the flag off every
+    /// chunk rebuilds its schedule, bit-identical to the historical
+    /// dispatch path (the golden anchor).
+    pub sweep_continuation: bool,
+    /// Cross-job channel-affinity hint for
+    /// [`Placement::LeastLoaded`]: each staged descriptor carries its
+    /// sweep's PIM-channel footprint, and occupancy ties between
+    /// eligible shards break toward the ring whose outstanding work
+    /// overlaps the fewest of the chunk's channels. Off by default (no
+    /// footprints tracked, placement unchanged).
+    pub channel_affinity: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -266,6 +283,8 @@ impl Default for RuntimeConfig {
             preemption: Preemption::Off,
             core_stride: 0,
             telemetry: TelemetryConfig::default(),
+            sweep_continuation: false,
+            channel_affinity: false,
         }
     }
 }
@@ -323,6 +342,14 @@ pub struct Runtime {
     /// Chunk-completion bytes credited per shard (goodput attribution
     /// for the time-series sampler).
     serviced_by_shard: Vec<u64>,
+    /// Fresh chunks staged as sweep continuations (descriptor declared
+    /// a predecessor). Whether each claim was honored or fell back to a
+    /// rebuild is the engine's call — see `DceStats::continuations` /
+    /// `continuation_fallbacks`.
+    continuations_staged: u64,
+    /// Occupancy-tied placement decisions the channel-affinity hint
+    /// steered away from the plain lowest-shard-id tie-break.
+    affinity_steers: u64,
 }
 
 impl Runtime {
@@ -394,6 +421,8 @@ impl Runtime {
             chunks_dispatched: 0,
             recorder: FlightRecorder::new(cfg.telemetry),
             serviced_by_shard: vec![0; cfg.shards],
+            continuations_staged: 0,
+            affinity_steers: 0,
         }
     }
 
@@ -466,6 +495,20 @@ impl Runtime {
     /// Total chunks dispatched into the engine.
     pub fn chunks_dispatched(&self) -> u64 {
         self.chunks_dispatched
+    }
+
+    /// Fresh chunks staged as sweep continuations of their predecessor
+    /// (0 unless [`RuntimeConfig::sweep_continuation`] is on). The
+    /// engine-side honored/fallback split is on each shard's
+    /// `DceStats`.
+    pub fn continuations_staged(&self) -> u64 {
+        self.continuations_staged
+    }
+
+    /// Occupancy-tied placements the channel-affinity hint steered (0
+    /// unless [`RuntimeConfig::channel_affinity`] is on).
+    pub fn affinity_steers(&self) -> u64 {
+        self.affinity_steers
     }
 
     /// Dispatch opportunities with backlog where the policy declined —
@@ -784,6 +827,16 @@ impl Runtime {
             );
         }
 
+        // Chain-silent completions first: a chunk that handed its sweep
+        // cursor to a posted successor raised no interrupt, so the ring
+        // poller reaps it here for free — its slot opens without the
+        // driver going busy, which is what keeps a deep ring of chained
+        // small chunks fed at engine rate.
+        let period_ps = dce.config().period_ps();
+        for c in self.qps.shard_mut(shard).reap_chained() {
+            self.settle_completion(shard, period_ps, c, now_ns, now_ns);
+        }
+
         let qp = self.qps.shard_mut(shard);
         if !qp.interrupt_due(now_ns) {
             return;
@@ -800,95 +853,119 @@ impl Runtime {
             self.driver_ready_ns[shard].max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
         self.recorder
             .record(SpanEvent::new(SpanKind::Interrupt, now_ns).shard(shard));
+        let announce_ns = now_ns + self.cfg.driver.coalesced_interrupt_ns();
         for c in batch {
-            let tenant_idx = c.posted.desc.tag.tenant;
-            let engine_ns = (c.done_cycle - c.posted.posted_cycle) as f64
-                * dce.config().period_ps() as f64
-                / 1000.0;
-            // The harness's accounting, per chunk: device residency plus
-            // the driver round trip (submit + completion interrupt) —
-            // but never earlier than the interrupt that announces it.
-            let finish_ns = (c.posted.posted_ns
-                + engine_ns
-                + self.cfg.driver.round_trip_ns(c.posted.desc.entries))
-            .max(now_ns + self.cfg.driver.coalesced_interrupt_ns());
-            // Credit what the engine actually moved — the full posted
-            // payload for a retirement, the pre-suspension progress for
-            // a recall.
-            let bytes = c.bytes_moved;
-            self.serviced_by_shard[shard] += bytes;
+            self.settle_completion(shard, period_ps, c, now_ns, announce_ns);
+        }
+    }
 
+    /// Account one fielded (or reaped) ring completion: credit the
+    /// moved bytes, re-attach a recall's remainder, and close the job
+    /// out when this was its last outstanding chunk. `announce_ns` is
+    /// the earliest instant the host can learn of the completion — the
+    /// interrupt delivery time for a fielded batch, the poll edge
+    /// itself for a chain-silent completion reaped without one.
+    fn settle_completion(
+        &mut self,
+        shard: usize,
+        period_ps: u64,
+        c: pim_hostq::RingCompletion,
+        now_ns: f64,
+        announce_ns: f64,
+    ) {
+        let tenant_idx = c.posted.desc.tag.tenant;
+        let engine_ns = (c.done_cycle - c.posted.posted_cycle) as f64 * period_ps as f64 / 1000.0;
+        // The harness's accounting, per chunk: device residency plus
+        // the driver round trip (submit + completion interrupt) —
+        // but never earlier than the delivery that announces it. A
+        // chained chunk's cursor handoff skipped the interrupt, so
+        // its analytic share is the submit alone.
+        let round_trip_ns = if c.chained {
+            self.cfg.driver.submit_ns(c.posted.desc.entries)
+        } else {
+            self.cfg.driver.round_trip_ns(c.posted.desc.entries)
+        };
+        let finish_ns = (c.posted.posted_ns + engine_ns + round_trip_ns).max(announce_ns);
+        // Credit what the engine actually moved — the full posted
+        // payload for a retirement, the pre-suspension progress for
+        // a recall.
+        let bytes = c.bytes_moved;
+        self.serviced_by_shard[shard] += bytes;
+
+        let t = &mut self.tenants[tenant_idx];
+        t.stats.bytes_serviced += bytes;
+        // Each shard's ring retires FIFO and a tenant's chunks are
+        // dispatched in queue order, but with work-stealing a
+        // tenant's jobs can span shards and complete out of order —
+        // route by job id, not queue position (under a single shard
+        // the match is always the queue front, as before).
+        let idx = t
+            .queue
+            .iter()
+            .position(|j| j.id == c.posted.desc.tag.job)
+            .expect("completions route to a queued job");
+        t.queue[idx].bytes_done += bytes;
+        if c.resumable {
+            // A preempted chunk: re-attach the recalled remainder to
+            // its job so the next dispatch of this tenant resumes it
+            // (ahead of any fresh chunks), and start the suspended-
+            // state residency clock at this interrupt.
+            let st = self
+                .suspended
+                .remove(&(shard, c.posted.seq))
+                .expect("a recall's suspended state was claimed at the drain");
+            debug_assert_eq!(st.remaining_bytes(), c.posted.desc.bytes - bytes);
             let t = &mut self.tenants[tenant_idx];
-            t.stats.bytes_serviced += bytes;
-            // Each shard's ring retires FIFO and a tenant's chunks are
-            // dispatched in queue order, but with work-stealing a
-            // tenant's jobs can span shards and complete out of order —
-            // route by job id, not queue position (under a single shard
-            // the match is always the queue front, as before).
-            let idx = t
-                .queue
-                .iter()
-                .position(|j| j.id == c.posted.desc.tag.job)
-                .expect("completions route to a queued job");
-            t.queue[idx].bytes_done += bytes;
-            if c.resumable {
-                // A preempted chunk: re-attach the recalled remainder to
-                // its job so the next dispatch of this tenant resumes it
-                // (ahead of any fresh chunks), and start the suspended-
-                // state residency clock at this interrupt.
-                let st = self
-                    .suspended
-                    .remove(&(shard, c.posted.seq))
-                    .expect("a recall's suspended state was claimed at the drain");
-                debug_assert_eq!(st.remaining_bytes(), c.posted.desc.bytes - bytes);
-                let t = &mut self.tenants[tenant_idx];
-                // push_back, never overwrite: with a deep ring a second
-                // chunk of the same job can be recalled before the
-                // first remainder re-dispatches.
-                t.queue[idx].resume.push_back((st, now_ns));
-                t.stats.preemptions += 1;
-                self.recorder.record(
-                    SpanEvent::new(SpanKind::Recall, now_ns)
-                        .tenant(tenant_idx)
-                        .shard(shard)
-                        .job(c.posted.desc.tag.job)
-                        .seq(c.posted.seq)
-                        .bytes(c.posted.desc.bytes - bytes),
-                );
-                // Refund the undelivered credit (DRR stays byte-exact
-                // across kicks); the resume re-charges it at dispatch.
-                self.policy
-                    .recalled(tenant_idx, c.posted.desc.bytes - bytes);
-                continue;
-            }
-            let t = &mut self.tenants[tenant_idx];
-            let job = &mut t.queue[idx];
-            if job.chunks.is_empty() && job.resume.is_empty() && job.bytes_done == job.total_bytes {
-                let job = t.queue.remove(idx).expect("checked above");
-                let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
-                t.stats.completed += 1;
-                t.stats.bytes_completed += job.total_bytes;
-                t.stats.queue_delay.record(dispatch_ns - job.submit_ns);
-                t.stats.service.record(finish_ns - dispatch_ns);
-                t.stats.e2e.record(finish_ns - job.submit_ns);
-                t.gen.on_complete(finish_ns.max(now_ns));
-                self.completed_via_shard[shard] += 1;
-                self.recorder.record(
-                    SpanEvent::new(SpanKind::Complete, finish_ns)
-                        .tenant(tenant_idx)
-                        .shard(shard)
-                        .job(job.id)
-                        .bytes(job.total_bytes),
-                );
-                self.records.push(JobRecord {
-                    id: job.id,
-                    tenant: tenant_idx,
-                    submit_ns: job.submit_ns,
-                    dispatch_ns,
-                    complete_ns: finish_ns,
-                    bytes: job.total_bytes,
-                });
-            }
+            // push_back, never overwrite: with a deep ring a second
+            // chunk of the same job can be recalled before the
+            // first remainder re-dispatches.
+            t.queue[idx].resume.push_back((st, now_ns));
+            // The recall took the sweep cursor host-side — nothing
+            // is held device-side for a successor to continue, so
+            // the job's next fresh chunk must rebuild.
+            t.queue[idx].anchor = None;
+            t.stats.preemptions += 1;
+            self.recorder.record(
+                SpanEvent::new(SpanKind::Recall, now_ns)
+                    .tenant(tenant_idx)
+                    .shard(shard)
+                    .job(c.posted.desc.tag.job)
+                    .seq(c.posted.seq)
+                    .bytes(c.posted.desc.bytes - bytes),
+            );
+            // Refund the undelivered credit (DRR stays byte-exact
+            // across kicks); the resume re-charges it at dispatch.
+            self.policy
+                .recalled(tenant_idx, c.posted.desc.bytes - bytes);
+            return;
+        }
+        let t = &mut self.tenants[tenant_idx];
+        let job = &mut t.queue[idx];
+        if job.chunks.is_empty() && job.resume.is_empty() && job.bytes_done == job.total_bytes {
+            let job = t.queue.remove(idx).expect("checked above");
+            let dispatch_ns = job.first_dispatch_ns.expect("job was dispatched");
+            t.stats.completed += 1;
+            t.stats.bytes_completed += job.total_bytes;
+            t.stats.queue_delay.record(dispatch_ns - job.submit_ns);
+            t.stats.service.record(finish_ns - dispatch_ns);
+            t.stats.e2e.record(finish_ns - job.submit_ns);
+            t.gen.on_complete(finish_ns.max(now_ns));
+            self.completed_via_shard[shard] += 1;
+            self.recorder.record(
+                SpanEvent::new(SpanKind::Complete, finish_ns)
+                    .tenant(tenant_idx)
+                    .shard(shard)
+                    .job(job.id)
+                    .bytes(job.total_bytes),
+            );
+            self.records.push(JobRecord {
+                id: job.id,
+                tenant: tenant_idx,
+                submit_ns: job.submit_ns,
+                dispatch_ns,
+                complete_ns: finish_ns,
+                bytes: job.total_bytes,
+            });
         }
     }
 
@@ -1189,7 +1266,7 @@ impl Runtime {
     /// staged work rings its own doorbell once at the end of the edge.
     fn dispatch_least_loaded(&mut self, dces: &mut [Dce], now_ns: f64) {
         let mut staged = vec![false; self.cfg.shards];
-        while let Some(target) = self.qps.shallowest(|s| now_ns >= self.driver_ready_ns[s]) {
+        while let Some(mut target) = self.qps.shallowest(|s| now_ns >= self.driver_ready_ns[s]) {
             let views = self.views(None);
             if !views.iter().any(|v| v.head.is_some()) {
                 break;
@@ -1198,6 +1275,14 @@ impl Runtime {
                 self.missed_dispatches += 1;
                 break;
             };
+            if self.cfg.channel_affinity {
+                if let Some(steered) = self.affinity_target(pick, dces[0].addr_space(), now_ns) {
+                    if steered != target {
+                        self.affinity_steers += 1;
+                    }
+                    target = steered;
+                }
+            }
             self.stage_chunk(pick, target, &mut dces[target], now_ns);
             staged[target] = true;
         }
@@ -1208,10 +1293,48 @@ impl Runtime {
         }
     }
 
+    /// The channel-affinity placement for tenant `pick`'s next fresh
+    /// chunk: over the eligible shards (driver free, ring not full),
+    /// occupancy stays the primary key — the hint only redirects
+    /// occupancy *ties*, toward the ring whose outstanding channel
+    /// footprint overlaps the fewest of the chunk's channels, with the
+    /// shard id as the final deterministic tie-break. Returns `None`
+    /// when the next dispatch is a resume (its footprint lives in the
+    /// suspended cursor, not a pending chunk) — the caller keeps the
+    /// plain shallowest target.
+    fn affinity_target(&self, pick: usize, space: &PimAddrSpace, now_ns: f64) -> Option<usize> {
+        let job = self.tenants[pick]
+            .queue
+            .iter()
+            .find(|j| j.has_dispatchable())?;
+        if !job.resume.is_empty() {
+            return None;
+        }
+        let mask = chunk_channel_mask(job.chunks.front()?, space);
+        (0..self.cfg.shards)
+            .filter(|&s| now_ns >= self.driver_ready_ns[s] && self.qps.shard(s).free_slots() > 0)
+            .min_by_key(|&s| {
+                (
+                    self.qps.shard(s).occupancy(),
+                    (mask & self.qps.shard(s).channel_footprint()).count_ones(),
+                    s,
+                )
+            })
+    }
+
     /// Pop the picked tenant's next unit of work — a recalled remainder
     /// first, else the next fresh chunk — stage its descriptor on
-    /// `shard`'s ring and hand it to that shard's engine.
+    /// `shard`'s ring and hand it to that shard's engine. With
+    /// [`RuntimeConfig::sweep_continuation`] on, a fresh chunk landing
+    /// directly behind its job's previous chunk on the same ring (seq
+    /// exactly one past the anchor, identical core set) is declared a
+    /// continuation: the engine chains the predecessor's held sweep
+    /// cursor into it and the descriptor's priced entries shrink to the
+    /// context-reload footprint.
     fn stage_chunk(&mut self, pick: usize, shard: usize, dce: &mut Dce, now_ns: f64) {
+        // The seq the ring will assign this descriptor — the
+        // continuation gate needs it before the tenant borrow below.
+        let next_seq = self.qps.shard(shard).peek_seq();
         let t = &mut self.tenants[pick];
         let job = t
             .queue
@@ -1223,12 +1346,18 @@ impl Runtime {
         }
         let job_id = job.id;
         let resumed = !job.resume.is_empty();
+        // Set for a fresh chunk: its core span (the next anchor), its
+        // channel footprint, and the predecessor seq when it continues.
+        let mut fresh_span = None;
+        let mut mask = 0u64;
+        let mut continues = None;
         let (bytes, entries) = if let Some((st, recalled_at)) = job.resume.pop_front() {
             // Resume the preempted chunk: the engine continues the
             // suspended channel sweep from its cursor. The descriptor
             // re-posts the remainder (a resume reloads the address-
             // buffer context, so the driver prices its entries like a
-            // fresh submission).
+            // fresh submission). The recall already invalidated the
+            // job's continuation anchor.
             let bytes = st.remaining_bytes();
             let entries = st.entries();
             t.stats.suspended.record(now_ns - recalled_at);
@@ -1239,27 +1368,63 @@ impl Runtime {
         } else {
             let chunk = job.chunks.pop_front().expect("dispatch head has chunks");
             let bytes = chunk.total_bytes();
-            let entries = chunk.entries.len();
-            dce.enqueue(chunk, self.cfg.mode)
-                .expect("chunk validated at job construction");
+            let full_entries = chunk.entries.len();
+            let first_core = chunk.entries[0].1;
+            fresh_span = Some((first_core, full_entries));
+            if self.cfg.channel_affinity {
+                mask = chunk_channel_mask(&chunk, dce.addr_space());
+            }
+            let claim = self.cfg.sweep_continuation
+                && job.anchor.is_some_and(|a| {
+                    a.shard == shard
+                        && a.seq + 1 == next_seq
+                        && a.first_core == first_core
+                        && a.n_entries == full_entries
+                });
+            let entries = if claim {
+                let pred = job.anchor.expect("claim requires an anchor").seq;
+                continues = Some(pred);
+                dce.enqueue_continuation(chunk, self.cfg.mode, pred)
+                    .expect("chunk validated at job construction");
+                self.cfg.driver.continuation_entries(full_entries)
+            } else {
+                dce.enqueue(chunk, self.cfg.mode)
+                    .expect("chunk validated at job construction");
+                full_entries
+            };
             (bytes, entries)
         };
+        let mut desc = Descriptor::new(
+            DescriptorTag {
+                tenant: pick,
+                job: job_id,
+            },
+            entries,
+            bytes,
+        )
+        .with_channel_mask(mask);
+        if let Some(pred) = continues {
+            desc = desc.continuation_of(pred);
+            self.continuations_staged += 1;
+        }
         let seq = self
             .qps
             .shard_mut(shard)
-            .stage(
-                Descriptor {
-                    tag: DescriptorTag {
-                        tenant: pick,
-                        job: job_id,
-                    },
-                    entries,
-                    bytes,
-                },
-                now_ns,
-                dce.cycle(),
-            )
+            .stage(desc, now_ns, dce.cycle())
             .expect("free slot checked");
+        if let Some((first_core, n_entries)) = fresh_span {
+            let job = self.tenants[pick]
+                .queue
+                .iter_mut()
+                .find(|j| j.id == job_id)
+                .expect("the staged job is still queued");
+            job.anchor = Some(ChunkAnchor {
+                shard,
+                seq,
+                first_core,
+                n_entries,
+            });
+        }
         if self.recorder.enabled() {
             let tagged = SpanEvent::new(SpanKind::DispatchPick, now_ns)
                 .tenant(pick)
@@ -1308,6 +1473,16 @@ impl Runtime {
         self.poll_shard(0, dce, now_ns);
         self.dispatch(std::slice::from_mut(dce), now_ns);
     }
+}
+
+/// Bit `c` set for every PIM channel `c` the chunk's entries sweep
+/// (channels at or above 64 saturate into bit 63 — real machines have
+/// far fewer, so the footprint stays exact in practice).
+fn chunk_channel_mask(op: &PimMmuOp, space: &PimAddrSpace) -> u64 {
+    op.entries.iter().fold(0u64, |m, &(_, core)| {
+        let (ch, _, _, _) = space.core_coords(core);
+        m | (1u64 << ch.min(63))
+    })
 }
 
 impl Tickable for Runtime {

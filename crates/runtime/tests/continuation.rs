@@ -1,0 +1,183 @@
+//! Serving-aware PIM-MS: the sweep-continuation dispatch path.
+//!
+//! With [`RuntimeConfig::sweep_continuation`] on, a job's next fresh
+//! chunk staged directly behind its predecessor on the same ring is
+//! declared a continuation: the engine chains the retired chunk's
+//! channel-sweep cursor into it and the descriptor's priced entries
+//! shrink to the context-reload footprint. These tests pin the
+//! host-side contract:
+//!
+//! * continuation changes *cost*, never *content* — the same jobs
+//!   complete with the same bytes under every policy, and e2e latency
+//!   never regresses against the rebuild path;
+//! * a mid-chunk preemption (recall) breaks the chain cleanly — the
+//!   anchor is invalidated, the run still drains byte-exact;
+//! * the flag off is the historical dispatch path — no descriptor ever
+//!   declares a predecessor.
+
+use pim_runtime::testkit::{run_to_drain_sharded, trace_tenant};
+use pim_runtime::{
+    policy_by_name, HostQueueConfig, Placement, Preemption, Runtime, RuntimeConfig, TenantSpec,
+    POLICY_NAMES,
+};
+use proptest::prelude::*;
+
+/// A single tenant streaming multi-chunk jobs: each 64 KiB job over 8
+/// cores splits into four 16 KiB chunks, so every job offers three
+/// continuation opportunities.
+fn build(continuation: bool, depth: usize, preemption: Preemption, policy: &str) -> Runtime {
+    let cfg = RuntimeConfig {
+        chunk_bytes: 16 << 10,
+        open_until_ns: 2_000.0,
+        hostq: HostQueueConfig::with_depth(depth),
+        preemption,
+        sweep_continuation: continuation,
+        ..RuntimeConfig::default()
+    };
+    let tenants = vec![trace_tenant(
+        "stream",
+        vec![0.0, 400.0, 800.0, 1_200.0],
+        8 << 10,
+        8,
+    )];
+    Runtime::new(cfg, tenants, policy_by_name(policy, 4_096).unwrap())
+}
+
+#[test]
+fn continuation_off_never_declares_a_predecessor() {
+    let mut rt = build(false, 4, Preemption::Off, "fcfs");
+    run_to_drain_sharded(&mut rt, 20, 3_000_000).expect("drains");
+    assert_eq!(rt.continuations_staged(), 0);
+    assert_eq!(rt.records().len(), 4);
+}
+
+#[test]
+fn chained_chunks_complete_the_same_jobs_cheaper() {
+    for policy in POLICY_NAMES {
+        let mut off = build(false, 4, Preemption::Off, policy);
+        let mut on = build(true, 4, Preemption::Off, policy);
+        let r_off = run_to_drain_sharded(&mut off, 20, 3_000_000).expect("off drains");
+        let r_on = run_to_drain_sharded(&mut on, 20, 3_000_000).expect("on drains");
+
+        // Each 4-chunk job chains its last three chunks.
+        assert_eq!(on.continuations_staged(), 4 * 3, "{policy}");
+        assert_eq!(off.continuations_staged(), 0, "{policy}");
+
+        // Same jobs, same bytes — only the driver pricing moved.
+        assert_eq!(r_on.len(), r_off.len(), "{policy}");
+        for (a, b) in r_on.iter().zip(&r_off) {
+            assert_eq!(a.id, b.id, "{policy}");
+            assert_eq!(a.bytes, b.bytes, "{policy}");
+            assert_eq!(a.submit_ns, b.submit_ns, "{policy}");
+            // The continuation doorbell reloads a packed context word
+            // per 64 cores instead of re-publishing every entry, so a
+            // chained job can never finish later than a rebuilt one.
+            assert!(
+                a.complete_ns <= b.complete_ns,
+                "{policy}: job {} regressed: {} > {}",
+                a.id,
+                a.complete_ns,
+                b.complete_ns
+            );
+        }
+        // With a deep ring and multi-chunk jobs, at least one job must
+        // actually finish strictly earlier.
+        assert!(
+            r_on.iter()
+                .zip(&r_off)
+                .any(|(a, b)| a.complete_ns < b.complete_ns),
+            "{policy}: continuation produced no speedup at all"
+        );
+    }
+}
+
+#[test]
+fn depth_one_rings_still_chain_consecutive_chunks() {
+    // The synchronous ring shape: one descriptor in flight at a time,
+    // yet consecutive chunks of one job still land back-to-back in seq
+    // order, so the engine's held cursor carries across the interrupt.
+    let mut rt = build(true, 1, Preemption::Off, "fcfs");
+    run_to_drain_sharded(&mut rt, 20, 3_000_000).expect("drains");
+    assert_eq!(rt.continuations_staged(), 4 * 3);
+    let (_, stats) = rt.tenant_stats()[0];
+    assert_eq!(stats.bytes_completed, 4 * (64 << 10));
+}
+
+#[test]
+fn a_recall_breaks_the_chain_and_the_run_stays_byte_exact() {
+    // Quantum preemption suspends chunks mid-transfer; every recall
+    // invalidates the job's anchor, so the resumed remainder and the
+    // chunk after it rebuild instead of claiming a cursor the engine no
+    // longer holds.
+    let mut rt = build(true, 2, Preemption::Quantum { device_cycles: 96 }, "fcfs");
+    // A second tenant provides the waiter that justifies the quantum
+    // kicks. (Rebuild the runtime with both.)
+    let cfg = *rt.config();
+    let tenants = vec![
+        trace_tenant("stream", vec![0.0, 400.0, 800.0, 1_200.0], 8 << 10, 8),
+        trace_tenant("probe", vec![50.0, 450.0, 850.0, 1_250.0], 256, 2),
+    ];
+    rt = Runtime::new(cfg, tenants, policy_by_name("fcfs", 4_096).unwrap());
+    run_to_drain_sharded(&mut rt, 20, 3_000_000).expect("drains");
+    assert!(rt.preemptions() > 0, "the quantum must actually kick");
+    assert_eq!(rt.preemptions(), rt.resumes());
+    let stats = rt.tenant_stats();
+    assert_eq!(stats[0].1.bytes_completed, 4 * (64 << 10));
+    assert_eq!(stats[1].1.bytes_completed, 4 * 512);
+    // Chains formed where no recall interfered; none were required to.
+    assert_eq!(stats[0].1.completed, 4);
+    assert_eq!(stats[1].1.completed, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across random seeds, depths, shard counts and placements,
+    /// continuation on and off complete identical job sets with
+    /// identical bytes, and the chained run is never slower job-for-job
+    /// under FCFS single-shard (elsewhere placement may reorder, so
+    /// only the set equality holds).
+    #[test]
+    fn continuation_is_cost_only_across_the_matrix(
+        seed in 1u64..1_000_000,
+        depth in 1usize..5,
+        shards in 1usize..3,
+        placement_sel in 0usize..2,
+        affinity in any::<bool>(),
+    ) {
+        let build = |continuation: bool| {
+            let cfg = RuntimeConfig {
+                chunk_bytes: 8 << 10,
+                open_until_ns: 1_500.0,
+                seed,
+                hostq: HostQueueConfig::with_depth(depth),
+                shards,
+                placement: Placement::ALL[placement_sel],
+                sweep_continuation: continuation,
+                channel_affinity: affinity,
+                ..RuntimeConfig::default()
+            };
+            let tenants = vec![
+                TenantSpec::poisson("a", 300.0, 4_096, 4),
+                TenantSpec::poisson("b", 500.0, 1_024, 2),
+            ];
+            Runtime::new(cfg, tenants, policy_by_name("fcfs", 2_048).unwrap())
+        };
+        let mut off = build(false);
+        let mut on = build(true);
+        let r_off = run_to_drain_sharded(&mut off, 20, 3_000_000);
+        let r_on = run_to_drain_sharded(&mut on, 20, 3_000_000);
+        prop_assert!(r_off.is_some() && r_on.is_some(), "never drained");
+        let (r_off, r_on) = (r_off.unwrap(), r_on.unwrap());
+        let key = |rs: &[pim_runtime::JobRecord]| {
+            let mut v: Vec<(u64, u64)> = rs.iter().map(|r| (r.id, r.bytes)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(key(&r_off), key(&r_on));
+        for (i, (_, s_off)) in off.tenant_stats().iter().enumerate() {
+            let s_on = on.tenant_stats()[i].1.bytes_completed;
+            prop_assert_eq!(s_off.bytes_completed, s_on, "tenant {} bytes", i);
+        }
+    }
+}
